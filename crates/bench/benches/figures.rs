@@ -1,0 +1,241 @@
+//! Criterion benches: one per table/figure of the paper's evaluation.
+//!
+//! Each bench times a reduced-scale regeneration of the corresponding
+//! experiment (quarter threadblock counts — the same code path the
+//! `figures` binary runs at full scale). Sample counts are kept minimal:
+//! these are macro-benchmarks whose value is tracking harness regressions,
+//! not microsecond noise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcm_bench::configs::ConfigKind;
+use mcm_bench::experiments::{self, CacheKind, Harness};
+use mcm_types::PageSize;
+use mcm_workloads::suite;
+
+fn bench_cell(c: &mut Criterion) {
+    // The atomic unit every figure is built from: one workload under one
+    // configuration.
+    let h = Harness::quick();
+    let w = suite::ste();
+    let mut g = c.benchmark_group("cell");
+    g.sample_size(10);
+    g.bench_function("ste_s64k", |b| {
+        b.iter(|| h.run(&w, ConfigKind::Static(PageSize::Size64K)))
+    });
+    g.bench_function("ste_clap", |b| b.iter(|| h.run(&w, ConfigKind::Clap)));
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let h = Harness::quick();
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    // One representative cell per native size (the full subset is the
+    // figures binary's job).
+    let w = suite::threedc();
+    g.bench_function("native_sizes_3dc", |b| {
+        b.iter(|| {
+            for s in [PageSize::Size4K, PageSize::Size64K, PageSize::Size2M] {
+                h.run(&w, ConfigKind::Static(s));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let h = Harness::quick();
+    let mut g = c.benchmark_group("fig02");
+    g.sample_size(10);
+    let w = suite::ste();
+    g.bench_function("s2m_nuba_ste", |b| {
+        b.iter(|| h.run_cached(&w, ConfigKind::Static(PageSize::Size2M), CacheKind::Nuba))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    // The full 7-size x 15-workload sweep is the heaviest experiment; time
+    // one representative workload across the whole size ladder instead.
+    let h = Harness::quick();
+    let w = suite::lps();
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    g.bench_function("hypothetical_256k_lps", |b| {
+        b.iter(|| h.run(&w, ConfigKind::Static(PageSize::Size256K)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let h = Harness::quick();
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    let w = suite::bfs();
+    g.bench_function("per_structure_remote_bfs", |b| {
+        b.iter(|| {
+            let s = h.run(&w, ConfigKind::Static(PageSize::Size64K));
+            s.alloc_stats(mcm_types::AllocId::new(0)).remote_ratio()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("chiplet_locality_survey", |b| b.iter(experiments::fig10));
+    g.finish();
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    // One workload across all nine configurations (the full grid is the
+    // figures binary's job).
+    let h = Harness::quick();
+    let w = suite::blk();
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("main_eval_blk_clap_vs_s2m", |b| {
+        b.iter(|| {
+            h.run(&w, ConfigKind::Clap);
+            h.run(&w, ConfigKind::Static(PageSize::Size2M));
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::paf();
+    let mut g = c.benchmark_group("fig19");
+    g.sample_size(10);
+    g.bench_function("sa_policy_paf", |b| {
+        b.iter(|| h.run(&w, ConfigKind::ClapSaPlusPlus))
+    });
+    g.finish();
+}
+
+fn bench_fig20(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::gemm_reuse();
+    let mut g = c.benchmark_group("fig20");
+    g.sample_size(10);
+    g.bench_function("gemm_reuse_clap_migration", |b| {
+        b.iter(|| h.run(&w, ConfigKind::ClapMigration))
+    });
+    g.finish();
+}
+
+fn bench_fig21(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::ste();
+    let mut g = c.benchmark_group("fig21");
+    g.sample_size(10);
+    g.bench_function("caching_under_clap_ste", |b| {
+        b.iter(|| h.run_cached(&w, ConfigKind::Clap, CacheKind::Nuba))
+    });
+    g.finish();
+}
+
+fn bench_fig22(c: &mut Criterion) {
+    let h = Harness::quick();
+    let mut g = c.benchmark_group("fig22");
+    g.sample_size(10);
+    // 8-chiplet run of one subset workload under CLAP.
+    g.bench_function("eight_chiplets_fdt_clap", |b| {
+        b.iter(|| experiments::fig22_single(&h, "FDT"))
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::dwt();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("mpki_characterisation_dwt", |b| {
+        b.iter(|| h.run(&w, ConfigKind::Static(PageSize::Size64K)).l2_mpki())
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::vit();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("clap_size_selection_vit", |b| {
+        b.iter(|| h.run(&w, ConfigKind::Clap))
+    });
+    g.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let h = Harness::quick();
+    let w = suite::ste();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("clap_knockouts_ste", |b| {
+        b.iter(|| h.run(&w, ConfigKind::ClapNoOlp))
+    });
+    g.finish();
+}
+
+fn bench_micro(c: &mut Criterion) {
+    // Micro-benches on CLAP's core data structures (the costs §4.4/§4.3
+    // argue are negligible).
+    use clap_core::{select_size, LocalityTree, RemoteTracker};
+    use mcm_types::{AllocId, ChipletId};
+
+    let mut g = c.benchmark_group("micro");
+    g.bench_function("locality_tree_update", |b| {
+        let mut t = LocalityTree::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            t.set_leaf(i % 32, ChipletId::new((i % 4) as u8));
+            i += 1;
+        })
+    });
+    g.bench_function("mma_select_64_blocks", |b| {
+        let trees: Vec<LocalityTree> = (0..64)
+            .map(|bi| {
+                let mut t = LocalityTree::new();
+                for l in 0..32 {
+                    t.set_leaf(l, ChipletId::new(((l / 4 + bi) % 4) as u8));
+                }
+                t
+            })
+            .collect();
+        b.iter(|| select_size(trees.iter(), 0.1))
+    });
+    g.bench_function("remote_tracker_record", |b| {
+        let mut rt = RemoteTracker::new(4);
+        let mut i = 0u16;
+        b.iter(|| {
+            rt.record(ChipletId::new((i % 4) as u8), AllocId::new(i % 40), i % 3 == 0);
+            i = i.wrapping_add(1);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cell,
+    bench_fig1,
+    bench_fig2,
+    bench_fig6,
+    bench_fig8,
+    bench_fig10,
+    bench_fig18,
+    bench_fig19,
+    bench_fig20,
+    bench_fig21,
+    bench_fig22,
+    bench_table2,
+    bench_table4,
+    bench_ablation,
+    bench_micro
+);
+criterion_main!(benches);

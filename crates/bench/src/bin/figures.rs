@@ -1,0 +1,168 @@
+//! Regenerates every table and figure of the CLAP paper's evaluation.
+//!
+//! ```text
+//! figures [--quick] [--out DIR] \
+//!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
+//! figures [--quick] probe <WORKLOAD>
+//! ```
+//!
+//! `--quick` runs at reduced threadblock counts (smoke scale); by default
+//! results are printed and CSVs written to `results/`.
+
+use std::env;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mcm_bench::experiments::{self, Harness};
+use mcm_bench::report::{render_grid, render_table4, write_csv};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
+        .map(String::as_str)
+        .collect();
+    let targets: Vec<&str> = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
+
+    let h = if quick {
+        Harness::quick()
+    } else {
+        Harness::full()
+    };
+
+    let all = targets.contains(&"all");
+    let want = |t: &str| all || targets.contains(&t);
+    let t0 = Instant::now();
+
+    if let Some(pos) = targets.iter().position(|t| *t == "probe") {
+        let wname = targets.get(pos + 1).copied().unwrap_or("STE");
+        probe(&h, wname);
+        return;
+    }
+
+    if want("table1") {
+        print_table1(&h);
+    }
+    let emit = |g: &mcm_bench::experiments::Grid| {
+        println!("{}", render_grid(g));
+        if let Err(e) = write_csv(g, &out_dir) {
+            eprintln!("warning: failed to write {}.csv: {e}", g.id);
+        }
+    };
+    type GridFn<'a> = (&'a str, Box<dyn Fn(&Harness) -> mcm_bench::experiments::Grid>);
+    let jobs: Vec<GridFn> = vec![
+        ("fig1", Box::new(experiments::fig1)),
+        ("fig2", Box::new(experiments::fig2)),
+        ("fig6", Box::new(experiments::fig6)),
+        ("fig8", Box::new(experiments::fig8)),
+        ("fig10", Box::new(|_| experiments::fig10())),
+        ("fig18", Box::new(experiments::fig18)),
+        ("fig19", Box::new(experiments::fig19)),
+        ("fig20", Box::new(experiments::fig20)),
+        ("fig21", Box::new(experiments::fig21)),
+        ("fig22", Box::new(experiments::fig22)),
+        ("table2", Box::new(experiments::table2)),
+        ("ablation", Box::new(experiments::ablation)),
+    ];
+    for (id, f) in jobs {
+        if want(id) {
+            emit(&f(&h));
+        }
+    }
+    if want("table4") {
+        let rows = experiments::table4(&h);
+        println!("{}", render_table4(&rows));
+    }
+    eprintln!("[figures] completed in {:.1?}", t0.elapsed());
+}
+
+/// Deep-dive: full statistics for one workload under every main config.
+fn probe(h: &Harness, wname: &str) {
+    use mcm_bench::configs::ConfigKind;
+    let w = mcm_workloads::suite::by_name(wname).unwrap_or_else(|| {
+        eprintln!("unknown workload {wname}");
+        std::process::exit(2);
+    });
+    println!(
+        "{:<18} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6}",
+        "config", "cycles", "remote", "xlat", "wlat", "l1tlbM%", "l2tlbM%", "l1d%", "l2d%", "walks", "mshr", "faults", "promo"
+    );
+    for kind in ConfigKind::main_eval() {
+        let s = h.run(&w, kind);
+        println!(
+            "{:<18} {:>10} {:>7.3} {:>7.1} {:>7.1} {:>8.3} {:>8.3} {:>6.3} {:>6.3} {:>7} {:>7} {:>7} {:>6}",
+            kind.name(),
+            s.cycles,
+            s.remote_ratio(),
+            s.avg_translation_latency(),
+            s.walk_cycles as f64 / s.walks.max(1) as f64,
+            s.l1tlb_misses as f64 / s.mem_insts.max(1) as f64,
+            s.l2tlb_misses as f64 / s.mem_insts.max(1) as f64,
+            s.l1d_hits as f64 / s.mem_insts.max(1) as f64,
+            s.l2d_hits as f64 / s.l1d_misses.max(1) as f64,
+            s.walks,
+            s.walk_mshr_hits,
+            s.faults,
+            s.promotions
+        );
+    }
+}
+
+fn print_table1(h: &Harness) {
+    let c = h.base_config();
+    println!("== table1 — baseline simulation configuration (resource scale 1/{})", c.resource_scale);
+    println!("chiplets               {}", c.num_chiplets);
+    println!(
+        "GPU cores              {} SMs/chiplet, {} total, max {} warps/SM, MLP {}",
+        c.sms_per_chiplet,
+        c.total_sms(),
+        c.max_warps_per_sm,
+        c.warp_mlp
+    );
+    println!(
+        "L1 cache               {}KB, {}-cycle, {}B line (scaled {}KB)",
+        c.l1d_bytes / 1024,
+        c.l1d_latency,
+        c.line_bytes,
+        c.effective_l1d_bytes() / 1024
+    );
+    println!(
+        "L2 cache               {}MB/chiplet, {}-cycle (scaled {}KB)",
+        c.l2d_bytes / (1024 * 1024),
+        c.l2d_latency,
+        c.effective_l2d_bytes() / 1024
+    );
+    for s in [mcm_types::PageSize::Size4K, mcm_types::PageSize::Size64K, mcm_types::PageSize::Size2M] {
+        let e = c.tlb_entries(s);
+        println!("TLB ({s:>4})             L1 {}-entry {}-cycle, L2 {}-entry {}-cycle 8-way", e.l1, c.l1_tlb_latency, e.l2, c.l2_tlb_latency);
+    }
+    println!(
+        "inter-chip             ring, {}-cycle/hop, {}-cycle/transfer link occupancy",
+        c.ring_hop_latency, c.ring_service
+    );
+    println!(
+        "DRAM                   {} channels/chiplet, {}-cycle latency, {}-cycle/access channel occupancy",
+        c.dram_channels, c.dram_latency, c.dram_service
+    );
+    println!(
+        "GMMU                   {} walkers, {}-entry PWC (scaled {}), {}-entry walk queue",
+        c.page_walkers,
+        c.pwc_entries,
+        c.effective_pwc_entries(),
+        c.walk_queue
+    );
+    println!("TB & data arrangement  FT-based (contiguous TB scheduling, first-touch placement)");
+    println!();
+}

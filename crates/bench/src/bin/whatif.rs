@@ -1,0 +1,82 @@
+//! Knob-bisection tool: run one workload under two configs while toggling
+//! machine parameters, to attribute performance differences.
+use mcm_bench::configs::ConfigKind;
+use mcm_sim::{run, SimConfig};
+use mcm_types::PageSize;
+use mcm_workloads::{suite, FOOTPRINT_SCALE};
+
+fn main() {
+    let wname = std::env::args().nth(1).unwrap_or_else(|| "BFS".into());
+    let w = suite::by_name(&wname).expect("workload").with_tb_scale(1, 4);
+    let base = SimConfig::baseline().scaled(FOOTPRINT_SCALE);
+
+    let variants: Vec<(&str, Box<dyn Fn(&mut SimConfig)>)> = vec![
+        ("default", Box::new(|_c: &mut SimConfig| {})),
+        ("fault=0", Box::new(|c| c.fault_latency = 0)),
+        ("ring_svc=0", Box::new(|c| c.ring_service = 0)),
+        ("ring_lat=0", Box::new(|c| { c.ring_hop_latency = 0; c.ring_service = 0; })),
+        ("dram_svc=1", Box::new(|c| c.dram_service = 1)),
+        ("walkers=256", Box::new(|c| c.page_walkers = 256)),
+        ("mlp=16", Box::new(|c| c.warp_mlp = 16)),
+        ("lat=0", Box::new(|c| {
+            c.l1d_latency = 0; c.l2d_latency = 0; c.dram_latency = 0;
+            c.l1_tlb_latency = 0; c.l2_tlb_latency = 0; c.pwc_latency = 0;
+        })),
+        ("svc=0", Box::new(|c| { c.dram_service = 0; c.ring_service = 0; })),
+        ("lat+svc=0", Box::new(|c| {
+            c.l1d_latency = 0; c.l2d_latency = 0; c.dram_latency = 0;
+            c.l1_tlb_latency = 0; c.l2_tlb_latency = 0; c.pwc_latency = 0;
+            c.dram_service = 0; c.ring_service = 0; c.ring_hop_latency = 0;
+            c.fault_latency = 0;
+        })),
+        ("hop=0", Box::new(|c| c.ring_hop_latency = 0)),
+        ("svc+hop=0", Box::new(|c| {
+            c.dram_service = 0; c.ring_service = 0; c.ring_hop_latency = 0;
+        })),
+        ("svc=0,f=0", Box::new(|c| {
+            c.dram_service = 0; c.ring_service = 0; c.fault_latency = 0;
+        })),
+        ("dramlat=0", Box::new(|c| c.dram_latency = 0)),
+    ];
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "ring1", "ring2"
+    );
+    let only = std::env::var("CLAP_ONLY").ok();
+    for (name, f) in variants {
+        if let Some(o) = &only {
+            if o != name {
+                continue;
+            }
+        }
+        let mut cfg = base.clone();
+        f(&mut cfg);
+        let (mut p1, c1) = ConfigKind::Static(PageSize::Size2M).build(&cfg);
+        let s1 = run(&c1, &w, p1.as_mut(), None).unwrap();
+        let (mut p2, c2) = ConfigKind::Ideal.build(&cfg);
+        let s2 = run(&c2, &w, p2.as_mut(), None).unwrap();
+        println!(
+            "{:<12} {:>12} {:>12} {:>8.2} {:>10} {:>10} {:>9.0} {:>9.0}",
+            name,
+            s1.cycles,
+            s2.cycles,
+            s2.cycles as f64 / s1.cycles.max(1) as f64,
+            s1.dram_accesses,
+            s2.dram_accesses,
+            s1.ring_transfers as f64,
+            s2.ring_transfers as f64,
+        );
+        println!(
+            "  S-2MB dram/chiplet {:?} dramQ/acc {} ringQ/xfer {}",
+            s1.dram_per_chiplet,
+            s1.dram_queue_cycles / s1.dram_accesses.max(1),
+            s1.ring_queue_cycles / s1.ring_transfers.max(1)
+        );
+        println!(
+            "  Ideal dram/chiplet {:?} dramQ/acc {} ringQ/xfer {}",
+            s2.dram_per_chiplet,
+            s2.dram_queue_cycles / s2.dram_accesses.max(1),
+            s2.ring_queue_cycles / s2.ring_transfers.max(1)
+        );
+    }
+}

@@ -1,0 +1,551 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every function returns a [`Grid`] — workloads on rows, configurations
+//! (or page sizes) on columns, with normalized performance and remote
+//! access ratios — which the `figures` binary renders and
+//! `EXPERIMENTS.md` records against the paper.
+
+use clap_core::{survey_mean, survey_workload, Clap};
+use mcm_policies::{Nuba, Sac};
+use mcm_sim::{run, RemoteCacheModel, RunStats, SimConfig, Workload};
+use mcm_types::PageSize;
+use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
+
+use crate::configs::ConfigKind;
+
+/// A figure/table's worth of results.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Figure/table identifier ("fig18", "table2", ...).
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// Row labels (workloads or data structures).
+    pub rows: Vec<String>,
+    /// Column labels (configurations or page sizes).
+    pub cols: Vec<String>,
+    /// `perf[row][col]`: performance normalized to the figure's baseline
+    /// column (speedup; 1.0 = baseline).
+    pub perf: Vec<Vec<f64>>,
+    /// `remote[row][col]`: remote access ratio of memory instructions.
+    pub remote: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Geometric-mean speedup of column `col` across rows.
+    pub fn geomean(&self, col: usize) -> f64 {
+        let vals: Vec<f64> = self.perf.iter().map(|r| r[col].max(1e-12)).collect();
+        (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+    }
+
+    /// Arithmetic-mean remote ratio of column `col` across rows.
+    pub fn mean_remote(&self, col: usize) -> f64 {
+        self.remote.iter().map(|r| r[col]).sum::<f64>() / self.remote.len() as f64
+    }
+
+    /// Index of a column by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is absent.
+    pub fn col(&self, label: &str) -> usize {
+        self.cols
+            .iter()
+            .position(|c| c == label)
+            .unwrap_or_else(|| panic!("no column {label}"))
+    }
+}
+
+/// Run-scale knobs shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Harness {
+    base: SimConfig,
+    /// Threadblock divisor (1 = full evaluation scale; larger = quicker
+    /// smoke/bench runs).
+    tb_div: u32,
+}
+
+impl Harness {
+    /// Full evaluation scale (paper-shaped results; minutes of runtime).
+    pub fn full() -> Self {
+        Harness {
+            base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
+            tb_div: 1,
+        }
+    }
+
+    /// Reduced scale for criterion benches and CI smoke runs.
+    pub fn quick() -> Self {
+        Harness {
+            base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
+            tb_div: 4,
+        }
+    }
+
+    /// The machine configuration used (before per-config adjustments).
+    pub fn base_config(&self) -> &SimConfig {
+        &self.base
+    }
+
+    fn prep(&self, w: &SyntheticWorkload) -> SyntheticWorkload {
+        w.clone().with_tb_scale(1, self.tb_div)
+    }
+
+    /// Runs `w` under `kind` and returns the statistics.
+    pub fn run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> RunStats {
+        let (mut policy, cfg) = kind.build(&self.base);
+        let w = self.prep(w);
+        run(&cfg, &w, policy.as_mut(), None).expect("simulation succeeds")
+    }
+
+    /// Runs `w` under `kind` with a remote-cache scheme attached.
+    pub fn run_cached(
+        &self,
+        w: &SyntheticWorkload,
+        kind: ConfigKind,
+        cache: CacheKind,
+    ) -> RunStats {
+        let (mut policy, cfg) = kind.build(&self.base);
+        let w = self.prep(w);
+        let mut model: Box<dyn RemoteCacheModel> = match cache {
+            CacheKind::Nuba => Box::new(Nuba::for_config(&cfg)),
+            CacheKind::Sac => Box::new(Sac::for_config(&cfg)),
+        };
+        run(&cfg, &w, policy.as_mut(), Some(model.as_mut())).expect("simulation succeeds")
+    }
+}
+
+/// Remote caching scheme selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheKind {
+    /// NUBA \[111\].
+    Nuba,
+    /// SAC \[109\].
+    Sac,
+}
+
+fn grid_over(
+    id: &str,
+    title: &str,
+    h: &Harness,
+    workloads: &[SyntheticWorkload],
+    configs: &[ConfigKind],
+    baseline_col: usize,
+) -> Grid {
+    let mut perf = Vec::new();
+    let mut remote = Vec::new();
+    let mut rows = Vec::new();
+    for w in workloads {
+        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(w, k)).collect();
+        let base_cycles = stats[baseline_col].cycles.max(1) as f64;
+        perf.push(
+            stats
+                .iter()
+                .map(|s| base_cycles / s.cycles.max(1) as f64)
+                .collect(),
+        );
+        remote.push(stats.iter().map(RunStats::remote_ratio).collect());
+        rows.push(w.name().to_string());
+    }
+    Grid {
+        id: id.into(),
+        title: title.into(),
+        rows,
+        cols: configs.iter().map(|c| c.name()).collect(),
+        perf,
+        remote,
+    }
+}
+
+/// The §3.3 page-size ladder (Fig. 6 columns).
+pub fn size_ladder() -> Vec<ConfigKind> {
+    PageSize::ALL.iter().map(|&s| ConfigKind::Static(s)).collect()
+}
+
+/// Figure 1: performance (normalized to 4KB) and remote ratio across
+/// native page sizes, intro subset.
+pub fn fig1(h: &Harness) -> Grid {
+    let subset = ["STE", "3DC", "LPS", "SC", "SSSP", "DWT", "LUD", "GPT3"];
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let configs = [
+        ConfigKind::Static(PageSize::Size4K),
+        ConfigKind::Static(PageSize::Size64K),
+        ConfigKind::Static(PageSize::Size2M),
+    ];
+    grid_over(
+        "fig1",
+        "Performance (norm. to 4KB) and remote ratio vs native page size",
+        h,
+        &ws,
+        &configs,
+        0,
+    )
+}
+
+/// Figure 2: 2MB paging with/without remote caching vs 64KB paging, on
+/// the page-size-sensitive subset.
+pub fn fig2(h: &Harness) -> Grid {
+    let subset = ["STE", "3DC", "LPS", "PAF", "SC", "BFS"];
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let s2m = ConfigKind::Static(PageSize::Size2M);
+    let s64 = ConfigKind::Static(PageSize::Size64K);
+    let mut rows = Vec::new();
+    let mut perf = Vec::new();
+    let mut remote = Vec::new();
+    for w in &ws {
+        let base = h.run(w, s2m);
+        let nuba = h.run_cached(w, s2m, CacheKind::Nuba);
+        let sac = h.run_cached(w, s2m, CacheKind::Sac);
+        let small = h.run(w, s64);
+        let b = base.cycles.max(1) as f64;
+        perf.push(vec![
+            1.0,
+            b / nuba.cycles.max(1) as f64,
+            b / sac.cycles.max(1) as f64,
+            b / small.cycles.max(1) as f64,
+        ]);
+        remote.push(vec![
+            base.remote_ratio(),
+            nuba.remote_ratio(),
+            sac.remote_ratio(),
+            small.remote_ratio(),
+        ]);
+        rows.push(w.name().to_string());
+    }
+    Grid {
+        id: "fig2".into(),
+        title: "2MB paging with remote caching vs 64KB paging (norm. to 2MB No_RC)".into(),
+        rows,
+        cols: vec![
+            "2MB_No_RC".into(),
+            "2MB+NUBA".into(),
+            "2MB+SAC".into(),
+            "64KB_No_RC".into(),
+        ],
+        perf,
+        remote,
+    }
+}
+
+/// Figure 6: the full page-size sweep (4KB..2MB including hypothetical
+/// intermediate sizes), all 15 workloads, normalized to 64KB.
+pub fn fig6(h: &Harness) -> Grid {
+    let ws = suite::all();
+    let configs = size_ladder();
+    let mut g = grid_over(
+        "fig6",
+        "Performance (norm. to 64KB) and remote ratio across page sizes",
+        h,
+        &ws,
+        &configs,
+        1,
+    );
+    g.title.push_str(" [incl. hypothetical intermediate sizes]");
+    g
+}
+
+/// Figure 8: per-data-structure remote ratio vs page size, for 3DC and
+/// BFS (two structures each). Rows are `workload/structure`.
+pub fn fig8(h: &Harness) -> Grid {
+    let configs = size_ladder();
+    let mut rows = Vec::new();
+    let mut remote = Vec::new();
+    for (wname, picks) in [("3DC", ["vol-in", "vol-out"]), ("BFS", ["edges", "frontier"])] {
+        let w = suite::by_name(wname).expect("known");
+        let ids: Vec<_> = w
+            .allocs()
+            .iter()
+            .filter(|a| picks.contains(&a.name.as_str()))
+            .map(|a| (a.id, a.name.clone()))
+            .collect();
+        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(&w, k)).collect();
+        for (id, name) in ids {
+            rows.push(format!("{wname}/{name}"));
+            remote.push(
+                stats
+                    .iter()
+                    .map(|s| s.alloc_stats(id).remote_ratio())
+                    .collect(),
+            );
+        }
+    }
+    let perf = vec![vec![1.0; configs.len()]; rows.len()];
+    Grid {
+        id: "fig8".into(),
+        title: "Per-structure remote ratio vs page size (3DC, BFS)".into(),
+        rows,
+        cols: configs.iter().map(|c| c.name()).collect(),
+        perf,
+        remote,
+    }
+}
+
+/// Figure 10: proportion of each workload's address range exhibiting
+/// chiplet-locality (the survey of §3.4). `perf` holds the proportion.
+pub fn fig10() -> Grid {
+    let mut rows = Vec::new();
+    let mut perf = Vec::new();
+    for w in suite::all() {
+        let prop = survey_mean(&survey_workload(&w, 4));
+        rows.push(w.name().to_string());
+        perf.push(vec![prop]);
+    }
+    let remote = vec![vec![0.0]; rows.len()];
+    Grid {
+        id: "fig10".into(),
+        title: "Chiplet-locality proportion of GPU data structures".into(),
+        rows,
+        cols: vec!["locality".into()],
+        perf,
+        remote,
+    }
+}
+
+/// Figure 18: the main evaluation — all 15 workloads under the nine
+/// configurations, normalized to S-64KB.
+pub fn fig18(h: &Harness) -> Grid {
+    grid_over(
+        "fig18",
+        "Main evaluation: performance (norm. to S-64KB) and remote ratio",
+        h,
+        &suite::all(),
+        &ConfigKind::main_eval(),
+        0,
+    )
+}
+
+/// Figure 19: static-analysis-based configurations (norm. to SA-64KB).
+pub fn fig19(h: &Harness) -> Grid {
+    let configs = [
+        ConfigKind::StaticAnalysis(PageSize::Size64K),
+        ConfigKind::StaticAnalysis(PageSize::Size2M),
+        ConfigKind::ClapSa,
+        ConfigKind::ClapSaPlusPlus,
+    ];
+    grid_over(
+        "fig19",
+        "SA-policy study: performance (norm. to SA-64KB) and remote ratio",
+        h,
+        &suite::all(),
+        &configs,
+        0,
+    )
+}
+
+/// Figure 20: the kernel-reuse GEMM scenario with migration, normalized
+/// to S-64KB.
+pub fn fig20(h: &Harness) -> Grid {
+    let configs = [
+        ConfigKind::Static(PageSize::Size64K),
+        ConfigKind::GritReal,
+        ConfigKind::Clap,
+        ConfigKind::CNumaReal,
+        ConfigKind::ClapMigration,
+    ];
+    grid_over(
+        "fig20",
+        "Kernel-reuse GEMM: migration study (norm. to S-64KB)",
+        h,
+        &[suite::gemm_reuse()],
+        &configs,
+        0,
+    )
+}
+
+/// Figure 21: remote caching under S-2MB vs under CLAP, normalized to
+/// S-2MB without caching.
+pub fn fig21(h: &Harness) -> Grid {
+    let ws = suite::all();
+    let s2m = ConfigKind::Static(PageSize::Size2M);
+    let mut rows = Vec::new();
+    let mut perf = Vec::new();
+    let mut remote = Vec::new();
+    for w in &ws {
+        let base = h.run(w, s2m);
+        let b = base.cycles.max(1) as f64;
+        let runs = [
+            base.clone(),
+            h.run_cached(w, s2m, CacheKind::Nuba),
+            h.run_cached(w, s2m, CacheKind::Sac),
+            h.run(w, ConfigKind::Clap),
+            h.run_cached(w, ConfigKind::Clap, CacheKind::Nuba),
+            h.run_cached(w, ConfigKind::Clap, CacheKind::Sac),
+        ];
+        rows.push(w.name().to_string());
+        perf.push(runs.iter().map(|s| b / s.cycles.max(1) as f64).collect());
+        remote.push(runs.iter().map(RunStats::remote_ratio).collect());
+    }
+    Grid {
+        id: "fig21".into(),
+        title: "Remote caching under S-2MB vs under CLAP (norm. to S-2MB)".into(),
+        rows,
+        cols: vec![
+            "S-2MB".into(),
+            "S-2MB+NUBA".into(),
+            "S-2MB+SAC".into(),
+            "CLAP".into(),
+            "CLAP+NUBA".into(),
+            "CLAP+SAC".into(),
+        ],
+        perf,
+        remote,
+    }
+}
+
+/// Figure 22: the 8-chiplet scaling study (13 workloads), normalized to
+/// S-64KB.
+pub fn fig22(h: &Harness) -> Grid {
+    let mut h8 = h.clone();
+    h8.base = SimConfig::eight_chiplets().scaled(FOOTPRINT_SCALE);
+    h8.base.translation = h.base.translation.clone();
+    let ws: Vec<SyntheticWorkload> = suite::eight_chiplet_subset()
+        .into_iter()
+        .map(|w| w.with_tb_scale(2, 1)) // keep 512 SMs fed
+        .collect();
+    let configs = [
+        ConfigKind::Static(PageSize::Size64K),
+        ConfigKind::Static(PageSize::Size2M),
+        ConfigKind::Clap,
+    ];
+    grid_over(
+        "fig22",
+        "8-chiplet MCM: performance (norm. to S-64KB) and remote ratio",
+        &h8,
+        &ws,
+        &configs,
+        0,
+    )
+}
+
+/// Ablation study (DESIGN.md): CLAP's design knobs on a representative
+/// subset — the PMM-threshold sensitivity the paper reports in §4.2
+/// (15%/20%/30%) plus OLP and RT knock-outs.
+pub fn ablation(h: &Harness) -> Grid {
+    let subset = ["STE", "LPS", "PAF", "LUD", "GPT3"];
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let configs = [
+        ConfigKind::Clap,
+        ConfigKind::ClapPmm(15),
+        ConfigKind::ClapPmm(30),
+        ConfigKind::ClapNoOlp,
+        ConfigKind::ClapNoRt,
+    ];
+    grid_over(
+        "ablation",
+        "CLAP ablations (norm. to default CLAP: pmm=20%, OLP on, RT on)",
+        h,
+        &ws,
+        &configs,
+        0,
+    )
+}
+
+/// One 8-chiplet cell (used by the criterion bench): `workload` under
+/// CLAP on the Fig. 22 machine.
+pub fn fig22_single(h: &Harness, workload: &str) -> RunStats {
+    let mut h8 = h.clone();
+    h8.base = SimConfig::eight_chiplets().scaled(FOOTPRINT_SCALE);
+    let w = suite::by_name(workload).expect("known workload").with_tb_scale(2, 1);
+    h8.run(&w, ConfigKind::Clap)
+}
+
+/// Table 2: workload characteristics — L2$ MPKI and L2 TLB MPKI under
+/// 4KB/64KB/2MB mappings. `perf` carries L2$ MPKI and `remote` carries
+/// L2 TLB MPKI (three columns each).
+pub fn table2(h: &Harness) -> Grid {
+    let configs = [
+        ConfigKind::Static(PageSize::Size4K),
+        ConfigKind::Static(PageSize::Size64K),
+        ConfigKind::Static(PageSize::Size2M),
+    ];
+    let mut rows = Vec::new();
+    let mut perf = Vec::new();
+    let mut remote = Vec::new();
+    for w in suite::all() {
+        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(&w, k)).collect();
+        rows.push(w.name().to_string());
+        perf.push(stats.iter().map(RunStats::l2_mpki).collect());
+        remote.push(stats.iter().map(RunStats::l2tlb_mpki).collect());
+    }
+    Grid {
+        id: "table2".into(),
+        title: "Workload characteristics: L2$ MPKI (perf cols) / L2 TLB MPKI (remote cols) at 4KB/64KB/2MB".into(),
+        rows,
+        cols: vec!["4K".into(), "64K".into(), "2M".into()],
+        perf,
+        remote,
+    }
+}
+
+/// One row of Table 4: the sizes CLAP selected for a workload's largest
+/// structures.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Workload name.
+    pub workload: String,
+    /// `(structure, selected size, via OLP fallback)` for the (up to)
+    /// three largest structures, largest first.
+    pub sizes: Vec<(String, Option<PageSize>, bool)>,
+}
+
+/// Table 4: CLAP's selected page size for the three largest structures of
+/// each workload (OLP fallbacks flagged).
+pub fn table4(h: &Harness) -> Vec<Table4Row> {
+    let mut out = Vec::new();
+    for w in suite::all() {
+        let (_, cfg) = ConfigKind::Clap.build(h.base_config());
+        let prepped = w.clone().with_tb_scale(1, h.tb_div);
+        let mut clap = Clap::new();
+        run(&cfg, &prepped, &mut clap, None).expect("simulation succeeds");
+        if std::env::var_os("CLAP_DEBUG_MMA").is_some() {
+            for a in w.allocs() {
+                eprintln!("[olp] {} {}: {}", w.name(), a.name, clap.debug_olp(a.id));
+            }
+        }
+        let mut allocs: Vec<_> = w.allocs().to_vec();
+        allocs.sort_by_key(|a| std::cmp::Reverse(a.bytes));
+        let sizes = allocs
+            .iter()
+            .take(3)
+            .map(|a| {
+                (
+                    a.name.clone(),
+                    clap.effective_size(a.id),
+                    clap.selected_size(a.id).is_none(),
+                )
+            })
+            .collect();
+        out.push(Table4Row {
+            workload: w.name().to_string(),
+            sizes,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_helpers() {
+        let g = Grid {
+            id: "t".into(),
+            title: "t".into(),
+            rows: vec!["a".into(), "b".into()],
+            cols: vec!["x".into(), "y".into()],
+            perf: vec![vec![1.0, 2.0], vec![1.0, 8.0]],
+            remote: vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+        };
+        assert!((g.geomean(1) - 4.0).abs() < 1e-9);
+        assert!((g.mean_remote(0) - 0.2).abs() < 1e-12);
+        assert_eq!(g.col("y"), 1);
+    }
+
+    #[test]
+    fn quick_harness_runs_one_cell() {
+        let h = Harness::quick();
+        let s = h.run(&suite::blk(), ConfigKind::Static(PageSize::Size64K));
+        assert!(s.mem_insts > 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness for the CLAP reproduction.
+//!
+//! [`experiments`] holds one function per table/figure of the paper's
+//! evaluation; the `figures` binary prints them and writes CSVs, and the
+//! criterion benches in `benches/` time reduced-scale versions of each.
+
+#![deny(missing_docs)]
+
+pub mod configs;
+pub mod experiments;
+pub mod report;

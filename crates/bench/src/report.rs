@@ -1,0 +1,147 @@
+//! Rendering experiment grids as aligned text tables and CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::experiments::{Grid, Table4Row};
+
+/// Renders a grid as an aligned text table: one block for normalized
+/// performance, one for remote ratios.
+pub fn render_grid(g: &Grid) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} — {}", g.id, g.title);
+    let name_w = g.rows.iter().map(String::len).max().unwrap_or(4).max(8);
+    let col_w = g.cols.iter().map(String::len).max().unwrap_or(6).max(7);
+
+    for (label, data) in [("perf (norm.)", &g.perf), ("remote ratio", &g.remote)] {
+        let _ = writeln!(out, "-- {label}");
+        let _ = write!(out, "{:name_w$}", "");
+        for c in &g.cols {
+            let _ = write!(out, " {c:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for (r, row) in g.rows.iter().zip(data) {
+            let _ = write!(out, "{r:name_w$}");
+            for v in row {
+                let _ = write!(out, " {v:>col_w$.3}");
+            }
+            let _ = writeln!(out);
+        }
+        let _ = write!(out, "{:name_w$}", "gmean/mean");
+        for c in 0..g.cols.len() {
+            let v = if label.starts_with("perf") {
+                g.geomean(c)
+            } else {
+                g.mean_remote(c)
+            };
+            let _ = write!(out, " {v:>col_w$.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Writes a grid to `dir/<id>.csv` with both metrics.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or file write.
+pub fn write_csv(g: &Grid, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut s = String::new();
+    let _ = write!(s, "workload");
+    for c in &g.cols {
+        let _ = write!(s, ",perf:{c}");
+    }
+    for c in &g.cols {
+        let _ = write!(s, ",remote:{c}");
+    }
+    let _ = writeln!(s);
+    for (i, r) in g.rows.iter().enumerate() {
+        let _ = write!(s, "{r}");
+        for v in &g.perf[i] {
+            let _ = write!(s, ",{v:.6}");
+        }
+        for v in &g.remote[i] {
+            let _ = write!(s, ",{v:.6}");
+        }
+        let _ = writeln!(s);
+    }
+    fs::write(dir.join(format!("{}.csv", g.id)), s)
+}
+
+/// Renders Table 4 (CLAP's per-structure size selections).
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== table4 — CLAP-selected page sizes (three largest structures; * = via OLP fallback)"
+    );
+    for r in rows {
+        let cells: Vec<String> = r
+            .sizes
+            .iter()
+            .map(|(name, size, olp)| {
+                let s = size.map(|s| s.to_string()).unwrap_or_else(|| "OLP".into());
+                format!("{name}={s}{}", if *olp { "*" } else { "" })
+            })
+            .collect();
+        let _ = writeln!(out, "{:6} {}", r.workload, cells.join("  "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Grid;
+
+    fn grid() -> Grid {
+        Grid {
+            id: "figX".into(),
+            title: "test grid".into(),
+            rows: vec!["STE".into(), "BLK".into()],
+            cols: vec!["S-64KB".into(), "CLAP".into()],
+            perf: vec![vec![1.0, 1.2], vec![1.0, 1.1]],
+            remote: vec![vec![0.05, 0.04], vec![0.01, 0.01]],
+        }
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let s = render_grid(&grid());
+        assert!(s.contains("figX"));
+        assert!(s.contains("S-64KB"));
+        assert!(s.contains("CLAP"));
+        assert!(s.contains("STE"));
+        assert!(s.contains("1.200"));
+        assert!(s.contains("gmean"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("clap-repro-test-csv");
+        write_csv(&grid(), &dir).expect("write");
+        let s = std::fs::read_to_string(dir.join("figX.csv")).expect("read");
+        assert!(s.starts_with("workload,perf:S-64KB,perf:CLAP,remote:S-64KB"));
+        assert!(s.contains("STE,1.000000,1.200000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn table4_rendering() {
+        use mcm_types::PageSize;
+        let rows = vec![Table4Row {
+            workload: "BFS".into(),
+            sizes: vec![
+                ("edges".into(), Some(PageSize::Size2M), false),
+                ("frontier".into(), None, true),
+            ],
+        }];
+        let s = render_table4(&rows);
+        assert!(s.contains("edges=2MB"));
+        assert!(s.contains("frontier=OLP*"));
+    }
+}

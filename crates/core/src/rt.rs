@@ -1,0 +1,191 @@
+//! The Remote Tracker (RT), paper §4.3, Fig. 14.
+//!
+//! One RT lives in each chiplet's GMMU. Each of its 32 entries tracks one
+//! allocation id with two counters: completed page walks (`access`) and
+//! walks that targeted remote-mapped pages (`remote`). When the table is
+//! full, the entry with the smallest remote counter — the least recently
+//! *remote-updated* — is replaced. At MMA time the driver drains and
+//! clears every chiplet's entry for the analysed allocation.
+//!
+//! Hardware cost (paper-reported, restated for documentation): 288 bytes
+//! per RT (32 × (8-bit alloc id + 2 × 32-bit counters)), 0.0124 mm² at
+//! 28nm, ~0.0015% of an 800 mm² die; 2-cycle lookup off the critical path.
+
+use mcm_types::{AllocId, ChipletId};
+
+/// Entries per RT table (baseline; a 16-entry table sufficed in the
+/// paper's evaluation).
+pub const RT_ENTRIES: usize = 32;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RtEntry {
+    alloc: AllocId,
+    valid: bool,
+    access: u32,
+    remote: u32,
+}
+
+/// One chiplet's Remote Tracker table.
+#[derive(Clone, Debug)]
+struct RtTable {
+    entries: [RtEntry; RT_ENTRIES],
+}
+
+impl RtTable {
+    fn new() -> Self {
+        RtTable {
+            entries: [RtEntry::default(); RT_ENTRIES],
+        }
+    }
+
+    fn record(&mut self, alloc: AllocId, remote: bool) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.alloc == alloc) {
+            e.access = e.access.saturating_add(1);
+            if remote {
+                e.remote = e.remote.saturating_add(1);
+            }
+            return;
+        }
+        // Insert: a free slot, or replace the least-remote-updated entry
+        // (paper: "replaces the least recently updated entry based on the
+        // remote counter"; the evicted entry's ratio is treated as zero).
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.remote)
+                    .map(|(i, _)| i)
+                    .expect("table nonempty")
+            });
+        self.entries[slot] = RtEntry {
+            alloc,
+            valid: true,
+            access: 1,
+            remote: remote as u32,
+        };
+    }
+
+    fn drain(&mut self, alloc: AllocId) -> (u64, u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.alloc == alloc) {
+            let out = (e.access as u64, e.remote as u64);
+            *e = RtEntry::default();
+            out
+        } else {
+            (0, 0)
+        }
+    }
+}
+
+/// All chiplets' Remote Trackers, as the driver sees them.
+///
+/// # Examples
+///
+/// ```
+/// use clap_core::RemoteTracker;
+/// use mcm_types::{AllocId, ChipletId};
+///
+/// let mut rt = RemoteTracker::new(4);
+/// let a = AllocId::new(7);
+/// rt.record(ChipletId::new(0), a, true);
+/// rt.record(ChipletId::new(1), a, false);
+/// rt.record(ChipletId::new(1), a, true);
+/// assert!((rt.drain_ratio(a) - 2.0 / 3.0).abs() < 1e-12);
+/// // Draining clears every chiplet's entry.
+/// assert_eq!(rt.drain_ratio(a), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RemoteTracker {
+    tables: Vec<RtTable>,
+}
+
+impl RemoteTracker {
+    /// One RT per chiplet.
+    pub fn new(num_chiplets: usize) -> Self {
+        RemoteTracker {
+            tables: (0..num_chiplets).map(|_| RtTable::new()).collect(),
+        }
+    }
+
+    /// Records a completed page walk on `chiplet` for `alloc` (paper
+    /// Fig. 14 Ⓐ-Ⓒ: the PTE's alloc-id bits index the table; the PFN's
+    /// chiplet bits classify local/remote).
+    pub fn record(&mut self, chiplet: ChipletId, alloc: AllocId, remote: bool) {
+        self.tables[chiplet.index()].record(alloc, remote);
+    }
+
+    /// Drains every chiplet's statistics for `alloc` (Fig. 14 Ⓓ) and
+    /// returns the aggregate remote-access ratio (0 when nothing was
+    /// sampled — matching the paper's treatment of evicted entries).
+    pub fn drain_ratio(&mut self, alloc: AllocId) -> f64 {
+        let mut access = 0u64;
+        let mut remote = 0u64;
+        for t in &mut self.tables {
+            let (a, r) = t.drain(alloc);
+            access += a;
+            remote += r;
+        }
+        if access == 0 {
+            0.0
+        } else {
+            remote as f64 / access as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_ratio_per_allocation() {
+        let mut rt = RemoteTracker::new(4);
+        let a = AllocId::new(1);
+        let b = AllocId::new(2);
+        for i in 0..10 {
+            rt.record(ChipletId::new((i % 4) as u8), a, i % 2 == 0);
+            rt.record(ChipletId::new(0), b, false);
+        }
+        assert!((rt.drain_ratio(a) - 0.5).abs() < 1e-12);
+        assert_eq!(rt.drain_ratio(b), 0.0);
+    }
+
+    #[test]
+    fn eviction_replaces_least_remote_entry() {
+        let mut rt = RemoteTracker::new(1);
+        let c = ChipletId::new(0);
+        // Fill the table: alloc 0 gets lots of remote traffic, the rest one
+        // local access each.
+        for _ in 0..10 {
+            rt.record(c, AllocId::new(0), true);
+        }
+        for i in 1..RT_ENTRIES as u16 {
+            rt.record(c, AllocId::new(i), false);
+        }
+        // A new allocation evicts one of the local-only entries, never the
+        // remote-hot one.
+        rt.record(c, AllocId::new(100), true);
+        assert!((rt.drain_ratio(AllocId::new(0)) - 1.0).abs() < 1e-12);
+        assert!((rt.drain_ratio(AllocId::new(100)) - 1.0).abs() < 1e-12);
+        // The evicted entry reads as zero.
+        assert_eq!(rt.drain_ratio(AllocId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn drain_is_per_chiplet_aggregated() {
+        let mut rt = RemoteTracker::new(2);
+        rt.record(ChipletId::new(0), AllocId::new(3), true);
+        rt.record(ChipletId::new(1), AllocId::new(3), true);
+        rt.record(ChipletId::new(1), AllocId::new(3), false);
+        assert!((rt.drain_ratio(AllocId::new(3)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_alloc_reads_zero() {
+        let mut rt = RemoteTracker::new(4);
+        assert_eq!(rt.drain_ratio(AllocId::new(9)), 0.0);
+    }
+}

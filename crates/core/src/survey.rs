@@ -1,0 +1,142 @@
+//! Chiplet-locality survey (paper §3.4, Fig. 10): maps every data
+//! structure of a workload with fine-grained 64KB first-touch pages (no
+//! timing model needed — placement is decided by *who touches first*) and
+//! measures the proportion of each structure's address range that exhibits
+//! chiplet-locality.
+
+use std::collections::HashMap;
+
+use mcm_sim::{tb_chiplet, StaticHint, Workload};
+use mcm_types::{AllocId, ChipletId, TbId, WarpId, BASE_PAGE_BYTES, VA_BLOCK_BYTES};
+
+use crate::tree::{locality_proportion, LocalityTree};
+
+/// Per-structure survey result.
+#[derive(Clone, Debug)]
+pub struct SurveyRow {
+    /// Structure name.
+    pub name: String,
+    /// Structure id.
+    pub alloc: AllocId,
+    /// Structure bytes.
+    pub bytes: u64,
+    /// Fraction of the (analysed) address range exhibiting
+    /// chiplet-locality.
+    pub proportion: f64,
+}
+
+/// Surveys one workload: replays every warp's accesses in threadblock
+/// order, records the first-touching chiplet of each 64KB page, builds the
+/// per-block locality trees and computes each structure's locality
+/// proportion. Structures smaller than 2MB are skipped (as in the paper);
+/// globally shared structures count as 100% by the paper's convention.
+///
+/// # Examples
+///
+/// ```
+/// use clap_core::survey_workload;
+/// use mcm_workloads::suite;
+///
+/// let rows = survey_workload(&suite::blk(), 4);
+/// assert!(!rows.is_empty());
+/// assert!(rows.iter().all(|r| r.proportion > 0.9));
+/// ```
+pub fn survey_workload(workload: &dyn Workload, num_chiplets: usize) -> Vec<SurveyRow> {
+    // First toucher per 64KB page. Warps are replayed *round-robin by
+    // access index* — all threadblocks progress together, as on the real
+    // machine — so a structure's owner usually touches its pages before a
+    // neighbour's occasional halo access does.
+    let mut first_touch: HashMap<u64, ChipletId> = HashMap::new();
+    for k in 0..workload.num_kernels() {
+        let kd = workload.kernel(k);
+        let mut streams = Vec::new();
+        for t in 0..kd.num_tbs {
+            let tb = TbId::new(t);
+            let chiplet = ChipletId::new(tb_chiplet(tb, kd.num_tbs, num_chiplets) as u8);
+            for w in 0..kd.warps_per_tb {
+                streams.push((chiplet, workload.warp_accesses(k, tb, WarpId::new(w))));
+            }
+        }
+        let longest = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        for i in 0..longest {
+            for (chiplet, stream) in &streams {
+                if let Some(va) = stream.get(i) {
+                    first_touch
+                        .entry(va.raw() / BASE_PAGE_BYTES)
+                        .or_insert(*chiplet);
+                }
+            }
+        }
+    }
+
+    workload
+        .allocs()
+        .iter()
+        .filter(|a| a.bytes >= VA_BLOCK_BYTES)
+        .map(|a| {
+            let mut trees: HashMap<u64, LocalityTree> = HashMap::new();
+            let first_page = a.base.raw() / BASE_PAGE_BYTES;
+            for p in 0..a.bytes / BASE_PAGE_BYTES {
+                if let Some(&c) = first_touch.get(&(first_page + p)) {
+                    trees
+                        .entry((a.base.raw() + p * BASE_PAGE_BYTES) / VA_BLOCK_BYTES)
+                        .or_default()
+                        .set_leaf((p % 32) as usize, c);
+                }
+            }
+            let shared = a.hint == StaticHint::Shared;
+            SurveyRow {
+                name: a.name.clone(),
+                alloc: a.id,
+                bytes: a.bytes,
+                proportion: locality_proportion(trees.values(), shared),
+            }
+        })
+        .collect()
+}
+
+/// Mean locality proportion over a workload's structures (the per-workload
+/// bar of Fig. 10).
+pub fn survey_mean(rows: &[SurveyRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.proportion).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_workloads::suite;
+
+    #[test]
+    fn partitioned_workloads_survey_near_one() {
+        for w in [suite::twodc(), suite::blk(), suite::dwt()] {
+            let rows = survey_workload(&w, 4);
+            let mean = survey_mean(&rows);
+            assert!(
+                mean > 0.9,
+                "{}: partitioned structures should show high locality, got {mean:.2}",
+                mcm_sim::Workload::name(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_workloads_also_show_locality() {
+        let rows = survey_workload(&suite::ste(), 4);
+        assert!(survey_mean(&rows) > 0.8, "{rows:?}");
+    }
+
+    #[test]
+    fn shared_structures_count_as_full_locality() {
+        let rows = survey_workload(&suite::vit(), 4);
+        let b = rows.iter().find(|r| r.name == "matrix-B").expect("exists");
+        assert_eq!(b.proportion, 1.0);
+    }
+
+    #[test]
+    fn survey_mean_of_empty_is_zero() {
+        assert_eq!(survey_mean(&[]), 0.0);
+    }
+}

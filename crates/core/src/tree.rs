@@ -1,0 +1,335 @@
+//! Tree-based chiplet-locality analysis (paper §4.4, Fig. 15).
+//!
+//! Each 2MB VA block gets a [`LocalityTree`] whose 32 leaves record which
+//! chiplet each 64KB page was mapped to during partial memory mapping. An
+//! internal node at level `l` covers `2^l` leaves; its *locality score* is
+//! the fraction of its mapped leaves that share the node's dominant
+//! chiplet (Eq. 1). The block's locality level is the highest level whose
+//! average score clears the (possibly RT-relaxed, Eq. 4) threshold — and
+//! the level maps 1:1 to a CLAP page size (64KB at level 0 up to 2MB at
+//! level 5).
+
+use mcm_types::{ChipletId, PageSize};
+
+/// 64KB pages per 2MB VA block (tree leaves).
+pub const LEAVES: usize = 32;
+
+/// Maximum tree level (2MB = level 5 over 64KB leaves).
+pub const MAX_LEVEL: u32 = 5;
+
+/// The per-VA-block page-to-chiplet mapping tree.
+///
+/// # Examples
+///
+/// ```
+/// use clap_core::LocalityTree;
+/// use mcm_types::{ChipletId, PageSize};
+///
+/// let mut t = LocalityTree::new();
+/// for i in 0..32 {
+///     // Chiplets rotate every 4 pages -> 256KB locality groups.
+///     t.set_leaf(i, ChipletId::new(((i / 4) % 4) as u8));
+/// }
+/// assert!(t.is_full());
+/// assert_eq!(t.locality_level(1.0), Some(2));
+/// assert_eq!(t.selected_size(1.0), Some(PageSize::Size256K));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalityTree {
+    leaves: [Option<ChipletId>; LEAVES],
+}
+
+impl LocalityTree {
+    /// Creates a tree with no mapped leaves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that 64KB page `leaf` (0..32 within the block) is mapped to
+    /// `chiplet`. Incremental, as the memory manager maps pages (§4.4
+    /// "updated whenever a leaf node is mapped").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf >= 32`.
+    pub fn set_leaf(&mut self, leaf: usize, chiplet: ChipletId) {
+        self.leaves[leaf] = Some(chiplet);
+    }
+
+    /// The chiplet recorded for `leaf`, if mapped.
+    pub fn leaf(&self, leaf: usize) -> Option<ChipletId> {
+        self.leaves[leaf]
+    }
+
+    /// Number of mapped leaves.
+    pub fn mapped(&self) -> usize {
+        self.leaves.iter().flatten().count()
+    }
+
+    /// `true` once every 64KB page of the block is mapped — only then does
+    /// MMA analyse the block (§4.4).
+    pub fn is_full(&self) -> bool {
+        self.mapped() == LEAVES
+    }
+
+    /// Average locality score at tree level `l` (Eq. 1 averaged over the
+    /// level's nodes): the fraction of leaves correctly co-located under a
+    /// `2^l`-page grouping. Unmapped leaves count against the score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > 5`.
+    pub fn score_avg(&self, l: u32) -> f64 {
+        assert!(l <= MAX_LEVEL, "level out of range");
+        let node_leaves = 1usize << l;
+        let nodes = LEAVES / node_leaves;
+        let mut sum = 0.0;
+        for n in 0..nodes {
+            let mut counts = [0u32; 16];
+            for leaf in &self.leaves[n * node_leaves..(n + 1) * node_leaves] {
+                if let Some(c) = leaf {
+                    counts[c.index() % 16] += 1;
+                }
+            }
+            let max = *counts.iter().max().expect("nonempty") as f64;
+            sum += max / node_leaves as f64;
+        }
+        sum / nodes as f64
+    }
+
+    /// The block's chiplet-locality level: the highest `l` with
+    /// `score_avg(l) >= threshold` (Eq. 2, or Eq. 4 with an RT-relaxed
+    /// threshold). Level 0 always qualifies for thresholds ≤ 1 on a full
+    /// block; returns `None` only if even level 0 misses the threshold
+    /// (possible on partially mapped blocks).
+    pub fn locality_level(&self, threshold: f64) -> Option<u32> {
+        const EPS: f64 = 1e-9;
+        (0..=MAX_LEVEL)
+            .rev()
+            .find(|&l| self.score_avg(l) + EPS >= threshold)
+    }
+
+    /// The page size MMA selects for this block at `threshold`.
+    pub fn selected_size(&self, threshold: f64) -> Option<PageSize> {
+        self.locality_level(threshold)
+            .and_then(PageSize::from_tree_level)
+    }
+}
+
+/// Selects the page size for a whole data structure: the *dominant*
+/// locality level across its fully mapped blocks (§4.4 "selects the most
+/// dominant degree"), at the effective threshold
+/// `1 - remote_ratio` (Eq. 4 with `k = 1`, `ratio_target = 0`).
+///
+/// Returns `None` when no block is fully mapped — the caller falls back to
+/// opportunistic large paging (§4.5 "Handling Edge Cases").
+///
+/// # Examples
+///
+/// ```
+/// use clap_core::{select_size, LocalityTree};
+/// use mcm_types::{ChipletId, PageSize};
+///
+/// let mut t = LocalityTree::new();
+/// for i in 0..32 {
+///     t.set_leaf(i, ChipletId::new((i / 8 % 4) as u8)); // 512KB groups
+/// }
+/// assert_eq!(select_size([&t].into_iter(), 0.0), Some(PageSize::Size512K));
+/// // A 75%-remote structure relaxes the threshold to 0.25: pick 2MB.
+/// assert_eq!(select_size([&t].into_iter(), 0.75), Some(PageSize::Size2M));
+/// ```
+pub fn select_size<'a>(
+    trees: impl Iterator<Item = &'a LocalityTree>,
+    remote_ratio: f64,
+) -> Option<PageSize> {
+    let threshold = (1.0 - remote_ratio).clamp(0.0, 1.0);
+    let mut votes = [0u32; (MAX_LEVEL + 1) as usize];
+    let mut any = false;
+    for t in trees.filter(|t| t.is_full()) {
+        if let Some(l) = t.locality_level(threshold) {
+            votes[l as usize] += 1;
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let best = votes
+        .iter()
+        .enumerate()
+        .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(la.cmp(lb)))
+        .map(|(l, _)| l as u32)
+        .expect("nonempty votes");
+    PageSize::from_tree_level(best)
+}
+
+/// The proportion of a structure's analysed address range that exhibits
+/// chiplet-locality (Fig. 10): the fraction of fully mapped blocks whose
+/// locality level reaches the structure's *dominant* level — the group
+/// granularity most of the structure shares (§3.4: "the group granularity
+/// may vary between structures", and 64KB-granularity consistency counts).
+/// Globally shared structures are 1.0 by the paper's convention.
+pub fn locality_proportion<'a>(
+    trees: impl Iterator<Item = &'a LocalityTree> + Clone,
+    shared: bool,
+) -> f64 {
+    if shared {
+        return 1.0;
+    }
+    let full: Vec<&LocalityTree> = trees.filter(|t| t.is_full()).collect();
+    if full.is_empty() {
+        return 0.0;
+    }
+    let dominant = {
+        let mut votes = [0u32; (MAX_LEVEL + 1) as usize];
+        for t in &full {
+            if let Some(l) = t.locality_level(1.0) {
+                votes[l as usize] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(l, _)| l as u32)
+            .unwrap_or(0)
+    };
+    let hits = full
+        .iter()
+        .filter(|t| t.locality_level(1.0).unwrap_or(0) >= dominant)
+        .count();
+    hits as f64 / full.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_groups(group: usize) -> LocalityTree {
+        let mut t = LocalityTree::new();
+        for i in 0..LEAVES {
+            t.set_leaf(i, ChipletId::new(((i / group) % 4) as u8));
+        }
+        t
+    }
+
+    #[test]
+    fn paper_figure_15_example() {
+        // Fig. 15 shows a 512KB region (8 leaves) with leaves
+        // [0,0,1,1,2,2,3,3]: locality level 1 (128KB) at threshold 1, and
+        // level 3 (whole 512KB region) once the threshold relaxes to 0.25.
+        // We embed the same pattern across a full 2MB block.
+        let t = tree_groups(2);
+        assert_eq!(t.locality_level(1.0), Some(1));
+        assert_eq!(t.selected_size(1.0), Some(PageSize::Size128K));
+        // score at level 3 (8 leaves/node): 2/8 = 0.25.
+        assert!((t.score_avg(3) - 0.25).abs() < 1e-12);
+        assert_eq!(t.locality_level(0.25), Some(MAX_LEVEL));
+        assert_eq!(t.selected_size(0.25), Some(PageSize::Size2M));
+    }
+
+    #[test]
+    fn scores_decrease_with_level_above_group_size() {
+        let t = tree_groups(4);
+        assert!((t.score_avg(0) - 1.0).abs() < 1e-12);
+        assert!((t.score_avg(2) - 1.0).abs() < 1e-12);
+        assert!((t.score_avg(3) - 0.5).abs() < 1e-12);
+        assert!((t.score_avg(4) - 0.25).abs() < 1e-12);
+        assert!((t.score_avg(5) - 0.25).abs() < 1e-12);
+        assert_eq!(t.locality_level(1.0), Some(2));
+    }
+
+    #[test]
+    fn single_chiplet_block_selects_2m() {
+        let mut t = LocalityTree::new();
+        for i in 0..LEAVES {
+            t.set_leaf(i, ChipletId::new(2));
+        }
+        assert_eq!(t.locality_level(1.0), Some(5));
+        assert_eq!(t.selected_size(1.0), Some(PageSize::Size2M));
+    }
+
+    #[test]
+    fn scattered_block_selects_64k() {
+        let mut t = LocalityTree::new();
+        for i in 0..LEAVES {
+            t.set_leaf(i, ChipletId::new((i % 4) as u8));
+        }
+        assert_eq!(t.locality_level(1.0), Some(0));
+        assert_eq!(t.selected_size(1.0), Some(PageSize::Size64K));
+    }
+
+    #[test]
+    fn partial_blocks_do_not_vote() {
+        let mut partial = LocalityTree::new();
+        for i in 0..16 {
+            partial.set_leaf(i, ChipletId::new(0));
+        }
+        assert!(!partial.is_full());
+        assert_eq!(select_size([&partial].into_iter(), 0.0), None);
+        let full = tree_groups(8);
+        assert_eq!(
+            select_size([&partial, &full].into_iter(), 0.0),
+            Some(PageSize::Size512K)
+        );
+    }
+
+    #[test]
+    fn dominant_level_wins_across_blocks() {
+        let a = tree_groups(4); // 256KB
+        let b = tree_groups(4); // 256KB
+        let c = tree_groups(8); // 512KB
+        assert_eq!(
+            select_size([&a, &b, &c].into_iter(), 0.0),
+            Some(PageSize::Size256K)
+        );
+    }
+
+    #[test]
+    fn rt_relaxation_grows_selected_size() {
+        let t = tree_groups(1); // fully scattered
+        assert_eq!(select_size([&t].into_iter(), 0.0), Some(PageSize::Size64K));
+        // Inherently shared structure (75% remote): prefer large pages.
+        assert_eq!(
+            select_size([&t].into_iter(), 0.75),
+            Some(PageSize::Size2M)
+        );
+    }
+
+    #[test]
+    fn locality_proportion_shapes() {
+        // Uniform 256KB groups: every block reaches the dominant level.
+        let blocks: Vec<LocalityTree> = (0..8).map(|_| tree_groups(4)).collect();
+        assert!((locality_proportion(blocks.iter(), false) - 1.0).abs() < 1e-12);
+        // One page-scattered block out of four drops the proportion to
+        // 0.75 (its level-0 grouping is below the dominant 256KB level).
+        let mut mixed: Vec<LocalityTree> = (0..3).map(|_| tree_groups(4)).collect();
+        let mut scattered = LocalityTree::new();
+        for i in 0..LEAVES {
+            scattered.set_leaf(i, ChipletId::new((i % 4) as u8));
+        }
+        mixed.push(scattered);
+        assert!((locality_proportion(mixed.iter(), false) - 0.75).abs() < 1e-12);
+        // A structure whose groups are uniformly 64KB is fully consistent.
+        let fine: Vec<LocalityTree> = (0..4)
+            .map(|_| {
+                let mut t = LocalityTree::new();
+                for i in 0..LEAVES {
+                    t.set_leaf(i, ChipletId::new((i % 4) as u8));
+                }
+                t
+            })
+            .collect();
+        assert!((locality_proportion(fine.iter(), false) - 1.0).abs() < 1e-12);
+        // Shared structures count as fully local by convention.
+        assert_eq!(locality_proportion([].iter(), true), 1.0);
+        // Nothing analysable: zero.
+        assert_eq!(locality_proportion([].iter(), false), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level out of range")]
+    fn level_bounds_checked() {
+        LocalityTree::new().score_avg(6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests on the MMA locality tree (paper §4.4): score
+//! monotonicity, threshold monotonicity, and exact recovery of planted
+//! group sizes.
+
+use proptest::prelude::*;
+
+use clap_core::{select_size, LocalityTree, MAX_LEVEL};
+use mcm_types::{ChipletId, PageSize};
+
+fn full_tree() -> impl Strategy<Value = LocalityTree> {
+    proptest::collection::vec(0u8..4, 32).prop_map(|leaves| {
+        let mut t = LocalityTree::new();
+        for (i, c) in leaves.into_iter().enumerate() {
+            t.set_leaf(i, ChipletId::new(c));
+        }
+        t
+    })
+}
+
+proptest! {
+    /// Coarser groupings can never be purer: `score_avg` is non-increasing
+    /// in the tree level (merging partitions cannot increase the dominant
+    /// share).
+    #[test]
+    fn scores_are_monotone_in_level(t in full_tree()) {
+        for l in 0..MAX_LEVEL {
+            prop_assert!(
+                t.score_avg(l) + 1e-12 >= t.score_avg(l + 1),
+                "score rose from level {l}: {} -> {}",
+                t.score_avg(l),
+                t.score_avg(l + 1)
+            );
+        }
+        // Level 0 of a full tree is always pure.
+        prop_assert!((t.score_avg(0) - 1.0).abs() < 1e-12);
+    }
+
+    /// Relaxing the threshold (higher RT remote ratio) can only select a
+    /// larger-or-equal page size (Eq. 4's intent).
+    #[test]
+    fn selection_is_monotone_in_remote_ratio(t in full_tree(), r1 in 0.0f64..1.0, r2 in 0.0f64..1.0) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let s_lo = select_size([&t].into_iter(), lo).expect("full tree selects");
+        let s_hi = select_size([&t].into_iter(), hi).expect("full tree selects");
+        prop_assert!(s_hi >= s_lo, "ratio {lo}->{hi} shrank {s_lo} -> {s_hi}");
+    }
+
+    /// A planted rotation of `2^g` pages per chiplet is recovered exactly
+    /// at threshold 1 (the §3.4 definition of chiplet-locality).
+    #[test]
+    fn planted_group_sizes_are_recovered(g in 0u32..=5) {
+        let mut t = LocalityTree::new();
+        for i in 0..32usize {
+            t.set_leaf(i, ChipletId::new(((i >> g) % 4) as u8));
+        }
+        let expect = if g == 5 {
+            // 32-page groups: the whole block is one chiplet.
+            PageSize::Size2M
+        } else {
+            PageSize::from_tree_level(g).expect("in range")
+        };
+        prop_assert_eq!(t.selected_size(1.0), Some(expect));
+    }
+
+    /// Corrupting one leaf of a planted grouping can only lower (never
+    /// raise) the selected level at threshold 1.
+    #[test]
+    fn corruption_never_raises_the_level(g in 1u32..=4, victim in 0usize..32) {
+        let mut t = LocalityTree::new();
+        for i in 0..32usize {
+            t.set_leaf(i, ChipletId::new(((i >> g) % 4) as u8));
+        }
+        let clean = t.locality_level(1.0).expect("full");
+        let owner = t.leaf(victim).expect("set");
+        t.set_leaf(victim, ChipletId::new((owner.index() as u8 + 1) % 4));
+        let dirty = t.locality_level(1.0).expect("full");
+        prop_assert!(dirty <= clean);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for memory-management operations.
+
+use core::fmt;
+use mcm_types::{ChipletId, PageSize, PhysAddr, VirtAddr};
+
+/// Errors returned by the block-based memory manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The target chiplet has no free PF block and no free frame of the
+    /// requested size. The caller should fall back to another chiplet or
+    /// evict (paper §4.7, "Chiplet Memory Exhaustion").
+    ChipletExhausted {
+        /// The chiplet whose memory is exhausted.
+        chiplet: ChipletId,
+        /// The frame size that was requested.
+        size: PageSize,
+    },
+    /// A frame was freed that is not currently allocated (double free or
+    /// wrong address/size/allocation key).
+    NotAllocated {
+        /// The frame base address passed to `free_frame`.
+        frame: PhysAddr,
+    },
+    /// An address is not aligned to the required granularity.
+    Misaligned {
+        /// The offending address value.
+        addr: u64,
+        /// The required alignment in bytes.
+        align: u64,
+    },
+    /// A reservation already exists for this virtual region.
+    AlreadyReserved {
+        /// Base virtual address of the region.
+        va: VirtAddr,
+    },
+    /// No reservation exists for this virtual region.
+    NoReservation {
+        /// Base virtual address of the region.
+        va: VirtAddr,
+    },
+    /// A VA block already has a different page size assigned.
+    SizeConflict {
+        /// Base virtual address of the VA block.
+        va: VirtAddr,
+        /// The size already assigned to the block.
+        assigned: PageSize,
+        /// The size the caller attempted to assign.
+        requested: PageSize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ChipletExhausted { chiplet, size } => {
+                write!(f, "no free {size} frame or PF block on {chiplet}")
+            }
+            MemError::NotAllocated { frame } => {
+                write!(f, "frame {frame} is not allocated")
+            }
+            MemError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} is not aligned to {align:#x}")
+            }
+            MemError::AlreadyReserved { va } => {
+                write!(f, "virtual region {va} already has a reservation")
+            }
+            MemError::NoReservation { va } => {
+                write!(f, "virtual region {va} has no reservation")
+            }
+            MemError::SizeConflict {
+                va,
+                assigned,
+                requested,
+            } => write!(
+                f,
+                "VA block {va} already assigned page size {assigned}, cannot assign {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::ChipletExhausted {
+            chiplet: ChipletId::new(1),
+            size: PageSize::Size64K,
+        };
+        let s = e.to_string();
+        assert!(s.contains("chiplet-1"));
+        assert!(s.contains("64KB"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Block-based GPU physical-memory management (CLAP paper §4.1, §4.5, §4.7).
+//!
+//! The memory manager partitions physical memory into 2MB **PF blocks**, each
+//! owned by one chiplet (see [`mcm_types::PhysLayout`]). A PF block is split
+//! into frames of a single size on demand, and the resulting frames feed
+//! per-`(chiplet, size, allocation)` free lists, so one PF block is only ever
+//! used by one data structure at one frame size — the property that lets the
+//! whole block be reclaimed without external fragmentation when the
+//! structure is freed (§4.7).
+//!
+//! The crate also provides:
+//!
+//! * [`ReservationTable`] — physical-frame reservations for demand paging
+//!   with promotion (paper Fig. 5) and opportunistic large paging (§4.2);
+//! * [`VaBlockMap`] — the per-2MB-VA-block page-size assignment that makes
+//!   multiple page sizes coexist in one address space (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_mem::FrameAllocator;
+//! use mcm_types::{AllocId, ChipletId, PageSize, PhysLayout};
+//!
+//! let mut alloc = FrameAllocator::new(PhysLayout::new(4), 16);
+//! let frame = alloc.alloc_frame(ChipletId::new(2), PageSize::Size64K, AllocId::new(0))?;
+//! assert_eq!(alloc.layout().chiplet_of(frame).index(), 2);
+//! alloc.free_frame(frame, PageSize::Size64K, AllocId::new(0))?;
+//! # Ok::<(), mcm_mem::MemError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod allocator;
+mod error;
+mod reservation;
+mod va_blocks;
+
+pub use allocator::{AllocatorStats, FrameAllocator};
+pub use error::MemError;
+pub use reservation::{Reservation, ReservationTable};
+pub use va_blocks::{VaBlockInfo, VaBlockMap};

@@ -1,0 +1,326 @@
+//! Physical-frame reservations for demand paging (paper Fig. 5, §4.2, §4.5).
+//!
+//! A reservation pins a physical frame of some size to a virtual region of
+//! the same size; 64KB subpages are then *populated* into the frame on
+//! demand, preserving the virtual-to-physical offset so that partially
+//! populated regions still coalesce in the TLB (paper §4.6).
+
+use std::collections::HashMap;
+
+use mcm_types::{ChipletId, PageSize, PhysAddr, VirtAddr, BASE_PAGE_BYTES};
+
+use crate::MemError;
+
+/// One outstanding physical-frame reservation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Base virtual address of the reserved region (size-aligned).
+    pub va: VirtAddr,
+    /// Base physical address of the reserved frame.
+    pub pa: PhysAddr,
+    /// Region size (64KB..2MB).
+    pub size: PageSize,
+    /// Chiplet owning the frame.
+    pub chiplet: ChipletId,
+    /// Bit `i` set: the `i`-th 64KB subpage is populated (mapped).
+    pub populated: u32,
+}
+
+impl Reservation {
+    /// Number of 64KB subpages the region spans.
+    pub fn subpages(&self) -> u32 {
+        (self.size.bytes() / BASE_PAGE_BYTES) as u32
+    }
+
+    /// Number of populated 64KB subpages.
+    pub fn populated_count(&self) -> u32 {
+        self.populated.count_ones()
+    }
+
+    /// `true` once every subpage is populated — the region is eligible for
+    /// promotion to a (real or coalesced) large page.
+    pub fn is_full(&self) -> bool {
+        self.populated_count() == self.subpages()
+    }
+
+    /// Physical address backing `va` within this reservation, preserving
+    /// the virtual-to-physical offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the reserved region.
+    pub fn pa_of(&self, va: VirtAddr) -> PhysAddr {
+        let off = va.distance_from(self.va);
+        assert!(off < self.size.bytes(), "va outside reservation");
+        self.pa + off
+    }
+
+    /// Populated-subpage mask as booleans (one per 64KB subpage).
+    pub fn populated_mask(&self) -> Vec<bool> {
+        (0..self.subpages())
+            .map(|i| self.populated >> i & 1 == 1)
+            .collect()
+    }
+}
+
+/// Table of outstanding reservations, keyed by region base VA.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_mem::ReservationTable;
+/// use mcm_types::{ChipletId, PageSize, PhysAddr, VirtAddr};
+///
+/// let mut t = ReservationTable::new();
+/// let va = VirtAddr::new(0x40000); // 256KB-aligned
+/// t.reserve(va, PhysAddr::new(0x80_0000), PageSize::Size256K, ChipletId::new(0))?;
+/// let (pa, full) = t.populate(va + 0x1_0000)?;
+/// assert_eq!(pa.raw(), 0x81_0000);
+/// assert!(!full);
+/// # Ok::<(), mcm_mem::MemError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReservationTable {
+    /// Keyed by base-VA page index (va / 64KB) of the region start.
+    regions: HashMap<u64, Reservation>,
+    /// Index from any covered base-page index to the region start index.
+    cover: HashMap<u64, u64>,
+}
+
+impl ReservationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of outstanding reservations.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` if no reservations are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Registers a reservation of `size` at `va` backed by frame `pa`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MemError::Misaligned`] if `va` or `pa` is not `size`-aligned.
+    /// * [`MemError::AlreadyReserved`] if any part of the region is already
+    ///   covered by a reservation.
+    pub fn reserve(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        chiplet: ChipletId,
+    ) -> Result<(), MemError> {
+        if !va.is_aligned(size.bytes()) {
+            return Err(MemError::Misaligned {
+                addr: va.raw(),
+                align: size.bytes(),
+            });
+        }
+        if !pa.is_aligned(size.bytes()) {
+            return Err(MemError::Misaligned {
+                addr: pa.raw(),
+                align: size.bytes(),
+            });
+        }
+        let start = va.raw() / BASE_PAGE_BYTES;
+        let pages = size.bytes() / BASE_PAGE_BYTES;
+        if (start..start + pages).any(|p| self.cover.contains_key(&p)) {
+            return Err(MemError::AlreadyReserved { va });
+        }
+        for p in start..start + pages {
+            self.cover.insert(p, start);
+        }
+        self.regions.insert(
+            start,
+            Reservation {
+                va,
+                pa,
+                size,
+                chiplet,
+                populated: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// The reservation covering `va`, if any.
+    pub fn covering(&self, va: VirtAddr) -> Option<&Reservation> {
+        let page = va.raw() / BASE_PAGE_BYTES;
+        self.cover.get(&page).map(|s| &self.regions[s])
+    }
+
+    /// Marks the 64KB subpage containing `va` populated. Returns the
+    /// physical address of the subpage and whether the region is now full
+    /// (eligible for promotion).
+    ///
+    /// Populating an already-populated subpage is a no-op and returns the
+    /// same physical address.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoReservation`] if no reservation covers `va`.
+    pub fn populate(&mut self, va: VirtAddr) -> Result<(PhysAddr, bool), MemError> {
+        let page = va.raw() / BASE_PAGE_BYTES;
+        let start = *self
+            .cover
+            .get(&page)
+            .ok_or(MemError::NoReservation { va })?;
+        let r = self.regions.get_mut(&start).expect("cover points to region");
+        let sub = (page - start) as u32;
+        r.populated |= 1 << sub;
+        let pa = r.pa + sub as u64 * BASE_PAGE_BYTES;
+        let full = r.is_full();
+        Ok((pa, full))
+    }
+
+    /// Removes and returns the reservation whose region starts at `va`
+    /// (used on promotion, or on OLP release when a different chiplet
+    /// touches the block).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoReservation`] if no reservation starts at `va`.
+    pub fn release(&mut self, va: VirtAddr) -> Result<Reservation, MemError> {
+        let start = va.raw() / BASE_PAGE_BYTES;
+        let r = self
+            .regions
+            .remove(&start)
+            .ok_or(MemError::NoReservation { va })?;
+        let pages = r.size.bytes() / BASE_PAGE_BYTES;
+        for p in start..start + pages {
+            self.cover.remove(&p);
+        }
+        Ok(r)
+    }
+
+    /// Iterates over outstanding reservations in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Reservation> {
+        self.regions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ChipletId = ChipletId::new(0);
+
+    fn table_with_256k() -> (ReservationTable, VirtAddr, PhysAddr) {
+        let mut t = ReservationTable::new();
+        let va = VirtAddr::new(0x10_0000);
+        let pa = PhysAddr::new(0x200_0000);
+        t.reserve(va, pa, PageSize::Size256K, C0).unwrap();
+        (t, va, pa)
+    }
+
+    #[test]
+    fn populate_preserves_offset_and_detects_full() {
+        let (mut t, va, pa) = table_with_256k();
+        let mut full = false;
+        for i in 0..4u64 {
+            let (p, f) = t.populate(va + i * 65536 + 7).unwrap();
+            assert_eq!(p, pa + i * 65536);
+            full = f;
+        }
+        assert!(full);
+        assert!(t.covering(va).unwrap().is_full());
+    }
+
+    #[test]
+    fn repopulating_is_idempotent() {
+        let (mut t, va, _) = table_with_256k();
+        let (p1, _) = t.populate(va).unwrap();
+        let (p2, _) = t.populate(va + 5).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(t.covering(va).unwrap().populated_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_reservations_are_rejected() {
+        let (mut t, va, _) = table_with_256k();
+        // Same region.
+        assert!(matches!(
+            t.reserve(va, PhysAddr::new(0x400_0000), PageSize::Size256K, C0),
+            Err(MemError::AlreadyReserved { .. })
+        ));
+        // A 2MB region covering it (2MB-aligned va 0x0 covers 0x10_0000).
+        assert!(matches!(
+            t.reserve(
+                VirtAddr::new(0),
+                PhysAddr::new(0x400_0000),
+                PageSize::Size2M,
+                C0
+            ),
+            Err(MemError::AlreadyReserved { .. })
+        ));
+        // An adjacent region is fine.
+        t.reserve(
+            va + PageSize::Size256K.bytes(),
+            PhysAddr::new(0x400_0000),
+            PageSize::Size256K,
+            C0,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn misaligned_reservation_is_rejected() {
+        let mut t = ReservationTable::new();
+        assert!(matches!(
+            t.reserve(
+                VirtAddr::new(0x1_0000),
+                PhysAddr::new(0),
+                PageSize::Size256K,
+                C0
+            ),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            t.reserve(
+                VirtAddr::new(0),
+                PhysAddr::new(0x1_0000),
+                PageSize::Size256K,
+                C0
+            ),
+            Err(MemError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn release_returns_state_and_frees_cover() {
+        let (mut t, va, pa) = table_with_256k();
+        t.populate(va + 65536).unwrap();
+        let r = t.release(va).unwrap();
+        assert_eq!(r.pa, pa);
+        assert_eq!(r.populated_count(), 1);
+        assert_eq!(r.populated_mask(), vec![false, true, false, false]);
+        assert!(t.is_empty());
+        assert!(t.covering(va).is_none());
+        // Region can be reserved again.
+        t.reserve(va, pa, PageSize::Size256K, C0).unwrap();
+    }
+
+    #[test]
+    fn populate_without_reservation_errors() {
+        let mut t = ReservationTable::new();
+        assert!(matches!(
+            t.populate(VirtAddr::new(0x123)),
+            Err(MemError::NoReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn pa_of_maps_offsets() {
+        let (t, va, pa) = table_with_256k();
+        let r = *t.covering(va).unwrap();
+        assert_eq!(r.pa_of(va + 0x2_1234), pa + 0x2_1234);
+        assert_eq!(r.subpages(), 4);
+    }
+}

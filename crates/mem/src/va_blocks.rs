@@ -1,0 +1,169 @@
+//! Per-VA-block page-size assignment (paper §4.1).
+//!
+//! The virtual address space is partitioned into 2MB **VA blocks**; the
+//! memory manager assigns one page size per block, so multiple page sizes
+//! can coexist in an address space while keeping size tracking trivial.
+
+use std::collections::HashMap;
+
+use mcm_types::{AllocId, PageSize, VirtAddr, VA_BLOCK_BYTES};
+
+use crate::MemError;
+
+/// Page-size assignment of one VA block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VaBlockInfo {
+    /// The page size all mappings in this block must use.
+    pub size: PageSize,
+    /// The data structure this block belongs to.
+    pub alloc: AllocId,
+}
+
+/// Map from VA block (2MB-aligned virtual region) to its assigned page size.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_mem::VaBlockMap;
+/// use mcm_types::{AllocId, PageSize, VirtAddr};
+///
+/// let mut m = VaBlockMap::new();
+/// let va = VirtAddr::new(6 * 2 * 1024 * 1024);
+/// m.assign(va, PageSize::Size256K, AllocId::new(1))?;
+/// assert_eq!(m.size_of(va + 12345), Some(PageSize::Size256K));
+/// # Ok::<(), mcm_mem::MemError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VaBlockMap {
+    blocks: HashMap<u64, VaBlockInfo>,
+}
+
+impl VaBlockMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VA blocks with an assignment.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if no block has an assignment.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Assigns `size` to the VA block containing `va`.
+    ///
+    /// Re-assigning the same size is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::SizeConflict`] if the block already has a different size.
+    pub fn assign(&mut self, va: VirtAddr, size: PageSize, alloc: AllocId) -> Result<(), MemError> {
+        let block = va.raw() / VA_BLOCK_BYTES;
+        match self.blocks.get(&block) {
+            Some(info) if info.size != size => Err(MemError::SizeConflict {
+                va: VirtAddr::new(block * VA_BLOCK_BYTES),
+                assigned: info.size,
+                requested: size,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.blocks.insert(block, VaBlockInfo { size, alloc });
+                Ok(())
+            }
+        }
+    }
+
+    /// Forcibly re-assigns the block containing `va` (used by migrating
+    /// policies that split/merge pages; CLAP itself never re-assigns).
+    pub fn reassign(&mut self, va: VirtAddr, size: PageSize, alloc: AllocId) {
+        let block = va.raw() / VA_BLOCK_BYTES;
+        self.blocks.insert(block, VaBlockInfo { size, alloc });
+    }
+
+    /// The assignment of the block containing `va`, if any.
+    pub fn get(&self, va: VirtAddr) -> Option<VaBlockInfo> {
+        self.blocks.get(&(va.raw() / VA_BLOCK_BYTES)).copied()
+    }
+
+    /// The page size assigned to the block containing `va`, if any.
+    pub fn size_of(&self, va: VirtAddr) -> Option<PageSize> {
+        self.get(va).map(|i| i.size)
+    }
+
+    /// Base VA of the `size`-aligned *region* containing `va` within its
+    /// block (e.g. the 256KB-aligned sub-region used for one reservation).
+    pub fn region_base(va: VirtAddr, size: PageSize) -> VirtAddr {
+        va.align_down(size.bytes())
+    }
+
+    /// Removes assignments for every block of `[base, base+bytes)` (used on
+    /// data-structure free).
+    pub fn clear_range(&mut self, base: VirtAddr, bytes: u64) {
+        let first = base.raw() / VA_BLOCK_BYTES;
+        let last = (base.raw() + bytes.saturating_sub(1)) / VA_BLOCK_BYTES;
+        for b in first..=last {
+            self.blocks.remove(&b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AllocId = AllocId::new(0);
+
+    #[test]
+    fn assignment_covers_whole_block() {
+        let mut m = VaBlockMap::new();
+        let base = VirtAddr::new(4 * VA_BLOCK_BYTES);
+        m.assign(base + 123, PageSize::Size64K, A).unwrap();
+        assert_eq!(m.size_of(base), Some(PageSize::Size64K));
+        assert_eq!(m.size_of(base + VA_BLOCK_BYTES - 1), Some(PageSize::Size64K));
+        assert_eq!(m.size_of(base + VA_BLOCK_BYTES), None);
+    }
+
+    #[test]
+    fn conflicting_assignment_is_rejected() {
+        let mut m = VaBlockMap::new();
+        let va = VirtAddr::new(0);
+        m.assign(va, PageSize::Size64K, A).unwrap();
+        m.assign(va + 999, PageSize::Size64K, A).unwrap(); // same size: ok
+        let err = m.assign(va, PageSize::Size2M, A).unwrap_err();
+        assert!(matches!(err, MemError::SizeConflict { .. }));
+        // reassign overrides.
+        m.reassign(va, PageSize::Size2M, A);
+        assert_eq!(m.size_of(va), Some(PageSize::Size2M));
+    }
+
+    #[test]
+    fn region_base_aligns_within_block() {
+        let va = VirtAddr::new(VA_BLOCK_BYTES + 300 * 1024);
+        assert_eq!(
+            VaBlockMap::region_base(va, PageSize::Size256K).raw(),
+            VA_BLOCK_BYTES + 256 * 1024
+        );
+    }
+
+    #[test]
+    fn clear_range_removes_all_touched_blocks() {
+        let mut m = VaBlockMap::new();
+        for i in 0..4u64 {
+            m.assign(VirtAddr::new(i * VA_BLOCK_BYTES), PageSize::Size64K, A)
+                .unwrap();
+        }
+        m.clear_range(VirtAddr::new(VA_BLOCK_BYTES / 2), 2 * VA_BLOCK_BYTES);
+        assert_eq!(m.size_of(VirtAddr::new(0)), None);
+        assert_eq!(m.size_of(VirtAddr::new(VA_BLOCK_BYTES)), None);
+        assert_eq!(m.size_of(VirtAddr::new(2 * VA_BLOCK_BYTES)), None);
+        assert_eq!(
+            m.size_of(VirtAddr::new(3 * VA_BLOCK_BYTES)),
+            Some(PageSize::Size64K)
+        );
+        assert_eq!(m.len(), 1);
+    }
+}

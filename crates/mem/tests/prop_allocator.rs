@@ -1,0 +1,121 @@
+//! Property-based tests for the block-based frame allocator and the
+//! reservation table: conservation, no double-handouts, chiplet ownership.
+
+use proptest::prelude::*;
+
+use mcm_mem::{FrameAllocator, MemError, ReservationTable};
+use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, VA_BLOCK_BYTES};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc { chiplet: u8, size_idx: usize, alloc: u16 },
+    FreeNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0usize..PageSize::CLAP_SELECTABLE.len(), 0u16..3).prop_map(
+            |(chiplet, size_idx, alloc)| Op::Alloc {
+                chiplet,
+                size_idx,
+                alloc
+            }
+        ),
+        (0usize..64).prop_map(Op::FreeNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free sequences never hand out overlapping frames, every
+    /// frame lands on its requested chiplet, and freeing everything returns
+    /// the allocator to a pristine state.
+    #[test]
+    fn allocator_invariants(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let layout = PhysLayout::new(4);
+        let mut a = FrameAllocator::new(layout, 8);
+        // Live frames: (pa, size, alloc)
+        let mut live: Vec<(PhysAddr, PageSize, AllocId)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { chiplet, size_idx, alloc } => {
+                    let c = ChipletId::new(chiplet);
+                    let s = PageSize::CLAP_SELECTABLE[size_idx];
+                    let id = AllocId::new(alloc);
+                    match a.alloc_frame(c, s, id) {
+                        Ok(f) => {
+                            prop_assert_eq!(layout.chiplet_of(f), c);
+                            prop_assert!(f.is_aligned(s.bytes()));
+                            // No overlap with any live frame.
+                            for &(g, gs, _) in &live {
+                                let disjoint = f.raw() + s.bytes() <= g.raw()
+                                    || g.raw() + gs.bytes() <= f.raw();
+                                prop_assert!(disjoint, "frames overlap: {f} {g}");
+                            }
+                            live.push((f, s, id));
+                        }
+                        Err(MemError::ChipletExhausted { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (f, s, id) = live.swap_remove(n % live.len());
+                        a.free_frame(f, s, id).expect("freeing a live frame");
+                        // Double free must be rejected.
+                        prop_assert!(a.free_frame(f, s, id).is_err());
+                    }
+                }
+            }
+        }
+
+        // Drain everything: allocator must return to pristine state.
+        for (f, s, id) in live.drain(..) {
+            a.free_frame(f, s, id).expect("draining");
+        }
+        prop_assert_eq!(a.blocks_consumed(), 0);
+        for c in ChipletId::all(4) {
+            prop_assert_eq!(a.free_blocks(c), 8);
+            prop_assert_eq!(a.allocated_bytes(c), 0);
+        }
+        prop_assert_eq!(a.stats().allocs, a.stats().frees);
+    }
+
+    /// Reservations: populate always returns a PA at the same offset as the
+    /// VA, fullness is reached exactly when all subpages are touched, and
+    /// released regions can be re-reserved.
+    #[test]
+    fn reservation_invariants(
+        region in 0u64..32,
+        size_idx in 0usize..PageSize::CLAP_SELECTABLE.len(),
+        touches in proptest::collection::vec(0u64..32, 1..64),
+    ) {
+        let size = PageSize::CLAP_SELECTABLE[size_idx];
+        let mut t = ReservationTable::new();
+        let va = VirtAddr::new(region * VA_BLOCK_BYTES).align_down(size.bytes());
+        let pa = PhysAddr::new(64 * VA_BLOCK_BYTES);
+        t.reserve(va, pa, size, ChipletId::new(1)).unwrap();
+
+        let subpages = (size.bytes() / (64 * 1024)) as u64;
+        let mut seen = std::collections::HashSet::new();
+        for touch in touches {
+            let sub = touch % subpages;
+            let addr = va + sub * 64 * 1024 + (touch % 1024);
+            let (p, full) = t.populate(addr).unwrap();
+            prop_assert_eq!(p.distance_from(pa), sub * 64 * 1024);
+            seen.insert(sub);
+            prop_assert_eq!(full, seen.len() as u64 == subpages);
+            prop_assert_eq!(
+                t.covering(addr).unwrap().populated_count() as usize,
+                seen.len()
+            );
+        }
+
+        let r = t.release(va).unwrap();
+        prop_assert_eq!(r.populated_count() as usize, seen.len());
+        prop_assert!(t.is_empty());
+        t.reserve(va, pa, size, ChipletId::new(2)).unwrap();
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline paging policies and remote-caching schemes for MCM GPUs.
+//!
+//! Implements every non-CLAP configuration of the paper's evaluation (§5):
+//!
+//! | Paper config | Here |
+//! |---|---|
+//! | 1/2. Static paging (S-64KB, S-2MB) | [`s64k`], [`s2m`] (+ [`s4k`], hypothetical sizes via [`static_paging`]) |
+//! | 3/4. Ideal C-NUMA (+inter) | [`CNuma`] |
+//! | 5. GRIT | [`Grit`] |
+//! | 6. MGvm | [`mgvm`] + `PtePlacement::RequesterLocal` |
+//! | 7. Barre-Chord | [`fbarre`] + `TranslationConfig::barre_pattern` |
+//! | 9. Ideal | [`ideal`] + `TranslationConfig::ideal_2m_reach` |
+//! | SA-64KB / SA-2MB (§5.2) | [`sa_64k`], [`sa_2m`] |
+//! | NUBA / SAC remote caching | [`Nuba`], [`Sac`] |
+//!
+//! Config 8 (CLAP itself) lives in the `clap-core` crate.
+
+#![deny(missing_docs)]
+
+mod cnuma;
+mod grit;
+mod remote_caching;
+mod static_paging;
+
+pub use cnuma::CNuma;
+pub use grit::Grit;
+pub use remote_caching::{Nuba, Sac};
+pub use static_paging::{
+    fbarre, ideal, mgvm, s2m, s4k, s64k, sa_2m, sa_64k, static_paging, Placement, StaticPaging,
+};

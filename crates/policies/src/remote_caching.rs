@@ -1,0 +1,171 @@
+//! Remote-data caching baselines: NUBA \[111\] and SAC \[109\] (paper §1
+//! Fig. 2 and §5.2 Fig. 21).
+//!
+//! Both schemes intercept local-L2 misses to remote-mapped data:
+//!
+//! * **NUBA** carves a large cache for remote data out of each chiplet's
+//!   local DRAM — hits are served at local-DRAM cost.
+//! * **SAC** (sharing-aware caching) dedicates part of each chiplet's L2
+//!   to remote lines — hits are served at SRAM cost but capacity is small.
+
+use mcm_sim::{RemoteCacheModel, RemoteServe, SetAssocCache, SimConfig};
+use mcm_types::{ChipletId, PhysAddr};
+
+/// NUBA-style DRAM-side remote cache (one partition per chiplet).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_policies::Nuba;
+/// use mcm_sim::{RemoteCacheModel, SimConfig};
+/// use mcm_types::{ChipletId, PhysAddr};
+///
+/// let mut n = Nuba::for_config(&SimConfig::baseline());
+/// let c = ChipletId::new(0);
+/// assert!(n.access(c, PhysAddr::new(0x20_0000)).is_none()); // cold miss
+/// assert!(n.access(c, PhysAddr::new(0x20_0000)).is_some()); // now cached
+/// ```
+#[derive(Debug)]
+pub struct Nuba {
+    caches: Vec<SetAssocCache>,
+    line_bytes: u64,
+}
+
+impl Nuba {
+    /// Bytes of local DRAM carved per chiplet before resource scaling.
+    /// NUBA dedicates DRAM capacity to remote data, so the carve is sized
+    /// like a memory-side cache (hundreds of MB), not an SRAM.
+    pub const CAPACITY_BYTES: usize = 512 * 1024 * 1024;
+
+    /// Builds the NUBA model sized for `cfg` (capacity shrinks with
+    /// `resource_scale` like every other capacity in the machine).
+    pub fn for_config(cfg: &SimConfig) -> Self {
+        let capacity = (Self::CAPACITY_BYTES / cfg.resource_scale as usize).max(1024 * 1024);
+        Nuba {
+            caches: (0..cfg.num_chiplets)
+                .map(|_| SetAssocCache::with_geometry(capacity, cfg.line_bytes as usize, 16))
+                .collect(),
+            line_bytes: cfg.line_bytes,
+        }
+    }
+}
+
+impl RemoteCacheModel for Nuba {
+    fn name(&self) -> &str {
+        "NUBA"
+    }
+
+    fn access(&mut self, requester: ChipletId, line_pa: PhysAddr) -> Option<RemoteServe> {
+        let line = line_pa.raw() / self.line_bytes;
+        self.caches[requester.index()]
+            .access(line)
+            .then_some(RemoteServe::LocalDram)
+    }
+
+    fn invalidate(&mut self, line_pa: PhysAddr) {
+        let line = line_pa.raw() / self.line_bytes;
+        for c in &mut self.caches {
+            c.invalidate(line);
+        }
+    }
+}
+
+/// SAC-style sharing-aware L2 carve (one partition per chiplet).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_policies::Sac;
+/// use mcm_sim::{RemoteCacheModel, RemoteServe, SimConfig};
+/// use mcm_types::{ChipletId, PhysAddr};
+///
+/// let mut s = Sac::for_config(&SimConfig::baseline());
+/// let c = ChipletId::new(1);
+/// assert!(s.access(c, PhysAddr::new(0)).is_none());
+/// assert_eq!(s.access(c, PhysAddr::new(0)), Some(RemoteServe::Sram));
+/// ```
+#[derive(Debug)]
+pub struct Sac {
+    caches: Vec<SetAssocCache>,
+    line_bytes: u64,
+}
+
+impl Sac {
+    /// Fraction of the (scaled) L2 dedicated to remote lines.
+    pub const L2_FRACTION: usize = 4;
+
+    /// Builds the SAC model sized for `cfg`.
+    pub fn for_config(cfg: &SimConfig) -> Self {
+        let capacity = (cfg.effective_l2d_bytes() / Self::L2_FRACTION).max(16 * 1024);
+        Sac {
+            caches: (0..cfg.num_chiplets)
+                .map(|_| SetAssocCache::with_geometry(capacity, cfg.line_bytes as usize, 8))
+                .collect(),
+            line_bytes: cfg.line_bytes,
+        }
+    }
+}
+
+impl RemoteCacheModel for Sac {
+    fn name(&self) -> &str {
+        "SAC"
+    }
+
+    fn access(&mut self, requester: ChipletId, line_pa: PhysAddr) -> Option<RemoteServe> {
+        let line = line_pa.raw() / self.line_bytes;
+        self.caches[requester.index()]
+            .access(line)
+            .then_some(RemoteServe::Sram)
+    }
+
+    fn invalidate(&mut self, line_pa: PhysAddr) {
+        let line = line_pa.raw() / self.line_bytes;
+        for c in &mut self.caches {
+            c.invalidate(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_are_per_requester() {
+        let mut n = Nuba::for_config(&SimConfig::baseline());
+        let pa = PhysAddr::new(0x123_0000);
+        assert!(n.access(ChipletId::new(0), pa).is_none());
+        // A different chiplet has its own partition: still cold.
+        assert!(n.access(ChipletId::new(1), pa).is_none());
+        assert_eq!(n.access(ChipletId::new(0), pa), Some(RemoteServe::LocalDram));
+    }
+
+    #[test]
+    fn invalidate_clears_all_partitions() {
+        let mut s = Sac::for_config(&SimConfig::baseline());
+        let pa = PhysAddr::new(0x40_0080);
+        s.access(ChipletId::new(0), pa);
+        s.access(ChipletId::new(2), pa);
+        s.invalidate(pa);
+        assert!(s.access(ChipletId::new(0), pa).is_none());
+        assert!(s.access(ChipletId::new(2), pa).is_none());
+    }
+
+    #[test]
+    fn line_granularity_aliases_within_line() {
+        let mut n = Nuba::for_config(&SimConfig::baseline());
+        let c = ChipletId::new(3);
+        assert!(n.access(c, PhysAddr::new(0x1000)).is_none());
+        // Same 128B line, different byte.
+        assert!(n.access(c, PhysAddr::new(0x107f)).is_some());
+        assert!(n.access(c, PhysAddr::new(0x1080)).is_none());
+    }
+
+    #[test]
+    fn capacities_scale_with_config() {
+        // Just a smoke test that scaled configs construct.
+        let cfg = SimConfig::baseline().scaled(8);
+        let _ = Nuba::for_config(&cfg);
+        let _ = Sac::for_config(&cfg);
+    }
+}

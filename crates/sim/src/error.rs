@@ -1,0 +1,78 @@
+//! Error type for simulator operations.
+
+use core::fmt;
+use mcm_types::{PageSize, VirtAddr};
+
+/// Errors returned by the page table and the simulation engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A mapping overlaps an existing mapping.
+    MapConflict {
+        /// The virtual address of the attempted mapping.
+        va: VirtAddr,
+        /// The size of the attempted mapping.
+        size: PageSize,
+    },
+    /// No mapping exists at this address (for unmap/promote).
+    NotMapped {
+        /// The offending virtual address.
+        va: VirtAddr,
+    },
+    /// An address violates the alignment its page size requires.
+    Misaligned {
+        /// The offending address value.
+        addr: u64,
+        /// The required alignment in bytes.
+        align: u64,
+    },
+    /// Promotion to 2MB failed: the VA block is not fully populated with
+    /// physically contiguous, 2MB-aligned 64KB pages of one allocation.
+    BadPromotion {
+        /// Base VA of the block.
+        va: VirtAddr,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A paging policy returned directives that do not resolve the fault it
+    /// was asked to handle, or directives that are internally invalid.
+    PolicyViolation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MapConflict { va, size } => {
+                write!(f, "mapping {size} at {va} overlaps an existing mapping")
+            }
+            SimError::NotMapped { va } => write!(f, "no mapping at {va}"),
+            SimError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} is not aligned to {align:#x}")
+            }
+            SimError::BadPromotion { va, reason } => {
+                write!(f, "cannot promote block at {va}: {reason}")
+            }
+            SimError::PolicyViolation { reason } => write!(f, "policy violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::NotMapped {
+            va: VirtAddr::new(0x42),
+        };
+        assert!(e.to_string().contains("0x42"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

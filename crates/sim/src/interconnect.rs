@@ -1,0 +1,170 @@
+//! On-package ring interconnect (paper Table 1: 768GB/s per GPU, ring
+//! topology, 32ns hop latency).
+
+use mcm_types::ChipletId;
+
+use crate::resources::BucketedResource;
+
+/// A bidirectional ring of chiplets. Each direction of each adjacent-pair
+/// link is a [`BucketedResource`]; a transfer takes the shortest path, occupying each
+/// link on the way for `service` cycles and adding `hop_latency` per hop.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    n: usize,
+    /// `links[dir][i]`: link from chiplet `i` to its neighbour
+    /// (dir 0: towards `i+1`, dir 1: towards `i-1`).
+    links: Vec<Vec<BucketedResource>>,
+    hop_latency: u64,
+    service: u64,
+    transfers: u64,
+    hop_count: u64,
+    queue_cycles: u64,
+}
+
+impl Ring {
+    /// Creates a ring over `n` chiplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, hop_latency: u64, service: u64) -> Self {
+        assert!(n >= 2, "a ring needs at least two chiplets");
+        Ring {
+            n,
+            links: vec![vec![BucketedResource::new(1); n]; 2],
+            hop_latency,
+            service,
+            transfers: 0,
+            hop_count: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Total cycles transfers spent queueing for busy links.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    /// Routes a control message (read request) from `src` to `dst`:
+    /// latency only — 16B flits are negligible against 128B link slots.
+    pub fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        now + self.hop_latency * src.ring_hops(dst, self.n) as u64
+    }
+
+    /// Transfers one line from `src` to `dst` starting at `now`; returns
+    /// arrival time. Same-chiplet transfers are free.
+    pub fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        let a = src.index();
+        let b = dst.index();
+        let fwd = (b + self.n - a) % self.n;
+        let (dir, hops) = if fwd <= self.n - fwd {
+            (0usize, fwd)
+        } else {
+            (1usize, self.n - fwd)
+        };
+        self.transfers += 1;
+        self.hop_count += hops as u64;
+        let mut t = now;
+        let mut pos = a;
+        for _ in 0..hops {
+            let start = self.links[dir][pos].acquire(t, self.service);
+            self.queue_cycles += start - t;
+            t = start + self.hop_latency;
+            pos = if dir == 0 {
+                (pos + 1) % self.n
+            } else {
+                (pos + self.n - 1) % self.n
+            };
+        }
+        t
+    }
+
+    /// Round trip: request to `dst` and response back. Returns response
+    /// arrival time given the remote service completes at `remote_done`.
+    pub fn round_trip(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> (u64, RingLeg<'_>) {
+        let arrive = self.transfer(src, dst, now);
+        (arrive, RingLeg { ring: self, dst, src })
+    }
+
+    /// Total transfers routed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Average hops per transfer.
+    pub fn avg_hops(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.hop_count as f64 / self.transfers as f64
+        }
+    }
+}
+
+/// The return leg of a [`Ring::round_trip`], completed with
+/// [`RingLeg::finish`] once the remote access is done.
+#[derive(Debug)]
+pub struct RingLeg<'a> {
+    ring: &'a mut Ring,
+    dst: ChipletId,
+    src: ChipletId,
+}
+
+impl RingLeg<'_> {
+    /// Routes the response from the remote chiplet back to the requester;
+    /// `remote_done` is when the remote access finished.
+    pub fn finish(self, remote_done: u64) -> u64 {
+        self.ring.transfer(self.dst, self.src, remote_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_transfers_are_free() {
+        let mut r = Ring::new(4, 36, 1);
+        assert_eq!(r.transfer(ChipletId::new(2), ChipletId::new(2), 10), 10);
+        assert_eq!(r.transfers(), 0);
+    }
+
+    #[test]
+    fn hop_latency_accumulates_along_path() {
+        let mut r = Ring::new(4, 36, 1);
+        // 0 -> 1: one hop.
+        assert_eq!(r.transfer(ChipletId::new(0), ChipletId::new(1), 0), 36);
+        // 0 -> 2: two hops.
+        assert_eq!(r.transfer(ChipletId::new(0), ChipletId::new(2), 100), 172);
+        // 0 -> 3: one hop the short way (dir 1).
+        assert_eq!(r.transfer(ChipletId::new(0), ChipletId::new(3), 200), 236);
+        assert!((r.avg_hops() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_contention_queues() {
+        let mut r = Ring::new(4, 36, 10);
+        let t1 = r.transfer(ChipletId::new(0), ChipletId::new(1), 0);
+        let t2 = r.transfer(ChipletId::new(0), ChipletId::new(1), 0);
+        assert_eq!(t1, 36);
+        assert_eq!(t2, 46); // queued 10 cycles behind the first
+                            // Opposite direction is independent.
+        let t3 = r.transfer(ChipletId::new(1), ChipletId::new(0), 0);
+        assert_eq!(t3, 36);
+    }
+
+    #[test]
+    fn round_trip_charges_both_ways() {
+        let mut r = Ring::new(4, 36, 1);
+        let (arrive, leg) = r.round_trip(ChipletId::new(0), ChipletId::new(2), 0);
+        assert_eq!(arrive, 72);
+        let done = leg.finish(arrive + 100);
+        assert_eq!(done, 244); // 72 + 100 + 72
+    }
+}

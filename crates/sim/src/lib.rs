@@ -1,0 +1,60 @@
+//! A trace-driven, cycle-approximate multi-chip-module (MCM) GPU simulator.
+//!
+//! This crate is the substrate of the CLAP reproduction (paper §2, §3.2,
+//! Table 1): it models a 4-chiplet (configurable) MCM GPU with
+//!
+//! * per-SM L1 TLBs and chiplet-private L2 TLBs, one per page-size class,
+//!   with optional CLAP-style entry coalescing (§4.6), Barre-Chord pattern
+//!   coalescing, and the `Ideal` magic-2MB-reach configuration;
+//! * per-chiplet GMMUs with multi-threaded page walkers and a page-walk
+//!   cache, walking a 4-level page table whose PTE pages are distributed
+//!   across chiplets or pinned requester-local;
+//! * per-SM L1 and per-chiplet L2 data caches;
+//! * HBM channels with busy-until queueing and a bidirectional ring
+//!   interconnect with per-link occupancy;
+//! * demand paging with 64KB granularity driven by a pluggable
+//!   [`PagingPolicy`] — the interface CLAP and all baselines implement.
+//!
+//! # Examples
+//!
+//! Policies and workloads live in the sibling crates (`mcm-policies`,
+//! `clap-core`, `mcm-workloads`); `examples/quickstart.rs` at the
+//! repository root shows an end-to-end run. The machine configuration is
+//! self-contained:
+//!
+//! ```
+//! use mcm_sim::SimConfig;
+//! let cfg = SimConfig::baseline();
+//! assert_eq!(cfg.total_sms(), 256);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cache;
+mod config;
+mod dram;
+mod engine;
+mod error;
+mod interconnect;
+mod page_table;
+mod policy;
+mod resources;
+mod stats;
+mod tlb;
+mod trace;
+
+pub use cache::SetAssocCache;
+pub use config::{PtePlacement, SimConfig, TlbEntries, TranslationConfig};
+pub use dram::Dram;
+pub use engine::run;
+pub use error::SimError;
+pub use interconnect::{Ring, RingLeg};
+pub use page_table::{PageTable, Pte, PTES_PER_LINE};
+pub use policy::{
+    AllocInfo, Directive, FaultCtx, PagingPolicy, RemoteCacheModel, RemoteServe, StaticHint,
+    WalkEvent,
+};
+pub use resources::{BucketedResource, Server, BUCKET_CYCLES};
+pub use stats::{AllocAccessStats, RunStats};
+pub use tlb::Tlb;
+pub use trace::{tb_chiplet, KernelDesc, Workload};

@@ -1,0 +1,667 @@
+//! The shared GPU page table (paper §2.4) with multi-size leaves and the
+//! PTE inspection helpers used by TLB coalescing (§4.6).
+
+use std::collections::HashMap;
+
+use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
+
+#[cfg(test)]
+use mcm_types::VA_BLOCK_BYTES;
+
+use crate::config::PtePlacement;
+use crate::SimError;
+
+/// A leaf page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Base physical address of the frame.
+    pub pa: PhysAddr,
+    /// Leaf page size.
+    pub size: PageSize,
+    /// Owning data structure (stored in unused PTE bits, §4.3).
+    pub alloc: AllocId,
+}
+
+/// PTEs per 128B cache line (sixteen 8-byte PTEs, §4.6).
+pub const PTES_PER_LINE: u64 = 16;
+
+/// The MCM GPU's single shared page table.
+///
+/// Leaves may be 4KB, 64KB, or 2MB (native sizes), or any intermediate size
+/// when the run models hypothetical native support (§3.3). Translation
+/// probes size classes largest-first, mirroring parallel multi-size TLB
+/// probing.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_sim::{PageTable, Pte};
+/// use mcm_types::{AllocId, PageSize, PhysAddr, PhysLayout, VirtAddr};
+///
+/// let mut pt = PageTable::new(PhysLayout::new(4));
+/// let va = VirtAddr::new(0x10_0000);
+/// pt.map(va, PhysAddr::new(0x20_0000), PageSize::Size64K, AllocId::new(0))?;
+/// let pte = pt.translate(va + 100).expect("mapped");
+/// assert_eq!(pte.pa.raw(), 0x20_0000);
+/// # Ok::<(), mcm_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    layout: PhysLayout,
+    /// One map per size class, keyed by the class's VPN.
+    maps: HashMap<PageSize, HashMap<u64, Pte>>,
+    /// Size classes present, largest first (probe order).
+    probe_order: Vec<PageSize>,
+    mapped_bytes: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table over `layout`.
+    pub fn new(layout: PhysLayout) -> Self {
+        PageTable {
+            layout,
+            maps: HashMap::new(),
+            probe_order: Vec::new(),
+            mapped_bytes: 0,
+        }
+    }
+
+    /// The physical layout (for chiplet-of-PA queries).
+    pub fn layout(&self) -> PhysLayout {
+        self.layout
+    }
+
+    /// Total bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    /// Number of leaf entries across all size classes.
+    pub fn len(&self) -> usize {
+        self.maps.values().map(HashMap::len).sum()
+    }
+
+    /// `true` if nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Translates `va` to its leaf PTE, if mapped.
+    pub fn translate(&self, va: VirtAddr) -> Option<Pte> {
+        for &size in &self.probe_order {
+            let vpn = va.raw() >> size.shift();
+            if let Some(pte) = self.maps[&size].get(&vpn) {
+                return Some(*pte);
+            }
+        }
+        None
+    }
+
+    /// Physical address of `va` (leaf PA plus page offset), if mapped.
+    pub fn resolve(&self, va: VirtAddr) -> Option<PhysAddr> {
+        self.translate(va)
+            .map(|pte| pte.pa + va.offset_in(pte.size.bytes()))
+    }
+
+    /// Chiplet holding the data at `va`, if mapped.
+    pub fn chiplet_of(&self, va: VirtAddr) -> Option<ChipletId> {
+        self.resolve(va).map(|pa| self.layout.chiplet_of(pa))
+    }
+
+    /// Installs a leaf mapping.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Misaligned`] if `va` or `pa` is not `size`-aligned.
+    /// * [`SimError::MapConflict`] if the region overlaps any existing
+    ///   mapping (a single page table cannot map a VA twice, §2.3).
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        alloc: AllocId,
+    ) -> Result<(), SimError> {
+        for (addr, name) in [(va.raw(), "va"), (pa.raw(), "pa")] {
+            let _ = name;
+            if addr & (size.bytes() - 1) != 0 {
+                return Err(SimError::Misaligned {
+                    addr,
+                    align: size.bytes(),
+                });
+            }
+        }
+        if self.overlaps(va, size.bytes()) {
+            return Err(SimError::MapConflict { va, size });
+        }
+        let vpn = va.raw() >> size.shift();
+        if !self.maps.contains_key(&size) {
+            self.maps.insert(size, HashMap::new());
+            self.probe_order.push(size);
+            self.probe_order.sort_by(|a, b| b.cmp(a));
+        }
+        self.maps.get_mut(&size).expect("just ensured").insert(
+            vpn,
+            Pte {
+                pa,
+                size,
+                alloc,
+            },
+        );
+        self.mapped_bytes += size.bytes();
+        Ok(())
+    }
+
+    /// Removes the leaf mapping whose page starts at `va` and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotMapped`] if no leaf of any size starts at `va`.
+    pub fn unmap(&mut self, va: VirtAddr) -> Result<Pte, SimError> {
+        for &size in &self.probe_order {
+            if !va.is_aligned(size.bytes()) {
+                continue;
+            }
+            let vpn = va.raw() >> size.shift();
+            if let Some(pte) = self.maps.get_mut(&size).and_then(|m| m.remove(&vpn)) {
+                self.mapped_bytes -= size.bytes();
+                return Ok(pte);
+            }
+        }
+        Err(SimError::NotMapped { va })
+    }
+
+    /// `true` if any part of `[va, va+bytes)` is mapped.
+    pub fn overlaps(&self, va: VirtAddr, bytes: u64) -> bool {
+        for &size in &self.probe_order {
+            let first = va.raw() >> size.shift();
+            let last = (va.raw() + bytes - 1) >> size.shift();
+            let map = &self.maps[&size];
+            if map.is_empty() {
+                continue;
+            }
+            for vpn in first..=last {
+                if map.contains_key(&vpn) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Promotes a fully populated, physically contiguous region of 64KB
+    /// pages into a single leaf of `size` (paper §4.2/§4.6: a 2MB-sized
+    /// group becomes a true 2MB page; the §3.3 hypothetical-native-size
+    /// study promotes intermediate sizes the same way). Returns the new
+    /// PTE.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Misaligned`] if `base` is not `size`-aligned.
+    /// * [`SimError::BadPromotion`] if `size` is 64KB or smaller, or unless
+    ///   all `size/64KB` pages are mapped, belong to one allocation, and
+    ///   form one `size`-aligned contiguous physical frame.
+    pub fn promote(&mut self, base: VirtAddr, size: PageSize) -> Result<Pte, SimError> {
+        if size <= PageSize::Size64K {
+            return Err(SimError::BadPromotion {
+                va: base,
+                reason: "promotion target must exceed 64KB",
+            });
+        }
+        if !base.is_aligned(size.bytes()) {
+            return Err(SimError::Misaligned {
+                addr: base.raw(),
+                align: size.bytes(),
+            });
+        }
+        let map64k = self
+            .maps
+            .get(&PageSize::Size64K)
+            .ok_or(SimError::NotMapped { va: base })?;
+        let pages = size.base_pages();
+        let base_vpn = base.raw() >> 16;
+        let first = map64k.get(&base_vpn).ok_or(SimError::BadPromotion {
+            va: base,
+            reason: "first 64KB page unmapped",
+        })?;
+        let (base_pa, alloc) = (first.pa, first.alloc);
+        if !base_pa.is_aligned(size.bytes()) {
+            return Err(SimError::BadPromotion {
+                va: base,
+                reason: "frame not aligned to the promoted size",
+            });
+        }
+        for i in 1..pages {
+            match map64k.get(&(base_vpn + i)) {
+                Some(p) if p.pa == base_pa + i * BASE_PAGE_BYTES && p.alloc == alloc => {}
+                Some(_) => {
+                    return Err(SimError::BadPromotion {
+                        va: base,
+                        reason: "frames not contiguous",
+                    })
+                }
+                None => {
+                    return Err(SimError::BadPromotion {
+                        va: base,
+                        reason: "region not fully populated",
+                    })
+                }
+            }
+        }
+        let map64k = self.maps.get_mut(&PageSize::Size64K).expect("checked");
+        for i in 0..pages {
+            map64k.remove(&(base_vpn + i));
+        }
+        self.mapped_bytes -= size.bytes();
+        self.map(base, base_pa, size, alloc)?;
+        Ok(Pte {
+            pa: base_pa,
+            size,
+            alloc,
+        })
+    }
+
+    /// Convenience wrapper: [`promote`](Self::promote) to 2MB.
+    ///
+    /// # Errors
+    ///
+    /// See [`promote`](Self::promote).
+    pub fn promote_to_2m(&mut self, block_base: VirtAddr) -> Result<Pte, SimError> {
+        self.promote(block_base, PageSize::Size2M)
+    }
+
+    /// Coalescing inspection (CLAP, §4.6): for the 64KB page containing
+    /// `va`, examines the sixteen PTEs sharing its PTE cache line (a
+    /// 16-page / 1MB aligned group) and returns the valid-bit mask of pages
+    /// that are mapped *at the same virtual-to-physical offset* as the
+    /// anchor page — i.e. pages a single coalesced entry can cover.
+    ///
+    /// Returns `None` if `va`'s own page is not mapped as a 64KB leaf.
+    pub fn coalesce_mask(&self, va: VirtAddr) -> Option<u32> {
+        self.line_mask(va, |anchor_pa, anchor_idx, i, pa| {
+            let expect = anchor_pa.raw() as i128 + (i as i128 - anchor_idx as i128) * BASE_PAGE_BYTES as i128;
+            pa.raw() as i128 == expect
+        })
+    }
+
+    /// Barre-Chord-style pattern inspection \[32\]: like
+    /// [`coalesce_mask`](Self::coalesce_mask) but accepts *any* uniform
+    /// physical stride across the PTE line (covering chiplet-interleaved
+    /// placements, not just contiguity). The stride is inferred from the
+    /// anchor's nearest mapped neighbour in the line.
+    pub fn stride_mask(&self, va: VirtAddr) -> Option<u32> {
+        let map64k = self.maps.get(&PageSize::Size64K)?;
+        let vpn = va.raw() >> 16;
+        let line_base = vpn & !(PTES_PER_LINE - 1);
+        let anchor_idx = (vpn - line_base) as u32;
+        let anchor = map64k.get(&vpn)?;
+        // Find the nearest mapped neighbour to infer the stride.
+        let mut stride: Option<i128> = None;
+        for d in 1..PTES_PER_LINE {
+            for idx in [anchor_idx as i64 - d as i64, anchor_idx as i64 + d as i64] {
+                if (0..PTES_PER_LINE as i64).contains(&idx) {
+                    if let Some(p) = map64k.get(&(line_base + idx as u64)) {
+                        let s = (p.pa.raw() as i128 - anchor.pa.raw() as i128)
+                            / (idx as i128 - anchor_idx as i128);
+                        stride = Some(s);
+                        break;
+                    }
+                }
+            }
+            if stride.is_some() {
+                break;
+            }
+        }
+        let stride = stride.unwrap_or(BASE_PAGE_BYTES as i128);
+        self.line_mask(va, |anchor_pa, a_idx, i, pa| {
+            pa.raw() as i128 == anchor_pa.raw() as i128 + (i as i128 - a_idx as i128) * stride
+        })
+    }
+
+    /// Mask of the 32 64KB pages of `va`'s 2MB VA block that are currently
+    /// mapped as 64KB leaves, regardless of physical contiguity. This is
+    /// what the `Ideal` configuration's magic 2MB-reach entries cover.
+    pub fn block_mask_64k(&self, va: VirtAddr) -> u32 {
+        let Some(map64k) = self.maps.get(&PageSize::Size64K) else {
+            return 0;
+        };
+        let block_base = (va.raw() >> 16) & !31;
+        let mut mask = 0u32;
+        for i in 0..32u64 {
+            if map64k.contains_key(&(block_base + i)) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    fn line_mask(
+        &self,
+        va: VirtAddr,
+        fits: impl Fn(PhysAddr, u32, u32, PhysAddr) -> bool,
+    ) -> Option<u32> {
+        let map64k = self.maps.get(&PageSize::Size64K)?;
+        let vpn = va.raw() >> 16;
+        let line_base = vpn & !(PTES_PER_LINE - 1);
+        let anchor_idx = (vpn - line_base) as u32;
+        let anchor = map64k.get(&vpn)?;
+        let mut mask = 0u32;
+        for i in 0..PTES_PER_LINE as u32 {
+            if let Some(p) = map64k.get(&(line_base + i as u64)) {
+                if p.alloc == anchor.alloc && fits(anchor.pa, anchor_idx, i, p.pa) {
+                    mask |= 1 << i;
+                }
+            }
+        }
+        debug_assert!(mask >> anchor_idx & 1 == 1);
+        Some(mask)
+    }
+
+    /// The chiplet serving the page-walk access at `level` (1 = root) of a
+    /// walk for `va`, under the given PTE-placement policy. The leaf level
+    /// is placed like the other levels when distributed.
+    pub fn walk_node_chiplet(
+        &self,
+        va: VirtAddr,
+        level: u32,
+        leaf_size: PageSize,
+        requester: ChipletId,
+        placement: PtePlacement,
+        total_levels: u32,
+    ) -> ChipletId {
+        match placement {
+            PtePlacement::RequesterLocal => requester,
+            // Upper levels cover wide ranges spanning all chiplets; only
+            // the leaf level can follow its data (engine handles that).
+            PtePlacement::DataLocal | PtePlacement::Distributed => {
+                let key = Self::walk_node_key(va, level, leaf_size, total_levels);
+                let h = splitmix64(key);
+                ChipletId::new((h % self.layout.num_chiplets() as u64) as u8)
+            }
+        }
+    }
+
+    /// Abstract identifier of the page-table node visited at `level`
+    /// (1-based; `total_levels` is the leaf). Used as the page-walk-cache
+    /// key. Each non-leaf level covers 9 more address bits than the next.
+    pub fn walk_node_key(va: VirtAddr, level: u32, leaf_size: PageSize, total_levels: u32) -> u64 {
+        assert!(level >= 1 && level <= total_levels);
+        let shift = leaf_size.shift() + 9 * (total_levels - level);
+        let index = va.raw() >> shift.min(63);
+        // Tag with the level so nodes of different levels never alias.
+        (index << 3) | level as u64
+    }
+
+    /// Iterates over all leaf PTEs as `(base_va, pte)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, Pte)> + '_ {
+        self.maps.iter().flat_map(|(size, m)| {
+            let shift = size.shift();
+            m.iter()
+                .map(move |(vpn, pte)| (VirtAddr::new(vpn << shift), *pte))
+        })
+    }
+}
+
+/// SplitMix64 — a cheap, well-mixed hash for node placement.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AllocId = AllocId::new(1);
+
+    fn pt() -> PageTable {
+        PageTable::new(PhysLayout::new(4))
+    }
+
+    #[test]
+    fn translate_resolves_offsets() {
+        let mut t = pt();
+        t.map(VirtAddr::new(0x20_0000), PhysAddr::new(0x40_0000), PageSize::Size2M, A)
+            .unwrap();
+        let pa = t.resolve(VirtAddr::new(0x20_1234)).unwrap();
+        assert_eq!(pa.raw(), 0x40_1234);
+        assert_eq!(t.chiplet_of(VirtAddr::new(0x20_1234)).unwrap().index(), 2);
+        assert!(t.translate(VirtAddr::new(0x40_0000)).is_none());
+    }
+
+    #[test]
+    fn mixed_sizes_probe_correctly() {
+        let mut t = pt();
+        t.map(VirtAddr::new(0), PhysAddr::new(0x100_0000), PageSize::Size64K, A)
+            .unwrap();
+        t.map(
+            VirtAddr::new(VA_BLOCK_BYTES),
+            PhysAddr::new(0x200_0000),
+            PageSize::Size2M,
+            A,
+        )
+        .unwrap();
+        assert_eq!(
+            t.translate(VirtAddr::new(100)).unwrap().size,
+            PageSize::Size64K
+        );
+        assert_eq!(
+            t.translate(VirtAddr::new(VA_BLOCK_BYTES + 100)).unwrap().size,
+            PageSize::Size2M
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.mapped_bytes(), 64 * 1024 + VA_BLOCK_BYTES);
+    }
+
+    #[test]
+    fn overlap_detection_across_sizes() {
+        let mut t = pt();
+        t.map(VirtAddr::new(0x1_0000), PhysAddr::new(0), PageSize::Size64K, A)
+            .unwrap();
+        // 2MB over the same block conflicts.
+        assert!(matches!(
+            t.map(VirtAddr::new(0), PhysAddr::new(0x20_0000), PageSize::Size2M, A),
+            Err(SimError::MapConflict { .. })
+        ));
+        // Same page conflicts.
+        assert!(matches!(
+            t.map(VirtAddr::new(0x1_0000), PhysAddr::new(0x10_0000), PageSize::Size64K, A),
+            Err(SimError::MapConflict { .. })
+        ));
+        // Disjoint page is fine.
+        t.map(VirtAddr::new(0x2_0000), PhysAddr::new(0x10_0000), PageSize::Size64K, A)
+            .unwrap();
+    }
+
+    #[test]
+    fn misaligned_map_is_rejected() {
+        let mut t = pt();
+        assert!(matches!(
+            t.map(VirtAddr::new(0x1000), PhysAddr::new(0), PageSize::Size64K, A),
+            Err(SimError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            t.map(VirtAddr::new(0), PhysAddr::new(0x1000), PageSize::Size64K, A),
+            Err(SimError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn unmap_returns_pte_and_frees_space() {
+        let mut t = pt();
+        t.map(VirtAddr::new(0), PhysAddr::new(0x100_0000), PageSize::Size64K, A)
+            .unwrap();
+        let pte = t.unmap(VirtAddr::new(0)).unwrap();
+        assert_eq!(pte.pa.raw(), 0x100_0000);
+        assert!(t.is_empty());
+        assert_eq!(t.mapped_bytes(), 0);
+        assert!(matches!(
+            t.unmap(VirtAddr::new(0)),
+            Err(SimError::NotMapped { .. })
+        ));
+    }
+
+    fn fill_block_contiguous(t: &mut PageTable, va_base: u64, pa_base: u64, n: u64) {
+        for i in 0..n {
+            t.map(
+                VirtAddr::new(va_base + i * BASE_PAGE_BYTES),
+                PhysAddr::new(pa_base + i * BASE_PAGE_BYTES),
+                PageSize::Size64K,
+                A,
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn promotion_requires_full_contiguous_block() {
+        let mut t = pt();
+        fill_block_contiguous(&mut t, 0, 8 * VA_BLOCK_BYTES, 31);
+        assert!(matches!(
+            t.promote_to_2m(VirtAddr::new(0)),
+            Err(SimError::BadPromotion { .. })
+        ));
+        // Last page physically elsewhere -> still bad.
+        t.map(
+            VirtAddr::new(31 * BASE_PAGE_BYTES),
+            PhysAddr::new(12 * VA_BLOCK_BYTES),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
+        assert!(matches!(
+            t.promote_to_2m(VirtAddr::new(0)),
+            Err(SimError::BadPromotion { .. })
+        ));
+        // Fix it.
+        t.unmap(VirtAddr::new(31 * BASE_PAGE_BYTES)).unwrap();
+        t.map(
+            VirtAddr::new(31 * BASE_PAGE_BYTES),
+            PhysAddr::new(8 * VA_BLOCK_BYTES + 31 * BASE_PAGE_BYTES),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
+        let pte = t.promote_to_2m(VirtAddr::new(0)).unwrap();
+        assert_eq!(pte.size, PageSize::Size2M);
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.translate(VirtAddr::new(5 * BASE_PAGE_BYTES)).unwrap().size,
+            PageSize::Size2M
+        );
+        // Offsets still resolve.
+        assert_eq!(
+            t.resolve(VirtAddr::new(5 * BASE_PAGE_BYTES + 7)).unwrap().raw(),
+            8 * VA_BLOCK_BYTES + 5 * BASE_PAGE_BYTES + 7
+        );
+    }
+
+    #[test]
+    fn coalesce_mask_tracks_contiguity() {
+        let mut t = pt();
+        // Pages 0..4 contiguous from 0x800000; page 5 elsewhere; page 6
+        // contiguous-with-anchor again.
+        fill_block_contiguous(&mut t, 0, 8 * VA_BLOCK_BYTES, 5);
+        t.map(
+            VirtAddr::new(5 * BASE_PAGE_BYTES),
+            PhysAddr::new(40 * VA_BLOCK_BYTES),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
+        t.map(
+            VirtAddr::new(6 * BASE_PAGE_BYTES),
+            PhysAddr::new(8 * VA_BLOCK_BYTES + 6 * BASE_PAGE_BYTES),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
+        let mask = t.coalesce_mask(VirtAddr::new(0)).unwrap();
+        assert_eq!(mask, 0b101_1111);
+        // Anchored at the outlier page, only itself coalesces.
+        let mask5 = t.coalesce_mask(VirtAddr::new(5 * BASE_PAGE_BYTES)).unwrap();
+        assert_eq!(mask5, 0b10_0000);
+        // Unmapped anchor -> None.
+        assert!(t.coalesce_mask(VirtAddr::new(9 * BASE_PAGE_BYTES)).is_none());
+    }
+
+    #[test]
+    fn stride_mask_accepts_interleaved_frames() {
+        let mut t = pt();
+        // Frames strided by one VA block (hopping chiplets) — contiguity
+        // coalescing fails, stride coalescing succeeds.
+        for i in 0..4u64 {
+            t.map(
+                VirtAddr::new(i * BASE_PAGE_BYTES),
+                PhysAddr::new(16 * VA_BLOCK_BYTES + i * VA_BLOCK_BYTES),
+                PageSize::Size64K,
+                A,
+            )
+            .unwrap();
+        }
+        let c = t.coalesce_mask(VirtAddr::new(0)).unwrap();
+        assert_eq!(c, 0b0001);
+        let s = t.stride_mask(VirtAddr::new(0)).unwrap();
+        assert_eq!(s, 0b1111);
+    }
+
+    #[test]
+    fn walk_node_keys_are_level_distinct_and_shared_by_neighbours() {
+        let a = VirtAddr::new(0x1234_5678);
+        let b = a + 64 * 1024; // next 64KB page
+        let leaf = PageSize::Size64K;
+        // Leaf nodes differ per page region; root shared.
+        assert_ne!(
+            PageTable::walk_node_key(a, 4, leaf, 4),
+            PageTable::walk_node_key(a, 3, leaf, 4)
+        );
+        assert_eq!(
+            PageTable::walk_node_key(a, 1, leaf, 4),
+            PageTable::walk_node_key(b, 1, leaf, 4)
+        );
+    }
+
+    #[test]
+    fn pte_placement_policies() {
+        let t = pt();
+        let va = VirtAddr::new(0x77_0000);
+        let req = ChipletId::new(3);
+        assert_eq!(
+            t.walk_node_chiplet(va, 2, PageSize::Size64K, req, PtePlacement::RequesterLocal, 4),
+            req
+        );
+        // Distributed placement is a pure function of the node.
+        let c1 = t.walk_node_chiplet(va, 2, PageSize::Size64K, req, PtePlacement::Distributed, 4);
+        let c2 = t.walk_node_chiplet(
+            va,
+            2,
+            PageSize::Size64K,
+            ChipletId::new(0),
+            PtePlacement::Distributed,
+            4,
+        );
+        assert_eq!(c1, c2);
+        assert!(c1.index() < 4);
+    }
+
+    #[test]
+    fn iter_visits_every_leaf() {
+        let mut t = pt();
+        fill_block_contiguous(&mut t, 0, 8 * VA_BLOCK_BYTES, 3);
+        t.map(
+            VirtAddr::new(VA_BLOCK_BYTES * 4),
+            PhysAddr::new(16 * VA_BLOCK_BYTES),
+            PageSize::Size2M,
+            A,
+        )
+        .unwrap();
+        let mut vas: Vec<u64> = t.iter().map(|(va, _)| va.raw()).collect();
+        vas.sort_unstable();
+        assert_eq!(
+            vas,
+            vec![0, BASE_PAGE_BYTES, 2 * BASE_PAGE_BYTES, 4 * VA_BLOCK_BYTES]
+        );
+    }
+}

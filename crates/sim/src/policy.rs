@@ -1,0 +1,252 @@
+//! The driver-side paging-policy interface and the remote-cache hook.
+//!
+//! The engine owns the machine (TLBs, caches, page table, DRAM, ring); a
+//! [`PagingPolicy`] owns *placement*: it decides, on each demand fault,
+//! which physical frame backs which virtual page — and may unmap/migrate/
+//! promote between faults. CLAP and every baseline of §5 implement this
+//! trait.
+
+use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, SmId, TbId, VirtAddr};
+
+use crate::SimConfig;
+
+/// Compiler-level knowledge about a data structure's access pattern, as a
+/// static-analysis pass (LASP \[47\] / SUV \[17\]) would derive it. Consumed
+/// only by the SA-policy baselines of §5.2; profile-based policies ignore
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticHint {
+    /// The structure is accessed in a C-periodic pattern: within every
+    /// `period_bytes` window, threadblock `t` of `n` touches the `t/n`-th
+    /// slice, so contiguous threadblock scheduling yields per-chiplet
+    /// segments of `period_bytes / num_chiplets` (analysable affine
+    /// pattern). `period_bytes == 0` means the whole structure is one
+    /// period (pure block partitioning).
+    Partitioned {
+        /// The slicing period in bytes (0 = whole structure).
+        period_bytes: u64,
+    },
+    /// Uniformly shared by all threads (e.g. GEMM matrix B).
+    Shared,
+    /// Statically unanalysable (pointer chasing, data-dependent).
+    Irregular,
+}
+
+/// One GPU memory allocation ("data structure").
+#[derive(Clone, Debug)]
+pub struct AllocInfo {
+    /// Allocation identifier (also stored in PTE bits).
+    pub id: AllocId,
+    /// Base virtual address (2MB-aligned by the driver).
+    pub base: VirtAddr,
+    /// Allocation length in bytes.
+    pub bytes: u64,
+    /// Human-readable name ("matrix-B", "edge-list", ...).
+    pub name: String,
+    /// What static analysis would say about this structure.
+    pub hint: StaticHint,
+}
+
+impl AllocInfo {
+    /// `true` if `va` falls inside this allocation.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.base && va.raw() < self.base.raw() + self.bytes
+    }
+}
+
+/// A demand page fault delivered to the policy (paper §2.5 ⑥-⑦).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultCtx {
+    /// Base VA of the faulting 64KB page (the demand granularity, Fig. 5).
+    pub va: VirtAddr,
+    /// Data structure being touched.
+    pub alloc: AllocId,
+    /// Chiplet whose SM issued the access ("first toucher").
+    pub requester: ChipletId,
+    /// Issuing SM.
+    pub sm: SmId,
+    /// Issuing threadblock.
+    pub tb: TbId,
+    /// Simulated cycle of the fault.
+    pub cycle: u64,
+}
+
+/// A completed page walk, sampled by hardware trackers (CLAP's Remote
+/// Tracker §4.3, C-NUMA/GRIT access counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkEvent {
+    /// VA whose translation completed.
+    pub va: VirtAddr,
+    /// Data structure (from the PTE's allocation-id bits).
+    pub alloc: AllocId,
+    /// Chiplet that issued the walk.
+    pub requester: ChipletId,
+    /// Chiplet holding the data (from the PFN's chiplet bits).
+    pub data_chiplet: ChipletId,
+    /// Simulated cycle.
+    pub cycle: u64,
+}
+
+impl WalkEvent {
+    /// `true` if the walk targeted a remote-mapped page.
+    pub fn is_remote(&self) -> bool {
+        self.requester != self.data_chiplet
+    }
+}
+
+/// An action the policy asks the engine to apply to the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// Install a leaf mapping `va -> pa` of `size` for `alloc`.
+    Map {
+        /// Page-aligned virtual base.
+        va: VirtAddr,
+        /// Frame base (must be `size`-aligned, from the policy's
+        /// allocator).
+        pa: PhysAddr,
+        /// Leaf size.
+        size: PageSize,
+        /// Owning data structure.
+        alloc: AllocId,
+    },
+    /// Promote a fully populated, physically contiguous region of 64KB
+    /// pages to a single larger leaf (§4.2 OLP / §4.6 use 2MB; the §3.3
+    /// hypothetical-size study promotes intermediate sizes).
+    Promote {
+        /// `size`-aligned region base.
+        base: VirtAddr,
+        /// Target leaf size (> 64KB).
+        size: PageSize,
+    },
+    /// Remove the leaf whose page starts at `va`. Costs a TLB shootdown
+    /// unless the policy is ideal.
+    Unmap {
+        /// Leaf base VA.
+        va: VirtAddr,
+    },
+    /// Move the 64KB page at `va` to frame `to_pa` (unmap + remap + data
+    /// copy). Costs shootdown + copy unless the policy is ideal.
+    Migrate {
+        /// 64KB-aligned page base.
+        va: VirtAddr,
+        /// Destination frame (64KB-aligned).
+        to_pa: PhysAddr,
+    },
+}
+
+/// A driver-side paging policy under test.
+///
+/// Implementations own their physical-frame bookkeeping (typically an
+/// [`mcm_mem`](https://docs.rs/mcm-mem) `FrameAllocator`) and translate
+/// faults into [`Directive`]s. The engine validates and applies directives,
+/// charging migration/shootdown costs unless
+/// [`ideal_migration`](PagingPolicy::ideal_migration) is `true`.
+pub trait PagingPolicy {
+    /// Short configuration name as used in the paper's figures
+    /// ("S-64KB", "CLAP", ...).
+    fn name(&self) -> &str;
+
+    /// Called once before the first kernel with the workload's allocations
+    /// and the machine configuration.
+    fn begin(&mut self, allocs: &[AllocInfo], cfg: &SimConfig);
+
+    /// Resolve a demand fault. The returned directives **must** map
+    /// `ctx.va` (the engine verifies).
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive>;
+
+    /// Observe a completed page walk (hardware-sampled statistics).
+    fn on_walk(&mut self, _ev: &WalkEvent) {}
+
+    /// `true` if the policy wants [`on_access`](Self::on_access) callbacks
+    /// for every memory instruction (software profiling à la C-NUMA/GRIT).
+    fn wants_access_samples(&self) -> bool {
+        false
+    }
+
+    /// Observe one memory instruction (only delivered when
+    /// [`wants_access_samples`](Self::wants_access_samples) is `true`).
+    /// The event carries the same fields as a walk event.
+    fn on_access(&mut self, _ev: &WalkEvent) {}
+
+    /// Periodic callback (every `SimConfig::epoch_cycles`); reactive
+    /// policies return re-mapping directives here.
+    fn on_epoch(&mut self, _cycle: u64) -> Vec<Directive> {
+        Vec::new()
+    }
+
+    /// Called after kernel `kernel` completes; Fig. 20's inter-kernel
+    /// migration extension acts here.
+    fn on_kernel_end(&mut self, _kernel: usize, _cycle: u64) -> Vec<Directive> {
+        Vec::new()
+    }
+
+    /// `true` for the idealised baselines (Ideal C-NUMA, GRIT) whose
+    /// migrations are modelled at zero cost (§5, configs 3-5).
+    fn ideal_migration(&self) -> bool {
+        false
+    }
+
+    /// PF blocks the policy's allocator has consumed (for the §4.7
+    /// fragmentation comparison), if it tracks them.
+    fn blocks_consumed(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Where a remote-cache scheme served a line from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteServe {
+    /// Served from on-chip SRAM at L2-like latency (SAC-style L2 carving).
+    Sram,
+    /// Served from a local-DRAM cache partition (NUBA-style).
+    LocalDram,
+}
+
+/// A remote-data caching scheme (NUBA \[111\], SAC \[109\]) consulted when a
+/// local L2 miss targets remote-mapped data.
+pub trait RemoteCacheModel {
+    /// Scheme name ("NUBA", "SAC").
+    fn name(&self) -> &str;
+
+    /// Look up `line_pa` on behalf of `requester`. On a hit, returns where
+    /// the line was served from; on a miss, the model inserts/trains and
+    /// returns `None` (the engine then performs the remote access).
+    fn access(&mut self, requester: ChipletId, line_pa: PhysAddr) -> Option<RemoteServe>;
+
+    /// Invalidate any cached copies of `line_pa` (migration support).
+    fn invalidate(&mut self, _line_pa: PhysAddr) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_contains_bounds() {
+        let a = AllocInfo {
+            id: AllocId::new(0),
+            base: VirtAddr::new(0x20_0000),
+            bytes: 0x10_0000,
+            name: "x".into(),
+            hint: StaticHint::Shared,
+        };
+        assert!(a.contains(VirtAddr::new(0x20_0000)));
+        assert!(a.contains(VirtAddr::new(0x2f_ffff)));
+        assert!(!a.contains(VirtAddr::new(0x30_0000)));
+        assert!(!a.contains(VirtAddr::new(0x1f_ffff)));
+    }
+
+    #[test]
+    fn walk_event_remote_flag() {
+        let mut ev = WalkEvent {
+            va: VirtAddr::new(0),
+            alloc: AllocId::new(0),
+            requester: ChipletId::new(1),
+            data_chiplet: ChipletId::new(1),
+            cycle: 0,
+        };
+        assert!(!ev.is_remote());
+        ev.data_chiplet = ChipletId::new(2);
+        assert!(ev.is_remote());
+    }
+}

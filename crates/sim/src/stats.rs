@@ -1,0 +1,215 @@
+//! Run statistics: everything the paper's figures and tables plot.
+
+use std::collections::HashMap;
+
+use mcm_types::AllocId;
+
+/// Per-data-structure access statistics (Fig. 8 plots these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocAccessStats {
+    /// Memory instructions touching the structure.
+    pub accesses: u64,
+    /// Of those, accesses whose page is mapped on a remote chiplet.
+    pub remote: u64,
+}
+
+impl AllocAccessStats {
+    /// Remote fraction of the structure's accesses.
+    pub fn remote_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.remote as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Statistics of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total simulated cycles (kernel launch to last warp retirement).
+    pub cycles: u64,
+    /// Memory instructions executed (warp-level, line-granular).
+    pub mem_insts: u64,
+    /// Total warp instructions (memory × arithmetic intensity).
+    pub warp_insts: u64,
+    /// Memory instructions whose data page is mapped on a remote chiplet.
+    pub remote_insts: u64,
+
+    /// L1 data cache hits / misses.
+    pub l1d_hits: u64,
+    /// L1 data cache misses.
+    pub l1d_misses: u64,
+    /// L2 data cache hits.
+    pub l2d_hits: u64,
+    /// L2 data cache misses.
+    pub l2d_misses: u64,
+
+    /// L1 TLB hits.
+    pub l1tlb_hits: u64,
+    /// L1 TLB misses.
+    pub l1tlb_misses: u64,
+    /// L2 TLB hits.
+    pub l2tlb_hits: u64,
+    /// L2 TLB misses (page walks issued).
+    pub l2tlb_misses: u64,
+
+    /// Page walks completed.
+    pub walks: u64,
+    /// Walk requests absorbed by an in-flight walk for the same page
+    /// (GMMU MSHR coalescing).
+    pub walk_mshr_hits: u64,
+    /// Cycles spent in completed page walks (including queueing).
+    pub walk_cycles: u64,
+    /// Total address-translation latency over all memory instructions.
+    pub translation_cycles: u64,
+    /// Total data-access latency (post-translation) over all memory
+    /// instructions.
+    pub data_cycles: u64,
+    /// Demand page faults taken.
+    pub faults: u64,
+
+    /// TLB fills that produced a multi-page coalesced entry.
+    pub coalesced_fills: u64,
+    /// 2MB promotions performed.
+    pub promotions: u64,
+    /// Remote-cache hits (NUBA/SAC runs).
+    pub remote_cache_hits: u64,
+    /// Pages migrated by the policy.
+    pub migrations: u64,
+    /// TLB shootdowns charged.
+    pub shootdowns: u64,
+    /// Total DRAM line accesses issued (data + PTE).
+    pub dram_accesses: u64,
+    /// DRAM line accesses per chiplet (load-balance diagnostics).
+    pub dram_per_chiplet: Vec<u64>,
+    /// Total ring transfers routed.
+    pub ring_transfers: u64,
+    /// Total cycles spent queueing for DRAM channels.
+    pub dram_queue_cycles: u64,
+    /// Total cycles spent queueing for ring links.
+    pub ring_queue_cycles: u64,
+
+    /// PF blocks consumed by the policy's allocator (fragmentation study),
+    /// if reported.
+    pub blocks_consumed: Option<usize>,
+
+    /// Per-data-structure counters.
+    pub per_alloc: HashMap<AllocId, AllocAccessStats>,
+}
+
+impl RunStats {
+    /// Remote access ratio of memory instructions — the line plotted in
+    /// Figs. 1, 2, 6, 8, 18, 19, 22.
+    pub fn remote_ratio(&self) -> f64 {
+        if self.mem_insts == 0 {
+            0.0
+        } else {
+            self.remote_insts as f64 / self.mem_insts as f64
+        }
+    }
+
+    /// L2 data-cache misses per kilo warp instruction (Table 2).
+    pub fn l2_mpki(&self) -> f64 {
+        if self.warp_insts == 0 {
+            0.0
+        } else {
+            self.l2d_misses as f64 * 1000.0 / self.warp_insts as f64
+        }
+    }
+
+    /// L2 TLB misses per kilo warp instruction (Table 2).
+    pub fn l2tlb_mpki(&self) -> f64 {
+        if self.warp_insts == 0 {
+            0.0
+        } else {
+            self.l2tlb_misses as f64 * 1000.0 / self.warp_insts as f64
+        }
+    }
+
+    /// Mean address-translation latency per memory instruction (the §1
+    /// "average address translation latency" metric).
+    pub fn avg_translation_latency(&self) -> f64 {
+        if self.mem_insts == 0 {
+            0.0
+        } else {
+            self.translation_cycles as f64 / self.mem_insts as f64
+        }
+    }
+
+    /// Throughput proxy: warp instructions per cycle. Figures normalise
+    /// performance as `perf(a)/perf(b) = cycles(b)/cycles(a)` for equal
+    /// work.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of `self` over `baseline` (same workload, equal work).
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Per-structure stats, or a zero record if the structure was never
+    /// accessed.
+    pub fn alloc_stats(&self, id: AllocId) -> AllocAccessStats {
+        self.per_alloc.get(&id).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_division() {
+        let s = RunStats::default();
+        assert_eq!(s.remote_ratio(), 0.0);
+        assert_eq!(s.l2_mpki(), 0.0);
+        assert_eq!(s.l2tlb_mpki(), 0.0);
+        assert_eq!(s.avg_translation_latency(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = RunStats {
+            cycles: 1000,
+            mem_insts: 200,
+            warp_insts: 1000,
+            remote_insts: 50,
+            l2d_misses: 10,
+            l2tlb_misses: 5,
+            translation_cycles: 4000,
+            ..Default::default()
+        };
+        assert!((s.remote_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.l2_mpki() - 10.0).abs() < 1e-12);
+        assert!((s.l2tlb_mpki() - 5.0).abs() < 1e-12);
+        assert!((s.avg_translation_latency() - 20.0).abs() < 1e-12);
+        assert!((s.ipc() - 1.0).abs() < 1e-12);
+        let faster = RunStats {
+            cycles: 500,
+            ..s.clone()
+        };
+        assert!((faster.speedup_over(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alloc_stats_defaults_to_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.alloc_stats(AllocId::new(9)).accesses, 0);
+        let a = AllocAccessStats {
+            accesses: 4,
+            remote: 1,
+        };
+        assert!((a.remote_ratio() - 0.25).abs() < 1e-12);
+    }
+}

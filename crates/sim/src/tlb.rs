@@ -1,0 +1,279 @@
+//! TLB model with optional entry coalescing (paper §4.6).
+//!
+//! One [`Tlb`] instance covers one page-size class (4KB, 64KB, ..., 2MB).
+//! Entries can *group* several consecutive pages: CLAP's coalescing logic
+//! lets one 64KB-class entry cover up to 16 contiguous 64KB pages (1MB) via
+//! a valid-bit mask; the `Ideal` configuration extends this to a whole 2MB
+//! VA block. A plain TLB is the degenerate `group = 1` case.
+
+use mcm_types::{PageSize, VirtAddr};
+
+/// One TLB entry: a group-aligned base plus a valid-bit mask over the pages
+/// of the group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TlbEntry {
+    /// `vpn / group`.
+    key: u64,
+    /// Bit `i` set: page `key*group + i` is covered.
+    mask: u32,
+    last_use: u64,
+}
+
+/// A set-associative TLB for one page-size class.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_sim::Tlb;
+/// use mcm_types::{PageSize, VirtAddr};
+///
+/// // An 8-entry fully-associative 2MB TLB (one page per entry).
+/// let mut tlb = Tlb::new(PageSize::Size2M, 8, 8, 1);
+/// let va = VirtAddr::new(5 << 21);
+/// assert!(!tlb.lookup(va));
+/// tlb.fill(va, 1);
+/// assert!(tlb.lookup(va));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    size: PageSize,
+    group: u32,
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` entries at `ways` associativity, where
+    /// each entry covers up to `group` consecutive pages of class `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries`, `ways`, or `group` is zero, if `group > 32`,
+    /// or if `ways > entries`.
+    pub fn new(size: PageSize, entries: usize, ways: usize, group: u32) -> Self {
+        assert!(entries > 0 && ways > 0 && ways <= entries);
+        assert!(group >= 1 && group <= 32, "group must be 1..=32");
+        let sets = (entries / ways).max(1).next_power_of_two();
+        Tlb {
+            size,
+            group,
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+        }
+    }
+
+    /// The page-size class of this TLB.
+    pub fn size_class(&self) -> PageSize {
+        self.size
+    }
+
+    /// Pages per coalesced entry.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+
+    fn vpn(&self, va: VirtAddr) -> u64 {
+        va.raw() >> self.size.shift()
+    }
+
+    fn locate(&self, vpn: u64) -> (usize, u64, u32) {
+        let key = vpn / self.group as u64;
+        let set = (key as usize) & (self.sets.len() - 1);
+        let bit = (vpn % self.group as u64) as u32;
+        (set, key, bit)
+    }
+
+    /// Returns `true` if a valid entry covers `va` (and touches its LRU
+    /// state).
+    pub fn lookup(&mut self, va: VirtAddr) -> bool {
+        let (set, key, bit) = self.locate(self.vpn(va));
+        self.tick += 1;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
+            if e.mask >> bit & 1 == 1 {
+                e.last_use = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs coverage for the group containing `va`. `mask` holds one
+    /// bit per page of the group, relative to the group base (bit 0 = first
+    /// page of the group). Bits outside the group width are ignored. If an
+    /// entry for the group already exists, the masks are merged — this is
+    /// how partially populated CLAP regions grow their coalesced entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` does not cover `va`'s own page (a fill must at
+    /// least map the faulting page).
+    pub fn fill(&mut self, va: VirtAddr, mask: u32) {
+        let (set, key, bit) = self.locate(self.vpn(va));
+        let width_mask = if self.group == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.group) - 1
+        };
+        let mask = mask & width_mask;
+        assert!(mask >> bit & 1 == 1, "fill mask must cover the filled page");
+        self.tick += 1;
+        let lines = &mut self.sets[set];
+        if let Some(e) = lines.iter_mut().find(|e| e.key == key) {
+            e.mask |= mask;
+            e.last_use = self.tick;
+            return;
+        }
+        if lines.len() == self.ways {
+            let lru = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("set is full");
+            lines.swap_remove(lru);
+        }
+        lines.push(TlbEntry {
+            key,
+            mask,
+            last_use: self.tick,
+        });
+    }
+
+    /// Removes coverage of the single page containing `va` (TLB shootdown
+    /// of one page). Whole entries are dropped once their mask empties.
+    /// Returns `true` if coverage existed.
+    pub fn invalidate_page(&mut self, va: VirtAddr) -> bool {
+        let (set, key, bit) = self.locate(self.vpn(va));
+        let lines = &mut self.sets[set];
+        if let Some(i) = lines.iter().position(|e| e.key == key) {
+            let had = lines[i].mask >> bit & 1 == 1;
+            lines[i].mask &= !(1 << bit);
+            if lines[i].mask == 0 {
+                lines.swap_remove(i);
+            }
+            had
+        } else {
+            false
+        }
+    }
+
+    /// Drops every entry (full shootdown).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Number of valid entries currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va64k(page: u64) -> VirtAddr {
+        VirtAddr::new(page << 16)
+    }
+
+    #[test]
+    fn plain_tlb_hits_after_fill() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 1);
+        assert!(!t.lookup(va64k(3)));
+        t.fill(va64k(3), 1);
+        assert!(t.lookup(va64k(3)));
+        assert!(t.lookup(va64k(3) + 0xffff)); // same page
+        assert!(!t.lookup(va64k(4)));
+    }
+
+    #[test]
+    fn coalesced_entry_covers_masked_pages_only() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        // Fill page 2 of group 0 with pages {1,2,3} valid.
+        t.fill(va64k(2), 0b1110);
+        assert!(t.lookup(va64k(1)));
+        assert!(t.lookup(va64k(2)));
+        assert!(t.lookup(va64k(3)));
+        assert!(!t.lookup(va64k(0)));
+        assert!(!t.lookup(va64k(4)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn coalesced_masks_merge() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        t.fill(va64k(0), 0b0001);
+        t.fill(va64k(5), 0b10_0000);
+        assert_eq!(t.occupancy(), 1);
+        assert!(t.lookup(va64k(0)));
+        assert!(t.lookup(va64k(5)));
+    }
+
+    #[test]
+    fn groups_are_aligned() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        // Page 17 is in group 1 (pages 16..32); bit 1 within the group.
+        t.fill(va64k(17), 0b10);
+        assert!(t.lookup(va64k(17)));
+        assert!(!t.lookup(va64k(1)));
+        assert!(!t.lookup(va64k(16)));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut t = Tlb::new(PageSize::Size2M, 2, 2, 1);
+        let p = |n: u64| VirtAddr::new(n << 21);
+        t.fill(p(0), 1);
+        t.fill(p(1), 1);
+        t.lookup(p(0)); // 0 is MRU
+        t.fill(p(2), 1); // evicts 1
+        assert!(t.lookup(p(0)));
+        assert!(!t.lookup(p(1)));
+        assert!(t.lookup(p(2)));
+    }
+
+    #[test]
+    fn invalidate_single_page_of_coalesced_entry() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        t.fill(va64k(0), 0b11);
+        assert!(t.invalidate_page(va64k(1)));
+        assert!(!t.lookup(va64k(1)));
+        assert!(t.lookup(va64k(0)));
+        assert!(t.invalidate_page(va64k(0)));
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.invalidate_page(va64k(0)));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut t = Tlb::new(PageSize::Size64K, 8, 8, 1);
+        for i in 0..8 {
+            t.fill(va64k(i), 1);
+        }
+        assert_eq!(t.occupancy(), 8);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill mask must cover")]
+    fn fill_must_cover_target() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        t.fill(va64k(2), 0b0001);
+    }
+
+    #[test]
+    fn group_32_covers_whole_va_block() {
+        // The Ideal configuration: one 64KB-class entry covers 2MB.
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 32);
+        t.fill(va64k(0), u32::MAX);
+        for i in 0..32 {
+            assert!(t.lookup(va64k(i)));
+        }
+        assert!(!t.lookup(va64k(32)));
+    }
+}

@@ -1,0 +1,75 @@
+//! The workload interface: kernels, threadblocks, and warp access streams.
+
+use mcm_types::{TbId, WarpId, VirtAddr};
+
+use crate::policy::AllocInfo;
+
+/// Shape of one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelDesc {
+    /// Threadblocks in the launch.
+    pub num_tbs: u32,
+    /// Warps per threadblock that issue memory traffic.
+    pub warps_per_tb: u32,
+    /// Warp instructions per memory instruction (arithmetic intensity);
+    /// also the issue gap, in cycles, between a warp's memory instructions.
+    pub insts_per_mem: u32,
+    /// Memory instructions per generated line address: each simulated
+    /// access stands for `line_reuse` instructions that hit the same
+    /// 128B line back-to-back (intra-line data reuse across a warp's
+    /// threads/iterations). The repeats hit in the L1 cache and L1 TLB and
+    /// are accounted without being simulated individually.
+    pub line_reuse: u32,
+}
+
+/// A workload: a set of allocations plus one or more kernels whose warps
+/// produce deterministic memory-access streams.
+///
+/// Streams are materialised per warp on demand so the engine never holds a
+/// full trace in memory.
+pub trait Workload {
+    /// Workload name ("STE", "BFS", ...).
+    fn name(&self) -> &str;
+
+    /// The data structures the workload allocates.
+    fn allocs(&self) -> &[AllocInfo];
+
+    /// Number of kernels launched, in order.
+    fn num_kernels(&self) -> usize {
+        1
+    }
+
+    /// Shape of kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `k >= self.num_kernels()`.
+    fn kernel(&self, k: usize) -> KernelDesc;
+
+    /// The line-granular virtual addresses accessed by `warp` of `tb` in
+    /// kernel `k`, in program order. Must be deterministic.
+    fn warp_accesses(&self, k: usize, tb: TbId, warp: WarpId) -> Vec<VirtAddr>;
+}
+
+/// Contiguous (first-touch-friendly) threadblock scheduling: TB `t` of `n`
+/// runs on chiplet `t * chiplets / n`, so adjacent threadblocks share a
+/// chiplet (paper §2.7, FT policy \[13\]).
+pub fn tb_chiplet(tb: TbId, num_tbs: u32, num_chiplets: usize) -> usize {
+    debug_assert!(tb.index() < num_tbs as usize);
+    (tb.index() * num_chiplets) / num_tbs as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_tb_scheduling() {
+        // 8 TBs on 4 chiplets: 2 contiguous TBs per chiplet.
+        let c: Vec<usize> = (0..8).map(|t| tb_chiplet(TbId::new(t), 8, 4)).collect();
+        assert_eq!(c, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // Non-divisible counts stay monotone and bounded.
+        let c: Vec<usize> = (0..6).map(|t| tb_chiplet(TbId::new(t), 6, 4)).collect();
+        assert_eq!(c, vec![0, 0, 1, 2, 2, 3]);
+    }
+}

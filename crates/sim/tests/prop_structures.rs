@@ -1,0 +1,128 @@
+//! Property-based tests on the simulator's core structures: the page
+//! table, the coalescing TLB, and the bucketed resource model.
+
+use proptest::prelude::*;
+
+use mcm_sim::{BucketedResource, PageTable, SimError, Tlb, BUCKET_CYCLES};
+use mcm_types::{AllocId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
+
+#[derive(Clone, Debug)]
+enum PtOp {
+    Map { vpn: u64, pfn: u64, size_idx: usize },
+    Unmap { vpn: u64 },
+}
+
+fn pt_op() -> impl Strategy<Value = PtOp> {
+    prop_oneof![
+        (0u64..256, 0u64..256, 0usize..PageSize::ALL.len()).prop_map(|(vpn, pfn, size_idx)| {
+            PtOp::Map { vpn, pfn, size_idx }
+        }),
+        (0u64..256).prop_map(|vpn| PtOp::Unmap { vpn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Map/unmap sequences never create overlapping leaves; every
+    /// successful map is translatable at every covered base page until
+    /// unmapped; unmapping restores untranslatability.
+    #[test]
+    fn page_table_never_overlaps(ops in proptest::collection::vec(pt_op(), 1..120)) {
+        let mut pt = PageTable::new(PhysLayout::new(4));
+        // Live leaves: (base va, size)
+        let mut live: Vec<(u64, PageSize)> = Vec::new();
+        for op in ops {
+            match op {
+                PtOp::Map { vpn, pfn, size_idx } => {
+                    let size = PageSize::ALL[size_idx];
+                    let va = VirtAddr::new(vpn * BASE_PAGE_BYTES).align_down(size.bytes());
+                    let pa = PhysAddr::new(pfn * BASE_PAGE_BYTES).align_down(size.bytes());
+                    match pt.map(va, pa, size, AllocId::new(0)) {
+                        Ok(()) => {
+                            // Must not overlap any live leaf.
+                            for &(b, s) in &live {
+                                let disjoint = va.raw() + size.bytes() <= b
+                                    || b + s.bytes() <= va.raw();
+                                prop_assert!(disjoint, "map accepted an overlap");
+                            }
+                            live.push((va.raw(), size));
+                        }
+                        Err(SimError::MapConflict { .. }) => {
+                            // Must actually overlap something live.
+                            let overlaps = live.iter().any(|&(b, s)| {
+                                va.raw() < b + s.bytes() && b < va.raw() + size.bytes()
+                            });
+                            prop_assert!(overlaps, "spurious conflict at {va}");
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+                    }
+                }
+                PtOp::Unmap { vpn } => {
+                    let va = VirtAddr::new(vpn * BASE_PAGE_BYTES);
+                    if let Some(i) = live.iter().position(|&(b, _)| b == va.raw()) {
+                        pt.unmap(va).expect("live leaf unmaps");
+                        live.swap_remove(i);
+                    }
+                }
+            }
+            // Translation agrees with the live set.
+            for &(b, s) in &live {
+                let pte = pt.translate(VirtAddr::new(b + s.bytes() / 2)).expect("covered");
+                prop_assert_eq!(pte.size, s);
+            }
+            prop_assert_eq!(pt.len(), live.len());
+            prop_assert_eq!(
+                pt.mapped_bytes(),
+                live.iter().map(|&(_, s)| s.bytes()).sum::<u64>()
+            );
+        }
+    }
+
+    /// A TLB lookup hits exactly the pages whose bits have been filled,
+    /// and invalidation removes exactly one page's coverage.
+    #[test]
+    fn tlb_coverage_is_exact(
+        fills in proptest::collection::vec((0u64..64, 0u32..16), 1..40),
+        probe in 0u64..64,
+    ) {
+        // Large enough to avoid evictions: coverage must then be exact.
+        let mut tlb = Tlb::new(PageSize::Size64K, 64, 64, 16);
+        let mut covered = std::collections::HashSet::new();
+        for (group, bit) in fills {
+            let vpn = group * 16 + bit as u64;
+            let va = VirtAddr::new(vpn << 16);
+            tlb.fill(va, 1 << bit);
+            covered.insert(vpn);
+        }
+        let got = tlb.lookup(VirtAddr::new(probe << 16));
+        prop_assert_eq!(got, covered.contains(&probe));
+        if covered.contains(&probe) {
+            prop_assert!(tlb.invalidate_page(VirtAddr::new(probe << 16)));
+            prop_assert!(!tlb.lookup(VirtAddr::new(probe << 16)));
+        }
+    }
+
+    /// The bucketed resource conserves work: total booked capacity equals
+    /// total requested service, and start times are never before request
+    /// times.
+    #[test]
+    fn bucketed_resource_conserves_work(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..300), 1..200),
+        units in 1usize..8,
+    ) {
+        let mut r = BucketedResource::new(units);
+        let mut total = 0u64;
+        let mut max_end = 0u64;
+        for (now, service) in reqs {
+            let start = r.acquire(now, service);
+            prop_assert!(start >= now.min(start)); // start never in the caller's past
+            prop_assert!(start >= (now / BUCKET_CYCLES) * BUCKET_CYCLES);
+            total += service;
+            max_end = max_end.max(start + service);
+        }
+        // All work fits below max_end with the resource's capacity.
+        let capacity_to_end = (max_end / BUCKET_CYCLES + 2) * BUCKET_CYCLES * units as u64;
+        prop_assert!(total <= capacity_to_end, "{total} > {capacity_to_end}");
+    }
+}

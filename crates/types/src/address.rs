@@ -1,0 +1,211 @@
+//! Virtual and physical address newtypes.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A virtual address in the GPU's unified virtual address space.
+///
+/// Newtype over `u64` so virtual and physical addresses cannot be confused
+/// (C-NEWTYPE). Arithmetic that is meaningful for addresses (offset add/sub,
+/// alignment) is provided; anything else requires an explicit `.raw()`.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::VirtAddr;
+///
+/// let va = VirtAddr::new(0x1_0000);
+/// assert_eq!(va.align_down(0x1_0000), va);
+/// assert_eq!((va + 0x42).offset_in(0x1_0000), 0x42);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+/// A physical address in the GPU's unified physical address space.
+///
+/// The chiplet that owns a physical address is a pure function of the
+/// address under the MCM interleaving policy; see
+/// [`PhysLayout`](crate::PhysLayout).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::PhysAddr;
+///
+/// let pa = PhysAddr::new(0x8000_0123);
+/// assert_eq!(pa.align_down(0x1000).raw(), 0x8000_0000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+macro_rules! addr_impl {
+    ($t:ident) => {
+        impl $t {
+            /// Creates an address from its raw 64-bit value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw 64-bit value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Rounds the address down to the given power-of-two alignment.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            pub fn align_down(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0 & !(align - 1))
+            }
+
+            /// Rounds the address up to the given power-of-two alignment.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            pub fn align_up(self, align: u64) -> Self {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                Self(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
+            }
+
+            /// Returns `true` if the address is aligned to `align` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            pub fn is_aligned(self, align: u64) -> bool {
+                self.align_down(align) == self
+            }
+
+            /// Returns the offset of this address within an `align`-byte
+            /// naturally aligned region.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `align` is not a power of two.
+            pub fn offset_in(self, align: u64) -> u64 {
+                assert!(align.is_power_of_two(), "alignment must be a power of two");
+                self.0 & (align - 1)
+            }
+
+            /// Byte distance from `other` to `self`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `other > self`.
+            pub fn distance_from(self, other: Self) -> u64 {
+                self.0
+                    .checked_sub(other.0)
+                    .expect("negative address distance")
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($t), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $t {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$t> for u64 {
+            fn from(a: $t) -> u64 {
+                a.0
+            }
+        }
+
+        impl Add<u64> for $t {
+            type Output = Self;
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0.checked_add(rhs).expect("address overflow"))
+            }
+        }
+
+        impl AddAssign<u64> for $t {
+            fn add_assign(&mut self, rhs: u64) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub<u64> for $t {
+            type Output = Self;
+            fn sub(self, rhs: u64) -> Self {
+                Self(self.0.checked_sub(rhs).expect("address underflow"))
+            }
+        }
+    };
+}
+
+addr_impl!(VirtAddr);
+addr_impl!(PhysAddr);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_round_trips() {
+        let va = VirtAddr::new(0x12345);
+        assert_eq!(va.align_down(0x1000).raw(), 0x12000);
+        assert_eq!(va.align_up(0x1000).raw(), 0x13000);
+        assert!(va.align_down(0x1000).is_aligned(0x1000));
+        assert_eq!(va.offset_in(0x1000), 0x345);
+    }
+
+    #[test]
+    fn align_of_aligned_address_is_identity() {
+        let pa = PhysAddr::new(0x4000);
+        assert_eq!(pa.align_up(0x4000), pa);
+        assert_eq!(pa.align_down(0x4000), pa);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_u64() {
+        let a = PhysAddr::new(100);
+        assert_eq!((a + 28).raw(), 128);
+        assert_eq!((a - 100).raw(), 0);
+        assert_eq!((a + 28).distance_from(a), 28);
+        let mut b = a;
+        b += 1;
+        assert_eq!(b.raw(), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_alignment_panics() {
+        VirtAddr::new(0).align_down(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = VirtAddr::new(1) - 2;
+    }
+
+    #[test]
+    fn display_and_hex_are_nonempty() {
+        let va = VirtAddr::new(0xabc);
+        assert_eq!(format!("{va}"), "VirtAddr(0xabc)");
+        assert_eq!(format!("{va:x}"), "abc");
+        assert_eq!(format!("{va:X}"), "ABC");
+    }
+}

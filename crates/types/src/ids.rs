@@ -1,0 +1,227 @@
+//! Identifier newtypes: chiplets, allocations, SMs, threadblocks, warps.
+
+use core::fmt;
+
+/// Identifies one GPU chiplet in the MCM package.
+///
+/// The baseline configuration has 4 chiplets; the scaling study (Figure 22)
+/// uses 8. Stored as `u8` — MCM packages are small.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::ChipletId;
+///
+/// let c = ChipletId::new(2);
+/// assert_eq!(c.index(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChipletId(u8);
+
+impl ChipletId {
+    /// Creates a chiplet identifier.
+    pub const fn new(index: u8) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based chiplet index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all chiplets `0..count`.
+    pub fn all(count: usize) -> impl Iterator<Item = ChipletId> {
+        (0..count).map(|i| ChipletId::new(i as u8))
+    }
+
+    /// Number of ring hops between two chiplets on a bidirectional ring of
+    /// `count` chiplets (shortest direction).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcm_types::ChipletId;
+    /// let a = ChipletId::new(0);
+    /// let b = ChipletId::new(3);
+    /// assert_eq!(a.ring_hops(b, 4), 1); // 0 -> 3 going the short way
+    /// ```
+    pub fn ring_hops(self, other: ChipletId, count: usize) -> usize {
+        let a = self.index();
+        let b = other.index();
+        let fwd = (b + count - a) % count;
+        fwd.min(count - fwd)
+    }
+}
+
+impl fmt::Display for ChipletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chiplet-{}", self.0)
+    }
+}
+
+/// Identifies one GPU memory allocation (a "data structure" in the paper,
+/// e.g. one `cudaMalloc` call).
+///
+/// The paper stores this id in unused PTE bits (13 reserved bits are
+/// available; ~300 allocations were observed in the largest LLM-serving
+/// profile, so `u16` is comfortable).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::AllocId;
+/// assert_eq!(AllocId::new(7).index(), 7);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocId(u16);
+
+impl AllocId {
+    /// Creates an allocation identifier.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based allocation index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc-{}", self.0)
+    }
+}
+
+/// Identifies a streaming multiprocessor, globally across all chiplets.
+///
+/// With `sms_per_chiplet = S`, SM `i` lives on chiplet `i / S`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SmId(u32);
+
+impl SmId {
+    /// Creates an SM identifier from a global SM index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the global SM index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The chiplet hosting this SM given `sms_per_chiplet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sms_per_chiplet` is zero.
+    pub fn chiplet(self, sms_per_chiplet: usize) -> ChipletId {
+        assert!(sms_per_chiplet > 0, "sms_per_chiplet must be nonzero");
+        ChipletId::new((self.index() / sms_per_chiplet) as u8)
+    }
+}
+
+impl fmt::Display for SmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sm-{}", self.0)
+    }
+}
+
+/// Identifies a threadblock within a kernel launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TbId(u32);
+
+impl TbId {
+    /// Creates a threadblock identifier.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based threadblock index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tb-{}", self.0)
+    }
+}
+
+/// Identifies a warp within a threadblock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WarpId(u32);
+
+impl WarpId {
+    /// Creates a warp identifier.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based warp index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warp-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_hops_symmetry_and_bounds() {
+        for n in [2usize, 4, 8] {
+            for a in 0..n {
+                for b in 0..n {
+                    let ca = ChipletId::new(a as u8);
+                    let cb = ChipletId::new(b as u8);
+                    assert_eq!(ca.ring_hops(cb, n), cb.ring_hops(ca, n));
+                    assert!(ca.ring_hops(cb, n) <= n / 2);
+                    if a == b {
+                        assert_eq!(ca.ring_hops(cb, n), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_hops_examples() {
+        let h = |a: u8, b: u8, n| ChipletId::new(a).ring_hops(ChipletId::new(b), n);
+        assert_eq!(h(0, 1, 4), 1);
+        assert_eq!(h(0, 2, 4), 2);
+        assert_eq!(h(0, 3, 4), 1);
+        assert_eq!(h(1, 5, 8), 4);
+        assert_eq!(h(7, 0, 8), 1);
+    }
+
+    #[test]
+    fn sm_to_chiplet_mapping() {
+        assert_eq!(SmId::new(0).chiplet(64), ChipletId::new(0));
+        assert_eq!(SmId::new(63).chiplet(64), ChipletId::new(0));
+        assert_eq!(SmId::new(64).chiplet(64), ChipletId::new(1));
+        assert_eq!(SmId::new(255).chiplet(64), ChipletId::new(3));
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let v: Vec<_> = ChipletId::all(3).map(|c| c.index()).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(ChipletId::new(1).to_string(), "chiplet-1");
+        assert_eq!(AllocId::new(2).to_string(), "alloc-2");
+        assert_eq!(SmId::new(3).to_string(), "sm-3");
+        assert_eq!(TbId::new(4).to_string(), "tb-4");
+        assert_eq!(WarpId::new(5).to_string(), "warp-5");
+    }
+}

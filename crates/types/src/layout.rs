@@ -1,0 +1,141 @@
+//! Physical-address layout of the MCM GPU (paper Figure 4).
+
+use crate::{ChipletId, PhysAddr, VA_BLOCK_BYTES};
+
+/// NUMA-aware memory interleaving policy for the MCM package.
+///
+/// The physical address space is carved into 2MB *PF blocks*. The chiplet
+/// identifier is the PF-block index modulo the chiplet count — equivalent to
+/// placing the two MSBs of the channel bits just above the 2MB page offset
+/// (Figure 4). Inside a chiplet, data is interleaved across memory channels
+/// at 256B granularity, preserving channel-level parallelism.
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::{PhysAddr, PhysLayout};
+///
+/// let layout = PhysLayout::new(4);
+/// assert_eq!(layout.chiplet_of(PhysAddr::new(0)).index(), 0);
+/// assert_eq!(layout.chiplet_of(PhysAddr::new(2 * 1024 * 1024)).index(), 1);
+/// assert_eq!(layout.chiplet_of(PhysAddr::new(8 * 1024 * 1024)).index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PhysLayout {
+    num_chiplets: usize,
+}
+
+/// Channel interleaving granularity within a chiplet (256B, paper §2.6).
+pub const CHANNEL_INTERLEAVE_BYTES: u64 = 256;
+
+impl PhysLayout {
+    /// Creates a layout for a package with `num_chiplets` chiplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chiplets` is zero or not a power of two (the chiplet
+    /// id must occupy whole address bits).
+    pub fn new(num_chiplets: usize) -> Self {
+        assert!(
+            num_chiplets > 0 && num_chiplets.is_power_of_two(),
+            "chiplet count must be a nonzero power of two"
+        );
+        Self { num_chiplets }
+    }
+
+    /// Number of chiplets in the package.
+    pub const fn num_chiplets(self) -> usize {
+        self.num_chiplets
+    }
+
+    /// The chiplet owning a physical address.
+    pub fn chiplet_of(self, pa: PhysAddr) -> ChipletId {
+        let block = pa.raw() / VA_BLOCK_BYTES;
+        ChipletId::new((block % self.num_chiplets as u64) as u8)
+    }
+
+    /// The chiplet owning PF block `block_index`.
+    pub fn chiplet_of_block(self, block_index: u64) -> ChipletId {
+        ChipletId::new((block_index % self.num_chiplets as u64) as u8)
+    }
+
+    /// The `n`-th PF block owned by `chiplet` (n = 0, 1, ...).
+    ///
+    /// Inverse of [`chiplet_of_block`](Self::chiplet_of_block): blocks owned
+    /// by a chiplet are strided through the physical space.
+    pub fn block_of_chiplet(self, chiplet: ChipletId, n: u64) -> u64 {
+        n * self.num_chiplets as u64 + chiplet.index() as u64
+    }
+
+    /// Base physical address of PF block `block_index`.
+    pub fn block_base(self, block_index: u64) -> PhysAddr {
+        PhysAddr::new(block_index * VA_BLOCK_BYTES)
+    }
+
+    /// The PF-block index containing `pa`.
+    pub fn block_of(self, pa: PhysAddr) -> u64 {
+        pa.raw() / VA_BLOCK_BYTES
+    }
+
+    /// DRAM channel (within the owning chiplet) serving `pa`, given
+    /// `channels_per_chiplet` channels. 256B interleaved (paper §2.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels_per_chiplet` is zero.
+    pub fn channel_of(self, pa: PhysAddr, channels_per_chiplet: usize) -> usize {
+        assert!(channels_per_chiplet > 0, "channel count must be nonzero");
+        ((pa.raw() / CHANNEL_INTERLEAVE_BYTES) % channels_per_chiplet as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_round_robin_across_chiplets() {
+        let l = PhysLayout::new(4);
+        for b in 0..64u64 {
+            assert_eq!(l.chiplet_of_block(b).index(), (b % 4) as usize);
+            assert_eq!(l.chiplet_of(l.block_base(b)), l.chiplet_of_block(b));
+        }
+    }
+
+    #[test]
+    fn block_of_chiplet_inverts_chiplet_of_block() {
+        let l = PhysLayout::new(8);
+        for c in ChipletId::all(8) {
+            for n in 0..16 {
+                let b = l.block_of_chiplet(c, n);
+                assert_eq!(l.chiplet_of_block(b), c);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_block_belongs_to_one_chiplet() {
+        let l = PhysLayout::new(4);
+        let base = l.block_base(7);
+        let owner = l.chiplet_of(base);
+        for off in [0u64, 1, 4096, 65536, VA_BLOCK_BYTES - 1] {
+            assert_eq!(l.chiplet_of(base + off), owner);
+        }
+        assert_ne!(l.chiplet_of(base + VA_BLOCK_BYTES), owner);
+    }
+
+    #[test]
+    fn channels_interleave_at_256b() {
+        let l = PhysLayout::new(4);
+        assert_eq!(l.channel_of(PhysAddr::new(0), 16), 0);
+        assert_eq!(l.channel_of(PhysAddr::new(255), 16), 0);
+        assert_eq!(l.channel_of(PhysAddr::new(256), 16), 1);
+        assert_eq!(l.channel_of(PhysAddr::new(16 * 256), 16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_chiplet_count_panics() {
+        PhysLayout::new(3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Page sizes supported by the simulated virtual-memory system.
+
+use core::fmt;
+
+/// Size of a VA block / PF block: the unit of page-size assignment and of
+/// physical-frame management in the block-based memory manager (paper §4.1).
+pub const VA_BLOCK_BYTES: u64 = 2 * 1024 * 1024;
+
+/// CLAP's base page size (64KB): the demand-paging granularity and the
+/// minimum migration granularity supported by commodity GPUs (paper §4.2).
+pub const BASE_PAGE_BYTES: u64 = 64 * 1024;
+
+/// A page size (or CLAP "contiguity level") supported by the system.
+///
+/// `Size4K`, `Size64K`, and `Size2M` are natively supported by modern GPUs;
+/// the intermediate sizes are the *hypothetical* sizes of the paper's §3.3
+/// study, which CLAP realises as groups of contiguous 64KB pages covered by
+/// coalesced TLB entries (§4.5-§4.6).
+///
+/// # Examples
+///
+/// ```
+/// use mcm_types::PageSize;
+///
+/// assert_eq!(PageSize::Size64K.bytes(), 64 * 1024);
+/// assert_eq!(PageSize::Size256K.base_pages(), 4);
+/// assert_eq!(PageSize::from_bytes(1 << 21), Some(PageSize::Size2M));
+/// assert!(PageSize::Size128K > PageSize::Size64K);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4KB — the smallest architectural page.
+    Size4K,
+    /// 64KB — CLAP's base page and the UVM demand granularity.
+    Size64K,
+    /// 128KB — hypothetical intermediate size (2 base pages).
+    Size128K,
+    /// 256KB — hypothetical intermediate size (4 base pages).
+    Size256K,
+    /// 512KB — hypothetical intermediate size (8 base pages).
+    Size512K,
+    /// 1MB — hypothetical intermediate size (16 base pages; the largest
+    /// range one coalesced TLB entry can cover).
+    Size1M,
+    /// 2MB — the architectural large page (one VA block).
+    Size2M,
+}
+
+impl PageSize {
+    /// All sizes, smallest to largest.
+    pub const ALL: [PageSize; 7] = [
+        PageSize::Size4K,
+        PageSize::Size64K,
+        PageSize::Size128K,
+        PageSize::Size256K,
+        PageSize::Size512K,
+        PageSize::Size1M,
+        PageSize::Size2M,
+    ];
+
+    /// The sizes natively supported by the baseline system (Table 1).
+    pub const NATIVE: [PageSize; 3] = [PageSize::Size4K, PageSize::Size64K, PageSize::Size2M];
+
+    /// The sizes CLAP can select (64KB and up; §4.4 analyses levels of the
+    /// 64KB-leaf tree).
+    pub const CLAP_SELECTABLE: [PageSize; 6] = [
+        PageSize::Size64K,
+        PageSize::Size128K,
+        PageSize::Size256K,
+        PageSize::Size512K,
+        PageSize::Size1M,
+        PageSize::Size2M,
+    ];
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 * 1024,
+            PageSize::Size64K => 64 * 1024,
+            PageSize::Size128K => 128 * 1024,
+            PageSize::Size256K => 256 * 1024,
+            PageSize::Size512K => 512 * 1024,
+            PageSize::Size1M => 1024 * 1024,
+            PageSize::Size2M => 2 * 1024 * 1024,
+        }
+    }
+
+    /// `log2` of the size in bytes.
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size64K => 16,
+            PageSize::Size128K => 17,
+            PageSize::Size256K => 18,
+            PageSize::Size512K => 19,
+            PageSize::Size1M => 20,
+            PageSize::Size2M => 21,
+        }
+    }
+
+    /// Number of 64KB base pages this size spans (0 for 4KB pages — they are
+    /// below the base granularity).
+    pub const fn base_pages(self) -> u64 {
+        match self {
+            PageSize::Size4K => 0,
+            _ => self.bytes() / BASE_PAGE_BYTES,
+        }
+    }
+
+    /// Looks up a size by exact byte count.
+    pub fn from_bytes(bytes: u64) -> Option<PageSize> {
+        PageSize::ALL.iter().copied().find(|s| s.bytes() == bytes)
+    }
+
+    /// The CLAP tree level of this size above the 64KB leaves:
+    /// 64KB = 0, 128KB = 1, ..., 2MB = 5.
+    ///
+    /// Returns `None` for 4KB, which is below the leaf granularity.
+    pub fn tree_level(self) -> Option<u32> {
+        match self {
+            PageSize::Size4K => None,
+            _ => Some(self.shift() - 16),
+        }
+    }
+
+    /// Inverse of [`tree_level`](Self::tree_level): the size at a 64KB-leaf
+    /// tree level.
+    ///
+    /// Returns `None` if the level exceeds 2MB (level 5 with 2MB VA blocks).
+    pub fn from_tree_level(level: u32) -> Option<PageSize> {
+        if level > 5 {
+            return None;
+        }
+        PageSize::from_bytes(BASE_PAGE_BYTES << level)
+    }
+
+    /// Iterator over all sizes, smallest first.
+    pub fn iter() -> PageSizeIter {
+        PageSizeIter { next: 0 }
+    }
+
+    /// `true` for the sizes the baseline hardware supports natively.
+    pub fn is_native(self) -> bool {
+        PageSize::NATIVE.contains(&self)
+    }
+
+    /// The next larger size, if any.
+    pub fn larger(self) -> Option<PageSize> {
+        let i = PageSize::ALL.iter().position(|&s| s == self).expect("in ALL");
+        PageSize::ALL.get(i + 1).copied()
+    }
+
+    /// The next smaller size, if any.
+    pub fn smaller(self) -> Option<PageSize> {
+        let i = PageSize::ALL.iter().position(|&s| s == self).expect("in ALL");
+        i.checked_sub(1).map(|j| PageSize::ALL[j])
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageSize::Size4K => "4KB",
+            PageSize::Size64K => "64KB",
+            PageSize::Size128K => "128KB",
+            PageSize::Size256K => "256KB",
+            PageSize::Size512K => "512KB",
+            PageSize::Size1M => "1MB",
+            PageSize::Size2M => "2MB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Iterator over all [`PageSize`] variants, produced by [`PageSize::iter`].
+#[derive(Clone, Debug)]
+pub struct PageSizeIter {
+    next: usize,
+}
+
+impl Iterator for PageSizeIter {
+    type Item = PageSize;
+
+    fn next(&mut self) -> Option<PageSize> {
+        let item = PageSize::ALL.get(self.next).copied();
+        self.next += 1;
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_powers_of_two_and_ordered() {
+        let mut prev = 0;
+        for s in PageSize::iter() {
+            assert!(s.bytes().is_power_of_two());
+            assert!(s.bytes() > prev);
+            assert_eq!(1u64 << s.shift(), s.bytes());
+            prev = s.bytes();
+        }
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        for s in PageSize::ALL {
+            assert_eq!(PageSize::from_bytes(s.bytes()), Some(s));
+        }
+        assert_eq!(PageSize::from_bytes(3), None);
+        assert_eq!(PageSize::from_bytes(8 * 1024), None);
+    }
+
+    #[test]
+    fn tree_levels_round_trip() {
+        assert_eq!(PageSize::Size4K.tree_level(), None);
+        assert_eq!(PageSize::Size64K.tree_level(), Some(0));
+        assert_eq!(PageSize::Size2M.tree_level(), Some(5));
+        for s in PageSize::CLAP_SELECTABLE {
+            let l = s.tree_level().unwrap();
+            assert_eq!(PageSize::from_tree_level(l), Some(s));
+        }
+        assert_eq!(PageSize::from_tree_level(6), None);
+    }
+
+    #[test]
+    fn base_pages_counts() {
+        assert_eq!(PageSize::Size4K.base_pages(), 0);
+        assert_eq!(PageSize::Size64K.base_pages(), 1);
+        assert_eq!(PageSize::Size1M.base_pages(), 16);
+        assert_eq!(PageSize::Size2M.base_pages(), 32);
+    }
+
+    #[test]
+    fn native_flags() {
+        assert!(PageSize::Size4K.is_native());
+        assert!(PageSize::Size64K.is_native());
+        assert!(PageSize::Size2M.is_native());
+        assert!(!PageSize::Size256K.is_native());
+    }
+
+    #[test]
+    fn larger_smaller_walk_the_ladder() {
+        assert_eq!(PageSize::Size4K.smaller(), None);
+        assert_eq!(PageSize::Size2M.larger(), None);
+        assert_eq!(PageSize::Size64K.larger(), Some(PageSize::Size128K));
+        assert_eq!(PageSize::Size128K.smaller(), Some(PageSize::Size64K));
+        let mut s = PageSize::Size4K;
+        let mut n = 1;
+        while let Some(l) = s.larger() {
+            s = l;
+            n += 1;
+        }
+        assert_eq!(n, PageSize::ALL.len());
+    }
+
+    #[test]
+    fn va_block_is_2m() {
+        assert_eq!(VA_BLOCK_BYTES, PageSize::Size2M.bytes());
+        assert_eq!(VA_BLOCK_BYTES / BASE_PAGE_BYTES, 32);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(PageSize::Size64K.to_string(), "64KB");
+        assert_eq!(PageSize::Size2M.to_string(), "2MB");
+    }
+}

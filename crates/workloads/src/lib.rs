@@ -1,0 +1,42 @@
+//! Synthetic GPU workload generators for the CLAP reproduction.
+//!
+//! The paper's evaluation (Table 2) drives 15 CUDA benchmarks through a
+//! GPGPU-Sim-based MCM model. Neither the binaries nor their traces exist
+//! here, so this crate generates *synthetic but behaviour-equivalent*
+//! access streams: §3.4 of the paper shows the decisive property of each
+//! data structure is its **chiplet-locality** — the period with which
+//! virtually contiguous regions rotate across the chiplets that access
+//! them — plus its shared fraction, footprint, and reuse. Each workload
+//! below reproduces those properties (see `DESIGN.md` for the full
+//! substitution argument).
+//!
+//! Footprints are 1/8 of the paper's inputs by default
+//! ([`FOOTPRINT_SCALE`]); pair runs with
+//! `SimConfig::baseline().scaled(FOOTPRINT_SCALE)` so cache/TLB pressure
+//! ratios are preserved.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcm_workloads::suite;
+//! use mcm_sim::Workload;
+//!
+//! let all = suite::all();
+//! assert_eq!(all.len(), 15);
+//! let ste = suite::by_name("STE").expect("exists");
+//! assert!(!ste.allocs().is_empty());
+//! ```
+
+#![deny(missing_docs)]
+
+mod builder;
+mod pattern;
+pub mod suite;
+
+pub use builder::{KernelSpec, Part, SyntheticWorkload, WorkloadBuilder};
+pub use pattern::Pattern;
+
+/// Footprints in this crate are `1/FOOTPRINT_SCALE` of the paper's inputs;
+/// use `SimConfig::scaled(FOOTPRINT_SCALE)` to shrink capacity-like machine
+/// resources by the same factor.
+pub const FOOTPRINT_SCALE: u64 = 8;

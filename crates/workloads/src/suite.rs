@@ -1,0 +1,518 @@
+//! The 15-workload evaluation suite (paper Table 2) plus the Fig. 20
+//! kernel-reuse GEMM scenario.
+//!
+//! Footprints are 1/8 of the paper's inputs
+//! ([`FOOTPRINT_SCALE`](crate::FOOTPRINT_SCALE)); threadblock counts are
+//! scaled to keep the 256-SM machine saturated. Each structure's pattern
+//! encodes the chiplet-locality period that drives its page-size
+//! preference:
+//!
+//! * `Sliced { period: p }` → per-chiplet locality groups of `p / 4` — the
+//!   left-hand workloads of Fig. 6 (STE/LPS ≈ 256KB groups, 3DC ≈ 64KB);
+//! * `Sliced { period: 0 }` → block-partitioned, huge groups — the
+//!   right-hand, 2MB-friendly workloads (2DC, FDT, BLK, DWT, LUD, GEMM
+//!   A/C);
+//! * `Uniform` → globally shared (GEMM matrix B; 100% chiplet-locality by
+//!   the paper's §3.4 convention, inherently remote at any size);
+//! * `Irregular` → graph codes with partial locality (BFS, SSSP, PAF, SC).
+
+use crate::builder::{KernelSpec, Part, SyntheticWorkload, WorkloadBuilder};
+use crate::pattern::Pattern;
+
+const MB: u64 = 1 << 20;
+const KB: u64 = 1 << 10;
+
+fn sliced(period: u64, halo: f64) -> Pattern {
+    Pattern::Sliced { period, halo }
+}
+
+fn part(alloc: usize, weight: f64, pattern: Pattern) -> Part {
+    Part::new(alloc, weight, pattern)
+}
+
+/// `stencil` (Parboil). Paper: 128MB, 1024 TBs, best at ~256KB pages.
+pub fn ste() -> SyntheticWorkload {
+    WorkloadBuilder::new("STE")
+        .alloc("grid-in", 32 * MB)
+        .alloc("grid-out", 32 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 512,
+            warps_per_tb: 4,
+            insts_per_mem: 4,
+            line_reuse: 16,
+            unique_lines: 288,
+            passes: 2,
+            parts: vec![
+                part(0, 0.55, sliced(MB, 0.05)),
+                part(1, 0.45, sliced(MB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `3d convolution` (Polybench). Paper: 512MB, 256 TBs, prefers 64KB.
+pub fn threedc() -> SyntheticWorkload {
+    WorkloadBuilder::new("3DC")
+        .alloc("vol-in", 48 * MB)
+        .alloc("vol-out", 16 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 256,
+            warps_per_tb: 4,
+            insts_per_mem: 4,
+            line_reuse: 16,
+            unique_lines: 640,
+            passes: 1,
+            parts: vec![
+                part(0, 0.6, sliced(256 * KB, 0.06)),
+                part(1, 0.4, sliced(256 * KB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `laplace3d`. Paper: 1GB, 2048 TBs, best at ~256KB.
+pub fn lps() -> SyntheticWorkload {
+    WorkloadBuilder::new("LPS")
+        .alloc("u-in", 64 * MB)
+        .alloc("u-out", 64 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 512,
+            warps_per_tb: 4,
+            insts_per_mem: 4,
+            line_reuse: 16,
+            unique_lines: 512,
+            passes: 1,
+            parts: vec![
+                part(0, 0.5, sliced(MB, 0.04)),
+                part(1, 0.5, sliced(MB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `pathfinder` (Rodinia). Paper: 1.87GB, best at 128KB despite huge input.
+pub fn paf() -> SyntheticWorkload {
+    WorkloadBuilder::new("PAF")
+        .alloc("wall", 128 * MB)
+        .alloc("src-row", 8 * MB)
+        .alloc("result", 8 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 512,
+            warps_per_tb: 4,
+            insts_per_mem: 4,
+            line_reuse: 8,
+            unique_lines: 832,
+            passes: 1,
+            parts: vec![
+                part(
+                    0,
+                    0.7,
+                    Pattern::Irregular {
+                        period: 512 * KB,
+                        locality: 0.92,
+                        spread: 64 * KB,
+                    },
+                ),
+                part(1, 0.15, sliced(512 * KB, 0.0)),
+                part(2, 0.15, sliced(512 * KB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `streamcluster` (Rodinia). Paper: 2.02GB, 256 TBs, memory-bound, best
+/// at ~128KB.
+pub fn sc() -> SyntheticWorkload {
+    WorkloadBuilder::new("SC")
+        .alloc("points", 128 * MB)
+        .alloc("centers", 8 * MB)
+        .alloc("assign", 8 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 256,
+            warps_per_tb: 4,
+            insts_per_mem: 2,
+            line_reuse: 4,
+            unique_lines: 896,
+            passes: 1,
+            parts: vec![
+                part(
+                    0,
+                    0.75,
+                    Pattern::Irregular {
+                        period: 512 * KB,
+                        locality: 0.88,
+                        spread: 128 * KB,
+                    },
+                ),
+                part(1, 0.15, Pattern::SharedSweep),
+                part(2, 0.10, sliced(512 * KB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `breadth-first-search` (LonestarGPU). Mixed preferences per structure
+/// (Table 4: 2MB / 2MB / 64KB).
+pub fn bfs() -> SyntheticWorkload {
+    WorkloadBuilder::new("BFS")
+        .alloc("edges", 32 * MB)
+        .alloc("nodes", 16 * MB)
+        .alloc("frontier", 8 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 16384,
+            warps_per_tb: 16,
+            insts_per_mem: 4,
+            line_reuse: 8,
+            unique_lines: 8,
+            passes: 2,
+            parts: vec![
+                part(
+                    0,
+                    0.5,
+                    Pattern::Irregular {
+                        period: 0,
+                        locality: 0.75,
+                        spread: 0,
+                    },
+                ),
+                part(1, 0.25, sliced(0, 0.0)),
+                part(2, 0.25, sliced(256 * KB, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `2d convolution` (Polybench). Regular, 2MB-friendly.
+pub fn twodc() -> SyntheticWorkload {
+    WorkloadBuilder::new("2DC")
+        .alloc("img-in", 64 * MB)
+        .alloc("img-out", 64 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 8192,
+            warps_per_tb: 16,
+            insts_per_mem: 4,
+            line_reuse: 32,
+            unique_lines: 32,
+            passes: 2,
+            parts: vec![
+                part(0, 0.55, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(1, 0.45, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+            ],
+        })
+        .build()
+}
+
+/// `fdtd2d` (Polybench). Large, regular, 2MB-friendly.
+pub fn fdt() -> SyntheticWorkload {
+    WorkloadBuilder::new("FDT")
+        .alloc("ex", 128 * MB)
+        .alloc("ey", 128 * MB)
+        .alloc("hz", 128 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 8192,
+            warps_per_tb: 16,
+            insts_per_mem: 3,
+            line_reuse: 16,
+            unique_lines: 36,
+            passes: 2,
+            parts: vec![
+                part(0, 0.4, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(1, 0.3, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(2, 0.3, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+            ],
+        })
+        .build()
+}
+
+/// `blackscholes` (CUDA SDK). Small structures, regular, prefers 2MB.
+pub fn blk() -> SyntheticWorkload {
+    WorkloadBuilder::new("BLK")
+        .alloc("price", 16 * MB)
+        .alloc("strike", 16 * MB)
+        .alloc("maturity", 16 * MB)
+        .alloc("call", 16 * MB)
+        .alloc("put", 16 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 8192,
+            warps_per_tb: 16,
+            insts_per_mem: 5,
+            line_reuse: 8,
+            unique_lines: 10,
+            passes: 2,
+            parts: (0..5).map(|i| part(i, 0.2, sliced(0, 0.0))).collect(),
+        })
+        .build()
+}
+
+/// `single-source shortest path` (Pannotia). Scattered accesses with high
+/// inherent remote ratio — flat across page sizes, so larger pages win.
+pub fn sssp() -> SyntheticWorkload {
+    WorkloadBuilder::new("SSSP")
+        .alloc("edges", 160 * MB)
+        .alloc("nodes", 32 * MB)
+        .alloc("dist", 32 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 32768,
+            warps_per_tb: 16,
+            insts_per_mem: 3,
+            line_reuse: 4,
+            unique_lines: 8,
+            passes: 1,
+            parts: vec![
+                part(
+                    0,
+                    0.55,
+                    Pattern::Irregular {
+                        period: 0,
+                        locality: 0.55,
+                        spread: 0,
+                    },
+                ),
+                part(
+                    1,
+                    0.25,
+                    Pattern::Irregular {
+                        period: 0,
+                        locality: 0.6,
+                        spread: 0,
+                    },
+                ),
+                part(2, 0.2, sliced(0, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// `2d dwt` (Rodinia). Regular transform, 2MB-friendly.
+pub fn dwt() -> SyntheticWorkload {
+    WorkloadBuilder::new("DWT")
+        .alloc("img", 64 * MB)
+        .alloc("coeffs", 64 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 8192,
+            warps_per_tb: 16,
+            insts_per_mem: 4,
+            line_reuse: 16,
+            unique_lines: 32,
+            passes: 2,
+            parts: vec![
+                part(0, 0.5, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(1, 0.5, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+            ],
+        })
+        .build()
+}
+
+/// `lud` (Rodinia). One huge matrix swept sparsely: PMM never fills whole
+/// VA blocks, forcing CLAP's OLP fallback (which still reaches 2MB).
+pub fn lud() -> SyntheticWorkload {
+    WorkloadBuilder::new("LUD")
+        .alloc("matrix", 512 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 256,
+            warps_per_tb: 4,
+            insts_per_mem: 8,
+            line_reuse: 32,
+            unique_lines: 96,
+            passes: 1,
+            parts: vec![part(0, 1.0, Pattern::SparseStrided { stride_pages: 3 })],
+        })
+        .build()
+}
+
+fn gemm(
+    name: &str,
+    a_mb: u64,
+    b_mb: u64,
+    c_mb: u64,
+    num_tbs: u32,
+    insts_per_mem: u32,
+    a_pattern: Pattern,
+) -> SyntheticWorkload {
+    WorkloadBuilder::new(name)
+        .alloc("matrix-A", a_mb * MB)
+        .alloc("matrix-B", b_mb * MB)
+        .alloc("matrix-C", c_mb * MB)
+        .kernel(KernelSpec {
+            num_tbs,
+            warps_per_tb: 4,
+            insts_per_mem,
+            line_reuse: 16,
+            unique_lines: 64,
+            passes: 3,
+            parts: vec![
+                part(0, 0.3, a_pattern),
+                part(1, 0.4, Pattern::SharedSweep),
+                part(2, 0.3, sliced(0, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// GEMM with ViT-FC shapes. Matrix A is small and touched by several
+/// chiplets per VA block (Table 4: A 64KB via OLP, B/C 2MB).
+pub fn vit() -> SyntheticWorkload {
+    gemm("ViT", 4, 16, 16, 512, 8, sliced(256 * KB, 0.0))
+}
+
+/// GEMM with ResNet50-FC shapes (Table 4: all 2MB).
+pub fn res50() -> SyntheticWorkload {
+    gemm("RES50", 16, 16, 32, 512, 8, sliced(0, 0.0))
+}
+
+/// GEMM with GPT3-FC shapes: a large partitioned A, shared B (Table 4: all
+/// 2MB).
+pub fn gpt3() -> SyntheticWorkload {
+    gemm("GPT3", 288, 16, 8, 1024, 10, sliced(0, 0.0))
+}
+
+/// The Fig. 20 scenario: GEMM whose output `C*` is reused by a second
+/// kernel with a different pattern — only the first quarter is read, and
+/// it is re-partitioned across chiplets, invalidating kernel 0's placement.
+pub fn gemm_reuse() -> SyntheticWorkload {
+    WorkloadBuilder::new("GEMM-reuse")
+        .alloc("matrix-A", 16 * MB)
+        .alloc("matrix-B", 8 * MB)
+        .alloc("matrix-Cstar", 32 * MB)
+        .alloc("matrix-B2", 8 * MB)
+        .alloc("matrix-D", 16 * MB)
+        .kernel(KernelSpec {
+            num_tbs: 512,
+            warps_per_tb: 4,
+            insts_per_mem: 8,
+            line_reuse: 16,
+            unique_lines: 64,
+            passes: 3,
+            parts: vec![
+                part(0, 0.3, sliced(0, 0.0)),
+                part(1, 0.4, Pattern::SharedSweep),
+                part(2, 0.3, sliced(0, 0.0)),
+            ],
+        })
+        .kernel(KernelSpec {
+            num_tbs: 512,
+            warps_per_tb: 4,
+            insts_per_mem: 8,
+            line_reuse: 16,
+            unique_lines: 64,
+            passes: 3,
+            parts: vec![
+                // C* quarter, re-partitioned: kernel-0 placement is wrong.
+                Part::new(2, 0.35, sliced(0, 0.0)).with_window(0, 8 * MB),
+                part(3, 0.3, Pattern::SharedSweep),
+                part(4, 0.35, sliced(0, 0.0)),
+            ],
+        })
+        .build()
+}
+
+/// Every suite workload, in Table 2 order.
+pub fn all() -> Vec<SyntheticWorkload> {
+    vec![
+        ste(),
+        threedc(),
+        lps(),
+        paf(),
+        sc(),
+        bfs(),
+        twodc(),
+        fdt(),
+        blk(),
+        sssp(),
+        dwt(),
+        lud(),
+        vit(),
+        res50(),
+        gpt3(),
+    ]
+}
+
+/// The names of [`all`] workloads, in order.
+pub const NAMES: [&str; 15] = [
+    "STE", "3DC", "LPS", "PAF", "SC", "BFS", "2DC", "FDT", "BLK", "SSSP", "DWT", "LUD", "ViT",
+    "RES50", "GPT3",
+];
+
+/// Looks a workload up by its Table 2 abbreviation (case-insensitive).
+pub fn by_name(name: &str) -> Option<SyntheticWorkload> {
+    let idx = NAMES
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case(name))?;
+    Some(all().swap_remove(idx))
+}
+
+/// The subset used by the 8-chiplet scaling study (Fig. 22): everything
+/// except 3DC and SC, whose launches are too small to fill 8 chiplets.
+pub fn eight_chiplet_subset() -> Vec<SyntheticWorkload> {
+    all()
+        .into_iter()
+        .filter(|w| {
+            use mcm_sim::Workload;
+            w.name() != "3DC" && w.name() != "SC"
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_sim::Workload;
+
+    #[test]
+    fn suite_matches_names() {
+        let ws = all();
+        assert_eq!(ws.len(), NAMES.len());
+        for (w, n) in ws.iter().zip(NAMES) {
+            assert_eq!(w.name(), n);
+        }
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert!(by_name("ste").is_some());
+        assert!(by_name("GPT3").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_generates_valid_streams() {
+        use mcm_types::{TbId, WarpId};
+        for w in all() {
+            let kd = w.kernel(0);
+            assert!(kd.num_tbs >= 256, "{}: too few TBs", w.name());
+            let s = w.warp_accesses(0, TbId::new(0), WarpId::new(0));
+            assert!(!s.is_empty(), "{}: empty stream", w.name());
+            for va in &s {
+                assert!(
+                    w.allocs().iter().any(|a| a.contains(*va)),
+                    "{}: {va} out of bounds",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_reuse_has_two_kernels_with_window() {
+        let w = gemm_reuse();
+        assert_eq!(w.num_kernels(), 2);
+        use mcm_types::{TbId, WarpId};
+        let base = w.allocs()[2].base;
+        let quarter = 8 * MB;
+        // Kernel 1 touches C* only in its first quarter.
+        for tb in [0u32, 255, 511] {
+            for va in w.warp_accesses(1, TbId::new(tb), WarpId::new(0)) {
+                if w.allocs()[2].contains(va) {
+                    assert!(va.distance_from(base) < quarter);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eight_chiplet_subset_drops_small_launches() {
+        let sub = eight_chiplet_subset();
+        assert_eq!(sub.len(), 13);
+        assert!(sub.iter().all(|w| w.name() != "3DC" && w.name() != "SC"));
+    }
+}

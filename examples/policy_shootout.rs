@@ -1,0 +1,42 @@
+//! Policy shootout: run one suite workload (default STE, or pass a Table 2
+//! abbreviation) under all nine evaluated configurations and print the
+//! full statistics row for each — the per-workload slice of Fig. 18.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout -- BFS
+//! ```
+
+use clap_repro::bench::configs::ConfigKind;
+use clap_repro::bench::experiments::Harness;
+use clap_repro::workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "STE".into());
+    let Some(w) = suite::by_name(&name) else {
+        eprintln!("unknown workload {name}; pick one of {:?}", suite::NAMES);
+        std::process::exit(2);
+    };
+    let h = Harness::quick();
+    println!(
+        "{name} under the nine configurations of the main evaluation (quarter scale):\n"
+    );
+    println!(
+        "{:<20} {:>9} {:>8} {:>8} {:>10} {:>8} {:>7}",
+        "config", "speedup", "remote", "xlat", "L2TLBmpki", "walks", "promo"
+    );
+    let mut base = None;
+    for kind in ConfigKind::main_eval() {
+        let s = h.run(&w, kind);
+        let b = *base.get_or_insert(s.cycles);
+        println!(
+            "{:<20} {:>8.2}x {:>7.1}% {:>8.1} {:>10.2} {:>8} {:>7}",
+            kind.name(),
+            b as f64 / s.cycles as f64,
+            100.0 * s.remote_ratio(),
+            s.avg_translation_latency(),
+            s.l2tlb_mpki(),
+            s.walks,
+            s.promotions
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Page-size sensitivity of two opposite workload families (paper §3.3,
+//! Fig. 6): a stencil whose chiplet-locality groups are 256KB (so large
+//! pages destroy locality) versus a graph workload whose scattered shared
+//! reads make remote traffic inevitable (so large pages are free wins).
+//!
+//! ```text
+//! cargo run --release --example stencil_vs_graph
+//! ```
+
+use clap_repro::bench::configs::ConfigKind;
+use clap_repro::bench::experiments::{size_ladder, Harness};
+use clap_repro::workloads::suite;
+
+fn main() {
+    let h = Harness::quick();
+    for w in [suite::ste(), suite::sssp()] {
+        println!("{}:", clap_repro::sim::Workload::name(&w));
+        println!(
+            "  {:<8} {:>10} {:>9} {:>8} {:>12}",
+            "size", "cycles", "speedup", "remote", "xlat(cyc/acc)"
+        );
+        let mut base = None;
+        let mut best: Option<(String, u64)> = None;
+        for kind in size_ladder() {
+            let s = h.run(&w, kind);
+            let b = *base.get_or_insert(s.cycles);
+            println!(
+                "  {:<8} {:>10} {:>8.2}x {:>7.1}% {:>12.1}",
+                kind.name().trim_start_matches("S-"),
+                s.cycles,
+                b as f64 / s.cycles as f64,
+                100.0 * s.remote_ratio(),
+                s.avg_translation_latency()
+            );
+            if best.as_ref().is_none_or(|(_, c)| s.cycles < *c) {
+                best = Some((kind.name(), s.cycles));
+            }
+        }
+        let clap = h.run(&w, ConfigKind::Clap);
+        let (bname, bcycles) = best.expect("some size ran");
+        println!(
+            "  best static: {bname}; CLAP reaches {:.1}% of it without being told\n",
+            100.0 * bcycles as f64 / clap.cycles as f64
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! CLAP reproduction — umbrella crate.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use clap_repro::...`.
+
+pub use clap_core as clap;
+pub use mcm_bench as bench;
+pub use mcm_mem as mem;
+pub use mcm_policies as policies;
+pub use mcm_sim as sim;
+pub use mcm_types as types;
+pub use mcm_workloads as workloads;

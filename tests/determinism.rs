@@ -1,0 +1,44 @@
+//! Reproducibility: every simulation is deterministic — identical runs
+//! yield identical statistics, which is what makes the regenerated figures
+//! stable artefacts.
+
+use clap_repro::bench::configs::ConfigKind;
+use clap_repro::bench::experiments::Harness;
+use clap_repro::types::PageSize;
+use clap_repro::workloads::suite;
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let h = Harness::quick();
+    for kind in [
+        ConfigKind::Static(PageSize::Size64K),
+        ConfigKind::Clap,
+        ConfigKind::CNuma,
+    ] {
+        let w = suite::ste();
+        let a = h.run(&w, kind);
+        let b = h.run(&w, kind);
+        assert_eq!(a.cycles, b.cycles, "{:?} cycles differ", kind);
+        assert_eq!(a.mem_insts, b.mem_insts);
+        assert_eq!(a.remote_insts, b.remote_insts);
+        assert_eq!(a.l2tlb_misses, b.l2tlb_misses);
+        assert_eq!(a.walks, b.walks);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.promotions, b.promotions);
+        assert_eq!(a.migrations, b.migrations);
+    }
+}
+
+#[test]
+fn workload_streams_are_stable_across_clones() {
+    use clap_repro::sim::Workload;
+    use clap_repro::types::{TbId, WarpId};
+    let w1 = suite::bfs();
+    let w2 = suite::bfs();
+    for tb in [0u32, 100, 4000] {
+        assert_eq!(
+            w1.warp_accesses(0, TbId::new(tb), WarpId::new(3)),
+            w2.warp_accesses(0, TbId::new(tb), WarpId::new(3))
+        );
+    }
+}
