@@ -4,7 +4,12 @@
 //! figures [--quick] [--out DIR] \
 //!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
 //! figures [--quick] probe <WORKLOAD>
+//! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
 //! ```
+//!
+//! `probe --chaos` re-runs the workload under every main config with a
+//! fault-injecting `ChaosPolicy` wrapper and epoch auditing, and reports
+//! the degradation counters instead of the performance columns.
 //!
 //! `--quick` runs at reduced threadblock counts (smoke scale); by default
 //! results are printed and CSVs written to `results/`.
@@ -48,7 +53,22 @@ fn main() {
 
     if let Some(pos) = targets.iter().position(|t| *t == "probe") {
         let wname = targets.get(pos + 1).copied().unwrap_or("STE");
-        probe(&h, wname);
+        let chaos_seed = args.iter().find_map(|a| {
+            if a == "--chaos" {
+                Some(1u64)
+            } else {
+                a.strip_prefix("--chaos=").map(|s| {
+                    s.parse().unwrap_or_else(|_| {
+                        eprintln!("--chaos seed must be an integer, got {s:?}");
+                        std::process::exit(2);
+                    })
+                })
+            }
+        });
+        match chaos_seed {
+            Some(seed) => probe_chaos(&h, wname, seed),
+            None => probe(&h, wname),
+        }
         return;
     }
 
@@ -117,6 +137,57 @@ fn probe(h: &Harness, wname: &str) {
             s.faults,
             s.promotions
         );
+    }
+}
+
+/// Chaos deep-dive: every main config under seeded fault injection, with
+/// the run's degradation counters instead of performance columns.
+fn probe_chaos(h: &Harness, wname: &str, seed: u64) {
+    use mcm_bench::configs::ConfigKind;
+    use mcm_sim::RunOutcome;
+    let w = mcm_workloads::suite::by_name(wname).unwrap_or_else(|| {
+        eprintln!("unknown workload {wname}");
+        std::process::exit(2);
+    });
+    println!("== chaos probe: {wname}, seed {seed}");
+    println!(
+        "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  outcome",
+        "config", "injected", "reject", "fallbk", "stalls", "stale", "audit", "notlb", "cycles"
+    );
+    for kind in ConfigKind::main_eval() {
+        let (chaos, out) = h.run_chaos(&w, kind, seed);
+        match out {
+            Ok(RunOutcome::Completed(s)) | Ok(RunOutcome::Degraded { stats: s, .. }) => {
+                let d = &s.degradation;
+                println!(
+                    "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  {}",
+                    kind.name(),
+                    chaos.total(),
+                    d.rejected_directives,
+                    d.fallback_remote_frames,
+                    d.walk_queue_stalls,
+                    d.stale_tlb_hits,
+                    d.audit_violations,
+                    d.tlb_class_missing,
+                    s.cycles,
+                    if d.is_degraded() { "degraded" } else { "clean" }
+                );
+            }
+            Err(e) => {
+                println!(
+                    "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  aborted: {e}",
+                    kind.name(),
+                    chaos.total(),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                );
+            }
+        }
     }
 }
 

@@ -5,12 +5,15 @@ use mcm_sim::{run, SimConfig};
 use mcm_types::PageSize;
 use mcm_workloads::{suite, FOOTPRINT_SCALE};
 
+/// A named machine-configuration tweak.
+type Variant<'a> = (&'a str, Box<dyn Fn(&mut SimConfig)>);
+
 fn main() {
     let wname = std::env::args().nth(1).unwrap_or_else(|| "BFS".into());
     let w = suite::by_name(&wname).expect("workload").with_tb_scale(1, 4);
     let base = SimConfig::baseline().scaled(FOOTPRINT_SCALE);
 
-    let variants: Vec<(&str, Box<dyn Fn(&mut SimConfig)>)> = vec![
+    let variants: Vec<Variant> = vec![
         ("default", Box::new(|_c: &mut SimConfig| {})),
         ("fault=0", Box::new(|c| c.fault_latency = 0)),
         ("ring_svc=0", Box::new(|c| c.ring_service = 0)),

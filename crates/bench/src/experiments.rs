@@ -7,7 +7,10 @@
 
 use clap_core::{survey_mean, survey_workload, Clap};
 use mcm_policies::{Nuba, Sac};
-use mcm_sim::{run, RemoteCacheModel, RunStats, SimConfig, Workload};
+use mcm_sim::{
+    run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome,
+    RunStats, SimConfig, SimError, Workload,
+};
 use mcm_types::PageSize;
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
 
@@ -95,7 +98,8 @@ impl Harness {
     pub fn run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> RunStats {
         let (mut policy, cfg) = kind.build(&self.base);
         let w = self.prep(w);
-        run(&cfg, &w, policy.as_mut(), None).expect("simulation succeeds")
+        run(&cfg, &w, policy.as_mut(), None)
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.name()))
     }
 
     /// Runs `w` under `kind` with a remote-cache scheme attached.
@@ -111,7 +115,26 @@ impl Harness {
             CacheKind::Nuba => Box::new(Nuba::for_config(&cfg)),
             CacheKind::Sac => Box::new(Sac::for_config(&cfg)),
         };
-        run(&cfg, &w, policy.as_mut(), Some(model.as_mut())).expect("simulation succeeds")
+        run(&cfg, &w, policy.as_mut(), Some(model.as_mut()))
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.name()))
+    }
+
+    /// Runs `w` under `kind` wrapped in a fault-injecting
+    /// [`ChaosPolicy`], with epoch auditing enabled. Returns the
+    /// injection counters and the (possibly degraded) outcome — a typed
+    /// error, never a panic.
+    pub fn run_chaos(
+        &self,
+        w: &SyntheticWorkload,
+        kind: ConfigKind,
+        seed: u64,
+    ) -> (ChaosStats, Result<RunOutcome, SimError>) {
+        let (policy, mut cfg) = kind.build(&self.base);
+        cfg.audit_epochs = true;
+        let mut chaotic = ChaosPolicy::new(policy, ChaosConfig::with_seed(seed));
+        let w = self.prep(w);
+        let out = run_outcome(&cfg, &w, &mut chaotic, None);
+        (chaotic.stats(), out)
     }
 }
 
@@ -166,7 +189,7 @@ pub fn size_ladder() -> Vec<ConfigKind> {
 /// native page sizes, intro subset.
 pub fn fig1(h: &Harness) -> Grid {
     let subset = ["STE", "3DC", "LPS", "SC", "SSSP", "DWT", "LUD", "GPT3"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
     let configs = [
         ConfigKind::Static(PageSize::Size4K),
         ConfigKind::Static(PageSize::Size64K),
@@ -186,7 +209,7 @@ pub fn fig1(h: &Harness) -> Grid {
 /// the page-size-sensitive subset.
 pub fn fig2(h: &Harness) -> Grid {
     let subset = ["STE", "3DC", "LPS", "PAF", "SC", "BFS"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
     let s2m = ConfigKind::Static(PageSize::Size2M);
     let s64 = ConfigKind::Static(PageSize::Size64K);
     let mut rows = Vec::new();
@@ -251,7 +274,7 @@ pub fn fig8(h: &Harness) -> Grid {
     let mut rows = Vec::new();
     let mut remote = Vec::new();
     for (wname, picks) in [("3DC", ["vol-in", "vol-out"]), ("BFS", ["edges", "frontier"])] {
-        let w = suite::by_name(wname).expect("known");
+        let w = suite::by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"));
         let ids: Vec<_> = w
             .allocs()
             .iter()
@@ -422,7 +445,7 @@ pub fn fig22(h: &Harness) -> Grid {
 /// (15%/20%/30%) plus OLP and RT knock-outs.
 pub fn ablation(h: &Harness) -> Grid {
     let subset = ["STE", "LPS", "PAF", "LUD", "GPT3"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).expect("known")).collect();
+    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
     let configs = [
         ConfigKind::Clap,
         ConfigKind::ClapPmm(15),
@@ -445,7 +468,7 @@ pub fn ablation(h: &Harness) -> Grid {
 pub fn fig22_single(h: &Harness, workload: &str) -> RunStats {
     let mut h8 = h.clone();
     h8.base = SimConfig::eight_chiplets().scaled(FOOTPRINT_SCALE);
-    let w = suite::by_name(workload).expect("known workload").with_tb_scale(2, 1);
+    let w = suite::by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).with_tb_scale(2, 1);
     h8.run(&w, ConfigKind::Clap)
 }
 
@@ -496,7 +519,8 @@ pub fn table4(h: &Harness) -> Vec<Table4Row> {
         let (_, cfg) = ConfigKind::Clap.build(h.base_config());
         let prepped = w.clone().with_tb_scale(1, h.tb_div);
         let mut clap = Clap::new();
-        run(&cfg, &prepped, &mut clap, None).expect("simulation succeeds");
+        run(&cfg, &prepped, &mut clap, None)
+            .unwrap_or_else(|e| panic!("CLAP run of {} failed: {e}", w.name()));
         if std::env::var_os("CLAP_DEBUG_MMA").is_some() {
             for a in w.allocs() {
                 eprintln!("[olp] {} {}: {}", w.name(), a.name, clap.debug_olp(a.id));

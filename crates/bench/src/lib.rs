@@ -5,6 +5,8 @@
 //! criterion benches in `benches/` time reduced-scale versions of each.
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod configs;
 pub mod experiments;

@@ -22,10 +22,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use mcm_mem::{FrameAllocator, ReservationTable};
+use mcm_mem::{FrameAllocator, MemError, ReservationTable};
 use mcm_sim::{
-    AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, StaticHint, TranslationConfig,
-    WalkEvent,
+    AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, SimError, StaticHint,
+    TranslationConfig, WalkEvent,
 };
 use mcm_types::{
     AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES, VA_BLOCK_BYTES,
@@ -42,6 +42,19 @@ pub const PMM_THRESHOLD: f64 = 0.20;
 pub const OLP_RELEASE_LIMIT: f64 = 0.05;
 
 const MAX_CHIPLETS: usize = 8;
+
+/// Lifts an allocator/reservation failure into the simulator's typed error
+/// space so a fault that cannot be resolved aborts the *run*, not the
+/// process.
+fn mem_to_sim(e: MemError) -> SimError {
+    match e {
+        MemError::ChipletExhausted { chiplet, size } => SimError::OutOfFrames { chiplet, size },
+        MemError::Misaligned { addr, align } => SimError::Misaligned { addr, align },
+        other => SimError::PolicyViolation {
+            reason: other.to_string(),
+        },
+    }
+}
 
 /// How CLAP decides target chiplets and page sizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -281,8 +294,8 @@ impl Clap {
         }
     }
 
-    fn st(&mut self) -> &mut St {
-        self.st.as_mut().expect("begin() called")
+    fn st(&mut self) -> Option<&mut St> {
+        self.st.as_mut()
     }
 
     /// Diagnostic snapshot of a structure's OLP state (for the harness's
@@ -410,10 +423,19 @@ impl PagingPolicy for Clap {
         });
     }
 
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         let mode = self.mode;
-        let st = self.st.as_mut().expect("begin() called");
-        let a = st.per.get_mut(&ctx.alloc).expect("known allocation");
+        let rt_enabled = self.rt_enabled;
+        let Some(st) = self.st.as_mut() else {
+            return Err(SimError::PolicyViolation {
+                reason: "on_fault before begin()".into(),
+            });
+        };
+        let Some(a) = st.per.get_mut(&ctx.alloc) else {
+            return Err(SimError::PolicyViolation {
+                reason: format!("fault for unknown allocation {}", ctx.alloc),
+            });
+        };
         a.first_kernel.get_or_insert(st.kernel);
 
         // Placement target: first-touch for runtime structures, the
@@ -452,12 +474,12 @@ impl PagingPolicy for Clap {
                 s,
                 st.layout,
             ),
-        };
+        }?;
         a.mapped_pages += 1;
 
         // PMM threshold reached: run memory mapping analysis.
         if a.phase == Phase::Profiling && a.mapped_pages >= a.threshold_pages {
-            let ratio = if self.rt_enabled {
+            let ratio = if rt_enabled {
                 st.rt.drain_ratio(ctx.alloc)
             } else {
                 0.0
@@ -478,7 +500,7 @@ impl PagingPolicy for Clap {
                 );
             }
         }
-        dirs
+        Ok(dirs)
     }
 
     fn wants_access_samples(&self) -> bool {
@@ -492,24 +514,24 @@ impl PagingPolicy for Clap {
         // model, TLB pressure skews the walk population toward irregular
         // accesses, so sampling accesses directly reproduces the accuracy
         // the paper measured.
-        {
-            let st = self.st();
-            st.rt.record(ev.requester, ev.alloc, ev.is_remote());
-        }
-        if !self.migration {
+        let migration = self.migration;
+        let Some(st) = self.st() else {
+            return;
+        };
+        st.rt.record(ev.requester, ev.alloc, ev.is_remote());
+        if !migration {
             return;
         }
-        let kernel = self.st().kernel;
+        let kernel = st.kernel;
         if kernel == 0 {
             return;
         }
-        let st = self.st.as_mut().expect("begin() called");
         let Some(a) = st.per.get(&ev.alloc) else {
             return;
         };
         // Only structures mapped by an earlier kernel are
         // migration-eligible ("shared across multiple kernels", §5.2).
-        if a.first_kernel.map_or(true, |k| k >= kernel) {
+        if a.first_kernel.is_none_or(|k| k >= kernel) {
             return;
         }
         let block = ev.va.raw() / VA_BLOCK_BYTES;
@@ -526,7 +548,9 @@ impl PagingPolicy for Clap {
         if !self.migration {
             return Vec::new();
         }
-        let st = self.st.as_mut().expect("begin() called");
+        let Some(st) = self.st.as_mut() else {
+            return Vec::new();
+        };
         let mut dirs = Vec::new();
         let mut dirty: Vec<u64> = st.reuse_dirty.drain().collect();
         dirty.sort_unstable();
@@ -553,12 +577,21 @@ impl PagingPolicy for Clap {
                 continue;
             }
             // Demote a promoted 2MB leaf so individual pages can move.
-            if st.promoted.remove(&block) {
-                dirs.push(Directive::Unmap { va: base });
-                let frame0 = st.frames[&(base.raw() / BASE_PAGE_BYTES)];
-                st.allocator
+            // Demotion is best-effort: if the frame bookkeeping disagrees,
+            // leave the leaf promoted rather than corrupting state.
+            if st.promoted.contains(&block) {
+                let Some(&frame0) = st.frames.get(&(base.raw() / BASE_PAGE_BYTES)) else {
+                    continue;
+                };
+                if st
+                    .allocator
                     .downgrade_block(frame0, alloc, &[true; 32])
-                    .expect("promoted block frame");
+                    .is_err()
+                {
+                    continue;
+                }
+                st.promoted.remove(&block);
+                dirs.push(Directive::Unmap { va: base });
                 for i in 0..32u64 {
                     dirs.push(Directive::Map {
                         va: base + i * BASE_PAGE_BYTES,
@@ -569,20 +602,22 @@ impl PagingPolicy for Clap {
                 }
             }
             // Migrate each remote-dominant page to its dominant accessor.
-            let counts = st.reuse.get(&block).expect("checked").counts.clone();
+            let Some(counts) = st.reuse.get(&block).map(|rb| rb.counts.clone()) else {
+                continue;
+            };
             for (i, c) in counts.iter().enumerate() {
                 let vpn = base.raw() / BASE_PAGE_BYTES + i as u64;
                 let Some(&pa) = st.frames.get(&vpn) else {
                     continue;
                 };
-                let dominant = ChipletId::new(
-                    c[..st.num_chiplets]
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, x)| **x)
-                        .map(|(i, _)| i)
-                        .expect("nonempty") as u8,
-                );
+                let Some(dominant) = c[..st.num_chiplets]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, x)| **x)
+                    .map(|(i, _)| ChipletId::new(i as u8))
+                else {
+                    continue;
+                };
                 let t: u32 = c.iter().sum();
                 if t == 0 || dominant == st.layout.chiplet_of(pa) {
                     continue;
@@ -593,10 +628,10 @@ impl PagingPolicy for Clap {
                 {
                     continue;
                 }
-                let new_frame = st
-                    .allocator
-                    .alloc_frame(dominant, PageSize::Size64K, alloc)
-                    .expect("can_alloc checked");
+                let Ok(new_frame) = st.allocator.alloc_frame(dominant, PageSize::Size64K, alloc)
+                else {
+                    continue;
+                };
                 let _ = st.allocator.free_frame(pa, PageSize::Size64K, alloc);
                 st.frames.insert(vpn, new_frame);
                 dirs.push(Directive::Migrate {
@@ -614,8 +649,9 @@ impl PagingPolicy for Clap {
     }
 
     fn on_kernel_end(&mut self, kernel: usize, _cycle: u64) -> Vec<Directive> {
-        let st = self.st();
-        st.kernel = kernel + 1;
+        if let Some(st) = self.st() {
+            st.kernel = kernel + 1;
+        }
         Vec::new()
     }
 
@@ -626,6 +662,12 @@ impl PagingPolicy for Clap {
 
     fn blocks_consumed(&self) -> Option<usize> {
         self.st.as_ref().map(|s| s.allocator.blocks_consumed())
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.st
+            .as_ref()
+            .map_or(0, |s| s.allocator.stats().chiplet_fallbacks)
     }
 }
 
@@ -640,7 +682,7 @@ fn olp_map(
     va: VirtAddr,
     target: ChipletId,
     layout: PhysLayout,
-) -> Vec<Directive> {
+) -> Result<Vec<Directive>, SimError> {
     let block_base = va.align_down(VA_BLOCK_BYTES);
     let block = block_base.raw() / VA_BLOCK_BYTES;
     let vpn = va.raw() / BASE_PAGE_BYTES;
@@ -650,7 +692,7 @@ fn olp_map(
     if let Some(r) = a.reservations.covering(va).copied() {
         if r.chiplet == target {
             // ⓑ same chiplet: populate the reserved frame.
-            let (pa, full) = a.reservations.populate(va).expect("covering");
+            let (pa, full) = a.reservations.populate(va).map_err(mem_to_sim)?;
             frames.insert(vpn, pa);
             if a.runtime {
                 a.trees.entry(block).or_default().set_leaf(leaf, r.chiplet);
@@ -662,7 +704,7 @@ fn olp_map(
                 alloc,
             }];
             if full {
-                a.reservations.release(block_base).expect("covering");
+                a.reservations.release(block_base).map_err(mem_to_sim)?;
                 a.olp_blocks.remove(&block);
                 a.olp_promoted += 1;
                 promoted.insert(block);
@@ -671,15 +713,15 @@ fn olp_map(
                     size: PageSize::Size2M,
                 });
             }
-            return dirs;
+            return Ok(dirs);
         }
         // ⓒ different chiplet: release the speculative reservation; the
         // unused 64KB frames return to the structure's free list.
-        let r = a.reservations.release(block_base).expect("covering");
+        let r = a.reservations.release(block_base).map_err(mem_to_sim)?;
         let used = r.populated_mask();
         allocator
             .downgrade_block(r.pa, alloc, &used)
-            .expect("reserved frame was a 2MB allocation");
+            .map_err(mem_to_sim)?;
         a.olp_blocks.remove(&block);
         a.released_blocks.insert(block);
         a.releases += 1;
@@ -693,37 +735,37 @@ fn olp_map(
         if let Ok(frame) = allocator.alloc_frame(target, PageSize::Size2M, alloc) {
             a.reservations
                 .reserve(block_base, frame, PageSize::Size2M, target)
-                .expect("block was unreserved");
+                .map_err(mem_to_sim)?;
             a.olp_blocks.insert(block);
-            let (pa, _) = a.reservations.populate(va).expect("just reserved");
+            let (pa, _) = a.reservations.populate(va).map_err(mem_to_sim)?;
             frames.insert(vpn, pa);
             if a.runtime {
                 a.trees.entry(block).or_default().set_leaf(leaf, target);
             }
-            return vec![Directive::Map {
+            return Ok(vec![Directive::Map {
                 va,
                 pa,
                 size: PageSize::Size64K,
                 alloc,
-            }];
+            }]);
         }
         // No free 2MB frame on the target: plain 64KB below.
     }
 
     let (pa, served) = allocator
         .alloc_frame_or_fallback(target, PageSize::Size64K, alloc)
-        .expect("GPU memory exhausted on every chiplet");
+        .map_err(mem_to_sim)?;
     frames.insert(vpn, pa);
     if a.runtime {
         a.trees.entry(block).or_default().set_leaf(leaf, served);
     }
     let _ = layout;
-    vec![Directive::Map {
+    Ok(vec![Directive::Map {
         va,
         pa,
         size: PageSize::Size64K,
         alloc,
-    }]
+    }])
 }
 
 /// Maps one page at the MMA-selected size (paper §4.5, Fig. 16).
@@ -738,7 +780,7 @@ fn apply_map(
     target: ChipletId,
     size: PageSize,
     layout: PhysLayout,
-) -> Vec<Directive> {
+) -> Result<Vec<Directive>, SimError> {
     // Leftover OLP reservations from the profiling phase keep their OLP
     // semantics until resolved.
     let block = va.raw() / VA_BLOCK_BYTES;
@@ -750,26 +792,26 @@ fn apply_map(
     if size == PageSize::Size64K {
         let (pa, _) = allocator
             .alloc_frame_or_fallback(target, PageSize::Size64K, alloc)
-            .expect("GPU memory exhausted on every chiplet");
+            .map_err(mem_to_sim)?;
         frames.insert(vpn, pa);
-        return vec![Directive::Map {
+        return Ok(vec![Directive::Map {
             va,
             pa,
             size: PageSize::Size64K,
             alloc,
-        }];
+        }]);
     }
 
     let region = va.align_down(size.bytes());
     if a.reservations.covering(va).is_none() {
         let (frame, served) = allocator
             .alloc_frame_or_fallback(target, size, alloc)
-            .expect("GPU memory exhausted on every chiplet");
+            .map_err(mem_to_sim)?;
         a.reservations
             .reserve(region, frame, size, served)
-            .expect("region was unreserved");
+            .map_err(mem_to_sim)?;
     }
-    let (pa, full) = a.reservations.populate(va).expect("just reserved");
+    let (pa, full) = a.reservations.populate(va).map_err(mem_to_sim)?;
     frames.insert(vpn, pa);
     let mut dirs = vec![Directive::Map {
         va,
@@ -778,7 +820,7 @@ fn apply_map(
         alloc,
     }];
     if full {
-        a.reservations.release(region).expect("covering");
+        a.reservations.release(region).map_err(mem_to_sim)?;
         if size == PageSize::Size2M {
             // A full 2MB group becomes a true 2MB page (§4.6).
             promoted.insert(region.raw() / VA_BLOCK_BYTES);
@@ -790,7 +832,7 @@ fn apply_map(
         // Intermediate sizes stay as coalesced 64KB PTEs — the hardware
         // covers them with one merged entry.
     }
-    dirs
+    Ok(dirs)
 }
 
 #[cfg(test)]
@@ -834,7 +876,7 @@ mod tests {
         );
         let mut promotes = 0;
         for i in 0..32u64 {
-            let dirs = c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, 1));
+            let dirs = c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, 1)).unwrap();
             promotes += dirs
                 .iter()
                 .filter(|d| matches!(d, Directive::Promote { .. }))
@@ -851,11 +893,11 @@ mod tests {
             &cfg(),
         );
         // Chiplet 0 touches page 0 (reserves 2MB), chiplet 1 touches page 1.
-        let d0 = c.on_fault(&ctx(2 * MB, 0, 0));
+        let d0 = c.on_fault(&ctx(2 * MB, 0, 0)).unwrap();
         let Directive::Map { pa: pa0, .. } = d0[0] else {
             panic!("expected Map")
         };
-        let d1 = c.on_fault(&ctx(2 * MB + BASE_PAGE_BYTES, 0, 1));
+        let d1 = c.on_fault(&ctx(2 * MB + BASE_PAGE_BYTES, 0, 1)).unwrap();
         let Directive::Map { pa: pa1, .. } = d1[0] else {
             panic!("expected Map")
         };
@@ -864,7 +906,7 @@ mod tests {
         assert_eq!(layout.chiplet_of(pa1).index(), 1);
         // The released block's frames are reusable: the next chiplet-0
         // page comes from the *same* PF block (frame reuse, §4.2).
-        let d2 = c.on_fault(&ctx(2 * MB + 2 * BASE_PAGE_BYTES, 0, 0));
+        let d2 = c.on_fault(&ctx(2 * MB + 2 * BASE_PAGE_BYTES, 0, 0)).unwrap();
         let Directive::Map { pa: pa2, .. } = d2[0] else {
             panic!("expected Map")
         };
@@ -882,7 +924,7 @@ mod tests {
         let pages = total_mb * MB / BASE_PAGE_BYTES;
         for i in 0..pages {
             let who = ((i / group) % 4) as u8;
-            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who));
+            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who)).unwrap();
             if c.selected_size(AllocId::new(0)).is_some() {
                 break;
             }
@@ -920,7 +962,7 @@ mod tests {
                     cycle: 0,
                 });
             }
-            c.on_fault(&ctx(va, 0, who));
+            c.on_fault(&ctx(va, 0, who)).unwrap();
             if c.selected_size(AllocId::new(0)).is_some() {
                 break;
             }
@@ -940,14 +982,14 @@ mod tests {
         let mut i = 0;
         while c.selected_size(AllocId::new(0)).is_none() && i < pages {
             let who = ((i / 4) % 4) as u8;
-            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who));
+            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who)).unwrap();
             i += 1;
         }
         assert_eq!(c.selected_size(AllocId::new(0)), Some(PageSize::Size256K));
         // Map a fresh 256KB region out of order: offsets preserved.
         let region = 40 * MB; // untouched, 256KB-aligned
-        let d1 = c.on_fault(&ctx(region + BASE_PAGE_BYTES, 0, 2));
-        let d0 = c.on_fault(&ctx(region, 0, 2));
+        let d1 = c.on_fault(&ctx(region + BASE_PAGE_BYTES, 0, 2)).unwrap();
+        let d0 = c.on_fault(&ctx(region, 0, 2)).unwrap();
         let (Directive::Map { pa: p1, .. }, Directive::Map { pa: p0, .. }) = (d1[0], d0[0])
         else {
             panic!("expected maps")
@@ -968,7 +1010,7 @@ mod tests {
         );
         for i in 0..13u64 {
             // Alternate chiplets so OLP releases and no block fills.
-            c.on_fault(&ctx(2 * MB + i * 2 * BASE_PAGE_BYTES, 0, (i % 4) as u8));
+            c.on_fault(&ctx(2 * MB + i * 2 * BASE_PAGE_BYTES, 0, (i % 4) as u8)).unwrap();
         }
         assert!(c.used_olp_fallback(AllocId::new(0)));
         assert_eq!(c.selected_size(AllocId::new(0)), None);
@@ -985,8 +1027,8 @@ mod tests {
         // 1: every block releases. Limit = ceil(32 * 0.05) = 2 releases.
         for b in 0..4u64 {
             let base = 2 * MB + b * VA_BLOCK_BYTES;
-            c.on_fault(&ctx(base, 0, 0));
-            c.on_fault(&ctx(base + BASE_PAGE_BYTES, 0, 1));
+            c.on_fault(&ctx(base, 0, 0)).unwrap();
+            c.on_fault(&ctx(base + BASE_PAGE_BYTES, 0, 1)).unwrap();
         }
         let st = c.st.as_ref().unwrap();
         let a = &st.per[&AllocId::new(0)];
@@ -1009,7 +1051,7 @@ mod tests {
         assert_eq!(c.selected_size(AllocId::new(1)), Some(PageSize::Size2M));
         assert_eq!(c.selected_size(AllocId::new(2)), Some(PageSize::Size64K));
         // Placement follows the prediction, not the requester.
-        let d = c.on_fault(&ctx(2 * MB + 512 * 1024, 0, 3));
+        let d = c.on_fault(&ctx(2 * MB + 512 * 1024, 0, 3)).unwrap();
         let Directive::Map { pa, .. } = d[0] else {
             panic!("expected Map")
         };
@@ -1031,7 +1073,7 @@ mod tests {
         // Irregular: still profiling.
         assert_eq!(c.selected_size(AllocId::new(1)), None);
         // And its placement is first-touch (requester 3 -> chiplet 3).
-        let d = c.on_fault(&ctx(128 * MB, 1, 3));
+        let d = c.on_fault(&ctx(128 * MB, 1, 3)).unwrap();
         let Directive::Map { pa, .. } = d[0] else {
             panic!("expected Map")
         };

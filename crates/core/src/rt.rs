@@ -59,7 +59,7 @@ impl RtTable {
                     .enumerate()
                     .min_by_key(|(_, e)| e.remote)
                     .map(|(i, _)| i)
-                    .expect("table nonempty")
+                    .unwrap_or(0)
             });
         self.entries[slot] = RtEntry {
             alloc,

@@ -86,12 +86,13 @@ impl LocalityTree {
         let mut sum = 0.0;
         for n in 0..nodes {
             let mut counts = [0u32; 16];
-            for leaf in &self.leaves[n * node_leaves..(n + 1) * node_leaves] {
-                if let Some(c) = leaf {
-                    counts[c.index() % 16] += 1;
-                }
+            for c in self.leaves[n * node_leaves..(n + 1) * node_leaves]
+                .iter()
+                .flatten()
+            {
+                counts[c.index() % 16] += 1;
             }
-            let max = *counts.iter().max().expect("nonempty") as f64;
+            let max = counts.iter().copied().max().unwrap_or(0) as f64;
             sum += max / node_leaves as f64;
         }
         sum / nodes as f64
@@ -158,8 +159,7 @@ pub fn select_size<'a>(
         .iter()
         .enumerate()
         .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(la.cmp(lb)))
-        .map(|(l, _)| l as u32)
-        .expect("nonempty votes");
+        .map(|(l, _)| l as u32)?;
     PageSize::from_tree_level(best)
 }
 

@@ -189,7 +189,7 @@ impl FrameAllocator {
     pub fn least_loaded_chiplet(&self) -> ChipletId {
         ChipletId::all(self.layout.num_chiplets())
             .max_by_key(|c| self.free_blocks[c.index()].len())
-            .expect("at least one chiplet")
+            .unwrap_or(ChipletId::new(0))
     }
 
     /// Allocates one frame of `size` on `chiplet` for data structure
@@ -211,18 +211,25 @@ impl FrameAllocator {
             size,
             alloc,
         };
-        if self.lists.get(&key).map_or(true, Vec::is_empty) {
+        if self.lists.get(&key).is_none_or(Vec::is_empty) {
             self.split_block(key)?;
         }
         let pick = self.next_rand() as usize;
-        let frame = {
-            let list = self.lists.get_mut(&key).expect("split_block ensured");
-            let w = self.scatter_window.min(list.len()).max(1);
-            let idx = list.len() - 1 - (pick % w);
-            list.swap_remove(idx)
+        let frame = match self.lists.get_mut(&key) {
+            Some(list) if !list.is_empty() => {
+                let w = self.scatter_window.min(list.len()).max(1);
+                let idx = list.len() - 1 - (pick % w);
+                list.swap_remove(idx)
+            }
+            // split_block ensures a non-empty list; treat a violation as
+            // exhaustion rather than corrupting free-list state.
+            _ => return Err(MemError::ChipletExhausted { chiplet, size }),
         };
         let block = self.layout.block_of(frame);
-        let state = self.blocks.get_mut(&block).expect("block is split");
+        let state = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(MemError::NotAllocated { frame })?;
         let idx = (frame.offset_in(VA_BLOCK_BYTES) / size.bytes()) as u32;
         debug_assert!(!state.is_set(idx), "frame handed out twice");
         state.set(idx);
@@ -301,7 +308,7 @@ impl FrameAllocator {
         if state.allocated == 0 {
             self.reclaim_block(block);
         } else {
-            self.lists.get_mut(&key).expect("list exists").push(frame);
+            self.lists.entry(key).or_default().push(frame);
         }
         Ok(())
     }
@@ -420,7 +427,9 @@ impl FrameAllocator {
     }
 
     fn reclaim_block(&mut self, block: u64) {
-        let state = self.blocks.remove(&block).expect("reclaiming split block");
+        let Some(state) = self.blocks.remove(&block) else {
+            return;
+        };
         debug_assert_eq!(state.allocated, 0);
         if let Some(list) = self.lists.get_mut(&state.key) {
             list.retain(|f| self.layout.block_of(*f) != block);

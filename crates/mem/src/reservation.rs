@@ -172,7 +172,10 @@ impl ReservationTable {
             .cover
             .get(&page)
             .ok_or(MemError::NoReservation { va })?;
-        let r = self.regions.get_mut(&start).expect("cover points to region");
+        let r = self
+            .regions
+            .get_mut(&start)
+            .ok_or(MemError::NoReservation { va })?;
         let sub = (page - start) as u32;
         r.populated |= 1 << sub;
         let pa = r.pa + sub as u64 * BASE_PAGE_BYTES;

@@ -15,10 +15,12 @@
 use std::collections::{HashMap, HashSet};
 
 use mcm_mem::{FrameAllocator, ReservationTable};
-use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, WalkEvent};
+use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, SimError, WalkEvent};
 use mcm_types::{
     AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES, VA_BLOCK_BYTES,
 };
+
+use crate::mem_to_sim;
 
 const MAX_CHIPLETS: usize = 8;
 const PAGES_PER_BLOCK: usize = 32;
@@ -104,8 +106,8 @@ impl CNuma {
         self
     }
 
-    fn st(&mut self) -> &mut St {
-        self.st.as_mut().expect("begin() called")
+    fn st(&mut self) -> Option<&mut St> {
+        self.st.as_mut()
     }
 }
 
@@ -131,20 +133,24 @@ impl PagingPolicy for CNuma {
         });
     }
 
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         // Initial mapping: 2MB regions via reservation, first-touch.
-        let st = self.st();
+        let Some(st) = self.st.as_mut() else {
+            return Err(SimError::PolicyViolation {
+                reason: "on_fault before begin()".into(),
+            });
+        };
         let region = ctx.va.align_down(VA_BLOCK_BYTES);
         if st.reservations.covering(ctx.va).is_none() {
             let (frame, served) = st
                 .allocator
                 .alloc_frame_or_fallback(ctx.requester, PageSize::Size2M, ctx.alloc)
-                .expect("GPU memory exhausted on every chiplet");
+                .map_err(mem_to_sim)?;
             st.reservations
                 .reserve(region, frame, PageSize::Size2M, served)
-                .expect("region was unreserved");
+                .map_err(mem_to_sim)?;
         }
-        let (pa, full) = st.reservations.populate(ctx.va).expect("just reserved");
+        let (pa, full) = st.reservations.populate(ctx.va).map_err(mem_to_sim)?;
         let mut dirs = vec![Directive::Map {
             va: ctx.va,
             pa,
@@ -152,7 +158,7 @@ impl PagingPolicy for CNuma {
             alloc: ctx.alloc,
         }];
         if full {
-            let r = st.reservations.release(region).expect("was reserved");
+            let r = st.reservations.release(region).map_err(mem_to_sim)?;
             st.blocks.insert(
                 region.raw() / VA_BLOCK_BYTES,
                 BlockState {
@@ -170,7 +176,7 @@ impl PagingPolicy for CNuma {
                 size: PageSize::Size2M,
             });
         }
-        dirs
+        Ok(dirs)
     }
 
     fn wants_access_samples(&self) -> bool {
@@ -178,7 +184,9 @@ impl PagingPolicy for CNuma {
     }
 
     fn on_access(&mut self, ev: &WalkEvent) {
-        let st = self.st();
+        let Some(st) = self.st() else {
+            return;
+        };
         let block = ev.va.raw() / VA_BLOCK_BYTES;
         if let Some(b) = st.blocks.get_mut(&block) {
             let page = (ev.va.raw() % VA_BLOCK_BYTES / BASE_PAGE_BYTES) as usize;
@@ -199,7 +207,9 @@ impl PagingPolicy for CNuma {
                 _ => PageSize::Size64K,
             }
         };
-        let st = self.st.as_mut().expect("begin() called");
+        let Some(st) = self.st.as_mut() else {
+            return Vec::new();
+        };
         let mut dirs = Vec::new();
         let mut dirty: Vec<u64> = st.dirty.drain().collect();
         dirty.sort_unstable();
@@ -227,13 +237,18 @@ impl PagingPolicy for CNuma {
             let next = inter_next(b.granularity);
 
             // Demote the single 2MB leaf into 64KB leaves at the same
-            // frames, if not already demoted.
+            // frames, if not already demoted. Best-effort: if the frame
+            // bookkeeping disagrees, leave the block promoted.
             if b.granularity == PageSize::Size2M {
-                dirs.push(Directive::Unmap { va: b.base });
                 let frame0 = b.frames[0];
-                st.allocator
+                if st
+                    .allocator
                     .downgrade_block(frame0, b.alloc, &[true; 32])
-                    .expect("block frame was allocated as 2MB");
+                    .is_err()
+                {
+                    continue;
+                }
+                dirs.push(Directive::Unmap { va: b.base });
                 for i in 0..PAGES_PER_BLOCK as u64 {
                     dirs.push(Directive::Map {
                         va: b.base + i * BASE_PAGE_BYTES,
@@ -261,14 +276,14 @@ impl PagingPolicy for CNuma {
                 if agg.iter().sum::<u64>() == 0 {
                     continue; // region unsampled this epoch
                 }
-                let dominant = ChipletId::new(
-                    agg[..chiplets]
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, c)| **c)
-                        .map(|(i, _)| i)
-                        .expect("nonempty") as u8,
-                );
+                let Some(dominant) = agg[..chiplets]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(i, _)| ChipletId::new(i as u8))
+                else {
+                    continue;
+                };
                 let current = st.layout.chiplet_of(b.frames[lo]);
                 if dominant == current {
                     continue;
@@ -276,10 +291,9 @@ impl PagingPolicy for CNuma {
                 if !st.allocator.can_alloc(dominant, next, b.alloc) {
                     continue;
                 }
-                let new_frame = st
-                    .allocator
-                    .alloc_frame(dominant, next, b.alloc)
-                    .expect("can_alloc checked");
+                let Ok(new_frame) = st.allocator.alloc_frame(dominant, next, b.alloc) else {
+                    continue;
+                };
                 for (i, page) in (lo..hi).enumerate() {
                     let to_pa = new_frame + i as u64 * BASE_PAGE_BYTES;
                     dirs.push(Directive::Migrate {
@@ -305,6 +319,12 @@ impl PagingPolicy for CNuma {
 
     fn blocks_consumed(&self) -> Option<usize> {
         self.st.as_ref().map(|s| s.allocator.blocks_consumed())
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.st
+            .as_ref()
+            .map_or(0, |s| s.allocator.stats().chiplet_fallbacks)
     }
 }
 
@@ -339,7 +359,7 @@ mod tests {
     fn fill_block(c: &mut CNuma, base: u64) -> bool {
         let mut promoted = false;
         for i in 0..32u64 {
-            let dirs = c.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0));
+            let dirs = c.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0)).unwrap();
             promoted |= dirs
                 .iter()
                 .any(|d| matches!(d, Directive::Promote { .. }));

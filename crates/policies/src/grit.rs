@@ -10,8 +10,10 @@
 use std::collections::{HashMap, HashSet};
 
 use mcm_mem::FrameAllocator;
-use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, WalkEvent};
+use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, SimError, WalkEvent};
 use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
+
+use crate::mem_to_sim;
 
 const MAX_CHIPLETS: usize = 8;
 
@@ -78,8 +80,8 @@ impl Default for Grit {
 impl Grit {
     const MIN_SAMPLES: u32 = 8;
 
-    fn st(&mut self) -> &mut St {
-        self.st.as_mut().expect("begin() called")
+    fn st(&mut self) -> Option<&mut St> {
+        self.st.as_mut()
     }
 }
 
@@ -99,20 +101,24 @@ impl PagingPolicy for Grit {
         });
     }
 
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
-        let st = self.st();
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+        let Some(st) = self.st.as_mut() else {
+            return Err(SimError::PolicyViolation {
+                reason: "on_fault before begin()".into(),
+            });
+        };
         let (frame, _) = st
             .allocator
             .alloc_frame_or_fallback(ctx.requester, PageSize::Size64K, ctx.alloc)
-            .expect("GPU memory exhausted on every chiplet");
+            .map_err(mem_to_sim)?;
         st.frames
             .insert(ctx.va.raw() >> 16, (frame, ctx.alloc));
-        vec![Directive::Map {
+        Ok(vec![Directive::Map {
             va: ctx.va,
             pa: frame,
             size: PageSize::Size64K,
             alloc: ctx.alloc,
-        }]
+        }])
     }
 
     fn wants_access_samples(&self) -> bool {
@@ -120,7 +126,9 @@ impl PagingPolicy for Grit {
     }
 
     fn on_access(&mut self, ev: &WalkEvent) {
-        let st = self.st();
+        let Some(st) = self.st() else {
+            return;
+        };
         let vpn = ev.va.raw() >> 16;
         let h = st.history.entry(vpn).or_default();
         h[ev.requester.index() % MAX_CHIPLETS] += 1;
@@ -131,26 +139,30 @@ impl PagingPolicy for Grit {
         let mut dirs = Vec::new();
         let mut planned = Vec::new();
         {
-            let st = self.st.as_mut().expect("begin() called");
+            let Some(st) = self.st.as_mut() else {
+                return Vec::new();
+            };
             let mut dirty: Vec<u64> = st.dirty.drain().collect();
             dirty.sort_unstable();
             for vpn in dirty {
                 let Some(&(frame, alloc)) = st.frames.get(&vpn) else {
                     continue;
                 };
-                let counts = st.history.get(&vpn).expect("dirty implies history");
+                let Some(counts) = st.history.get(&vpn) else {
+                    continue;
+                };
                 let total: u32 = counts.iter().sum();
                 if total < Self::MIN_SAMPLES {
                     continue;
                 }
-                let dominant = ChipletId::new(
-                    counts[..st.layout.num_chiplets()]
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, c)| **c)
-                        .map(|(i, _)| i)
-                        .expect("nonempty") as u8,
-                );
+                let Some(dominant) = counts[..st.layout.num_chiplets()]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(i, _)| ChipletId::new(i as u8))
+                else {
+                    continue;
+                };
                 let current = st.layout.chiplet_of(frame);
                 if dominant != current
                     && counts[dominant.index()] > 2 * counts[current.index()] + 2
@@ -162,13 +174,11 @@ impl PagingPolicy for Grit {
                 if !st.allocator.can_alloc(dominant, PageSize::Size64K, alloc) {
                     continue;
                 }
-                let new_frame = st
-                    .allocator
-                    .alloc_frame(dominant, PageSize::Size64K, alloc)
-                    .expect("can_alloc checked");
-                st.allocator
-                    .free_frame(old_frame, PageSize::Size64K, alloc)
-                    .expect("was allocated");
+                let Ok(new_frame) = st.allocator.alloc_frame(dominant, PageSize::Size64K, alloc)
+                else {
+                    continue;
+                };
+                let _ = st.allocator.free_frame(old_frame, PageSize::Size64K, alloc);
                 st.frames.insert(vpn, (new_frame, alloc));
                 st.history.remove(&vpn);
                 dirs.push(Directive::Migrate {
@@ -187,6 +197,12 @@ impl PagingPolicy for Grit {
 
     fn blocks_consumed(&self) -> Option<usize> {
         self.st.as_ref().map(|s| s.allocator.blocks_consumed())
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.st
+            .as_ref()
+            .map_or(0, |s| s.allocator.stats().chiplet_fallbacks)
     }
 }
 
@@ -221,7 +237,7 @@ mod tests {
         let mut g = Grit::new();
         g.begin(&[], &SimConfig::baseline());
         let va = 2u64 << 20;
-        let dirs = g.on_fault(&ctx(va, 0));
+        let dirs = g.on_fault(&ctx(va, 0)).unwrap();
         let Directive::Map { pa, .. } = dirs[0] else {
             panic!("expected Map")
         };
@@ -249,7 +265,7 @@ mod tests {
         let mut g = Grit::new();
         g.begin(&[], &SimConfig::baseline());
         let va = 2u64 << 20;
-        g.on_fault(&ctx(va, 1));
+        g.on_fault(&ctx(va, 1)).unwrap();
         for _ in 0..20 {
             g.on_access(&ev(va, 1));
         }
@@ -261,7 +277,7 @@ mod tests {
         let mut g = Grit::new();
         g.begin(&[], &SimConfig::baseline());
         let va = 2u64 << 20;
-        g.on_fault(&ctx(va, 0));
+        g.on_fault(&ctx(va, 0)).unwrap();
         for _ in 0..3 {
             g.on_access(&ev(va, 2));
         }

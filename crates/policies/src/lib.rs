@@ -16,11 +16,27 @@
 //! Config 8 (CLAP itself) lives in the `clap-core` crate.
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod cnuma;
 mod grit;
 mod remote_caching;
 mod static_paging;
+
+/// Lifts an allocator failure into the simulator's typed error space so an
+/// unresolvable fault aborts the *run*, not the process.
+pub(crate) fn mem_to_sim(e: mcm_mem::MemError) -> mcm_sim::SimError {
+    use mcm_mem::MemError;
+    use mcm_sim::SimError;
+    match e {
+        MemError::ChipletExhausted { chiplet, size } => SimError::OutOfFrames { chiplet, size },
+        MemError::Misaligned { addr, align } => SimError::Misaligned { addr, align },
+        other => SimError::PolicyViolation {
+            reason: other.to_string(),
+        },
+    }
+}
 
 pub use cnuma::CNuma;
 pub use grit::Grit;

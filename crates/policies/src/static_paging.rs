@@ -2,8 +2,10 @@
 //! placement (paper configs 1, 2, 5-7, 9 and the SA baselines of §5.2).
 
 use mcm_mem::{FrameAllocator, ReservationTable};
-use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, StaticHint};
+use mcm_sim::{AllocInfo, Directive, FaultCtx, PagingPolicy, SimConfig, SimError, StaticHint};
 use mcm_types::{AllocId, ChipletId, PageSize, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
+
+use crate::mem_to_sim;
 
 /// How the target chiplet of a page is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,22 +130,26 @@ impl StaticPaging {
     }
 
     /// Chooses the chiplet that should own the page containing `va`.
-    fn target_chiplet(&self, ctx: &FaultCtx) -> ChipletId {
-        let st = self.st.as_ref().expect("begin() called");
+    fn target_chiplet(&self, ctx: &FaultCtx) -> Result<ChipletId, SimError> {
+        let Some(st) = self.st.as_ref() else {
+            return Err(SimError::PolicyViolation {
+                reason: "on_fault before begin()".into(),
+            });
+        };
         match self.placement {
-            Placement::FirstTouch => ctx.requester,
+            Placement::FirstTouch => Ok(ctx.requester),
             Placement::StaticAnalysis => {
-                let info = st
-                    .allocs
-                    .iter()
-                    .find(|a| a.id == ctx.alloc)
-                    .expect("fault within a known allocation");
+                let Some(info) = st.allocs.iter().find(|a| a.id == ctx.alloc) else {
+                    return Err(SimError::PolicyViolation {
+                        reason: format!("fault for unknown allocation {}", ctx.alloc),
+                    });
+                };
                 // Placement decisions apply at the mapping granularity:
                 // a 2MB page is placed where its *region base* belongs,
                 // which is exactly the misalignment effect of §5.2.
                 let gran = self.size.bytes().max(BASE_PAGE_BYTES);
                 let region_off = ctx.va.align_down(gran).distance_from(info.base);
-                sa_chiplet(info, region_off, st.layout.num_chiplets())
+                Ok(sa_chiplet(info, region_off, st.layout.num_chiplets()))
             }
         }
     }
@@ -188,14 +194,24 @@ impl PagingPolicy for StaticPaging {
         });
     }
 
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
-        let target = self.target_chiplet(ctx);
-        let st = self.st.as_mut().expect("begin() called");
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+        let target = self.target_chiplet(ctx)?;
+        let Some(st) = self.st.as_mut() else {
+            return Err(SimError::PolicyViolation {
+                reason: "on_fault before begin()".into(),
+            });
+        };
         map_demand_page(st, ctx.va, ctx.alloc, target, self.size)
     }
 
     fn blocks_consumed(&self) -> Option<usize> {
         self.st.as_ref().map(|s| s.allocator.blocks_consumed())
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.st
+            .as_ref()
+            .map_or(0, |s| s.allocator.stats().chiplet_fallbacks)
     }
 }
 
@@ -207,34 +223,34 @@ fn map_demand_page(
     alloc: AllocId,
     target: ChipletId,
     size: PageSize,
-) -> Vec<Directive> {
+) -> Result<Vec<Directive>, SimError> {
     match size {
         PageSize::Size4K => {
             // One 64KB frame backs the granule; sixteen 4KB leaves.
             let (frame, _) = st
                 .allocator
                 .alloc_frame_or_fallback(target, PageSize::Size64K, alloc)
-                .expect("GPU memory exhausted on every chiplet");
-            (0..16u64)
+                .map_err(mem_to_sim)?;
+            Ok((0..16u64)
                 .map(|i| Directive::Map {
                     va: page + i * 4096,
                     pa: frame + i * 4096,
                     size: PageSize::Size4K,
                     alloc,
                 })
-                .collect()
+                .collect())
         }
         PageSize::Size64K => {
             let (frame, _) = st
                 .allocator
                 .alloc_frame_or_fallback(target, PageSize::Size64K, alloc)
-                .expect("GPU memory exhausted on every chiplet");
-            vec![Directive::Map {
+                .map_err(mem_to_sim)?;
+            Ok(vec![Directive::Map {
                 va: page,
                 pa: frame,
                 size: PageSize::Size64K,
                 alloc,
-            }]
+            }])
         }
         big => {
             let region = page.align_down(big.bytes());
@@ -242,12 +258,12 @@ fn map_demand_page(
                 let (frame, served) = st
                     .allocator
                     .alloc_frame_or_fallback(target, big, alloc)
-                    .expect("GPU memory exhausted on every chiplet");
+                    .map_err(mem_to_sim)?;
                 st.reservations
                     .reserve(region, frame, big, served)
-                    .expect("region was unreserved");
+                    .map_err(mem_to_sim)?;
             }
-            let (pa, full) = st.reservations.populate(page).expect("just reserved");
+            let (pa, full) = st.reservations.populate(page).map_err(mem_to_sim)?;
             let mut dirs = vec![Directive::Map {
                 va: page,
                 pa,
@@ -255,10 +271,10 @@ fn map_demand_page(
                 alloc,
             }];
             if full {
-                st.reservations.release(region).expect("was reserved");
+                st.reservations.release(region).map_err(mem_to_sim)?;
                 dirs.push(Directive::Promote { base: region, size: big });
             }
-            dirs
+            Ok(dirs)
         }
     }
 }
@@ -297,7 +313,7 @@ mod tests {
     #[test]
     fn s64k_maps_single_page_at_requester() {
         let mut p = begin(s64k());
-        let dirs = p.on_fault(&ctx(2 << 20, 0, 3));
+        let dirs = p.on_fault(&ctx(2 << 20, 0, 3)).unwrap();
         assert_eq!(dirs.len(), 1);
         match dirs[0] {
             Directive::Map { va, pa, size, .. } => {
@@ -312,7 +328,7 @@ mod tests {
     #[test]
     fn s4k_maps_sixteen_leaves_per_granule() {
         let mut p = begin(s4k());
-        let dirs = p.on_fault(&ctx(2 << 20, 0, 1));
+        let dirs = p.on_fault(&ctx(2 << 20, 0, 1)).unwrap();
         assert_eq!(dirs.len(), 16);
         for (i, d) in dirs.iter().enumerate() {
             match *d {
@@ -332,7 +348,7 @@ mod tests {
         let mut promoted = false;
         let mut first_pa = None;
         for i in 0..32u64 {
-            let dirs = p.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0, 2));
+            let dirs = p.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0, 2)).unwrap();
             match dirs[0] {
                 Directive::Map { pa, size, .. } => {
                     assert_eq!(size, PageSize::Size64K);
@@ -365,10 +381,10 @@ mod tests {
         let mut p = begin(static_paging(PageSize::Size256K, Placement::FirstTouch));
         let base = 2u64 << 20;
         for i in 0..3 {
-            let dirs = p.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0, 0));
+            let dirs = p.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0, 0)).unwrap();
             assert_eq!(dirs.len(), 1, "page {i}");
         }
-        let dirs = p.on_fault(&ctx(base + 3 * BASE_PAGE_BYTES, 0, 0));
+        let dirs = p.on_fault(&ctx(base + 3 * BASE_PAGE_BYTES, 0, 0)).unwrap();
         assert_eq!(dirs.len(), 2);
         assert!(matches!(
             dirs[1],
@@ -388,7 +404,7 @@ mod tests {
             (768 << 10, 3),
             (1 << 20, 0),
         ] {
-            let dirs = p.on_fault(&ctx(base + off, 0, 3)); // requester 3 ignored
+            let dirs = p.on_fault(&ctx(base + off, 0, 3)).unwrap(); // requester 3 ignored
             match dirs[0] {
                 Directive::Map { pa, .. } => {
                     assert_eq!(
@@ -421,7 +437,7 @@ mod tests {
     fn blocks_consumed_reports_allocator_usage() {
         let mut p = begin(s64k());
         assert_eq!(p.blocks_consumed(), Some(0));
-        p.on_fault(&ctx(2 << 20, 0, 0));
+        p.on_fault(&ctx(2 << 20, 0, 0)).unwrap();
         assert_eq!(p.blocks_consumed(), Some(1));
     }
 }

@@ -1,0 +1,159 @@
+//! Offline vendored stub of the `rand` 0.8 API subset this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, deterministic implementation of the handful of
+//! `rand` items the workload generators rely on: [`rngs::StdRng`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], and [`SeedableRng::seed_from_u64`].
+//!
+//! The generator is SplitMix64-seeded xoshiro256++ — a high-quality,
+//! well-known PRNG. Streams are *not* bit-compatible with upstream
+//! `rand::rngs::StdRng` (ChaCha12), but every consumer in this workspace
+//! only requires determinism per seed, which this provides.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+use std::ops::Range;
+
+/// Random number generators (stub of `rand::rngs`).
+pub mod rngs {
+    /// A seedable, deterministic generator (xoshiro256++ core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding interface (stub of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[lo, hi)`.
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "gen_range called with an empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                // Multiply-shift range reduction; bias is negligible for
+                // the simulator's span sizes (all far below 2^64).
+                let r = rng.next_u64() as u128;
+                lo.wrapping_add(((r * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// Core sampling interface (stub of `rand::Rng`).
+pub trait Rng {
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+    /// Bernoulli sample: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u32..1000) == b.gen_range(0u32..1000))
+            .count();
+        assert!(same < 16, "streams should diverge, {same}/64 collisions");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..4);
+            assert!(w < 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}

@@ -93,7 +93,7 @@ impl SetAssocCache {
                 .enumerate()
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
-                .expect("set is full");
+                .unwrap_or(0);
             lines.swap_remove(lru);
         }
         lines.push((key, self.tick));
@@ -127,7 +127,7 @@ impl SetAssocCache {
                 .enumerate()
                 .min_by_key(|(_, (_, t))| *t)
                 .map(|(i, _)| i)
-                .expect("set is full");
+                .unwrap_or(0);
             lines.swap_remove(lru);
         }
         lines.push((key, self.tick));

@@ -1,0 +1,453 @@
+//! Chaos / fault-injection harness and the machine-state auditor.
+//!
+//! [`ChaosPolicy`] wraps any [`PagingPolicy`] and injects seeded faults
+//! into its directive stream: duplicated and misaligned mappings, bogus
+//! promotions, cross-chiplet migrations to frames that are already in use,
+//! dropped epoch directives, and directive floods. Every injected fault
+//! must surface as a typed [`SimError`] rejection or a
+//! [`DegradationStats`](crate::DegradationStats) counter — never as a
+//! panic. [`StateAuditor`] provides the invariant checks the engine runs
+//! at epoch boundaries when
+//! [`SimConfig::audit_epochs`](crate::SimConfig::audit_epochs) is set.
+
+use std::collections::HashMap;
+
+use mcm_types::{PageSize, PhysAddr, VirtAddr, BASE_PAGE_BYTES, VA_BLOCK_BYTES};
+
+use crate::page_table::PageTable;
+use crate::policy::{AllocInfo, Directive, FaultCtx, PagingPolicy, WalkEvent};
+use crate::{SimConfig, SimError};
+
+/// A virtual-address region far above any workload allocation, used as the
+/// target of intentionally bogus directives.
+const NOWHERE: u64 = 0x4000_0000_0000;
+
+/// Injection probabilities for [`ChaosPolicy`] (each in `0.0..=1.0`; `0.0`
+/// disables that fault kind).
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// PRNG seed; equal seeds give identical injection sequences.
+    pub seed: u64,
+    /// Per fault: duplicate the handler's `Map` directives (the copies
+    /// must be rejected as [`SimError::MapConflict`]).
+    pub dup_fault_maps: f64,
+    /// Per fault: append a `Map` whose VA breaks 64KB alignment (must be
+    /// rejected as [`SimError::Misaligned`]).
+    pub misaligned_map: f64,
+    /// Per fault: append a `Promote` of an unpopulated, far-away VA block
+    /// (must be rejected as [`SimError::BadPromotion`] /
+    /// [`SimError::NotMapped`]).
+    pub bogus_promote: f64,
+    /// Per fault: append a `Migrate` of a recently mapped page onto
+    /// another recently used frame — a cross-chiplet redirect that
+    /// double-maps the frame (caught by the [`StateAuditor`]) or is
+    /// rejected outright.
+    pub cross_migrate: f64,
+    /// Per epoch/kernel-end directive: silently drop it (the policy's
+    /// bookkeeping now disagrees with the machine; later consequences must
+    /// degrade, not panic).
+    pub drop_directive: f64,
+    /// Per epoch: append a flood of `Unmap`s of never-mapped pages (each
+    /// must be rejected as [`SimError::NotMapped`]).
+    pub flood: f64,
+    /// Directives per injected flood.
+    pub flood_len: usize,
+}
+
+impl ChaosConfig {
+    /// An aggressive default mix with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            dup_fault_maps: 0.05,
+            misaligned_map: 0.05,
+            bogus_promote: 0.05,
+            cross_migrate: 0.05,
+            drop_directive: 0.10,
+            flood: 0.10,
+            flood_len: 16,
+        }
+    }
+}
+
+/// Counts of faults a [`ChaosPolicy`] injected, by kind. Tests compare
+/// these against the run's [`DegradationStats`](crate::DegradationStats)
+/// to prove every injection surfaced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Duplicated `Map` directives (each must be rejected).
+    pub duplicated_maps: u64,
+    /// Injected misaligned `Map`s (each must be rejected).
+    pub misaligned_maps: u64,
+    /// Injected bogus `Promote`s (each must be rejected).
+    pub bogus_promotes: u64,
+    /// Injected cross-chiplet `Migrate`s (rejected or audit-visible).
+    pub cross_migrates: u64,
+    /// Epoch/kernel-end directives dropped before the engine saw them.
+    pub dropped_directives: u64,
+    /// Bogus `Unmap`s injected by floods (each must be rejected).
+    pub flooded_unmaps: u64,
+}
+
+impl ChaosStats {
+    /// Injections that the engine must reject one-for-one
+    /// (`rejected_directives >= must_reject()`).
+    pub fn must_reject(&self) -> u64 {
+        self.duplicated_maps + self.misaligned_maps + self.bogus_promotes + self.flooded_unmaps
+    }
+
+    /// Total injected events of any kind.
+    pub fn total(&self) -> u64 {
+        self.must_reject() + self.cross_migrates + self.dropped_directives
+    }
+}
+
+/// A fault-injecting wrapper around any paging policy.
+///
+/// The wrapper never tampers with the directives that *resolve* a fault
+/// (dropping those would abort the run by design — the engine requires the
+/// faulting page to be mapped); it only appends hostile extras and drops
+/// advisory epoch/kernel-end directives.
+pub struct ChaosPolicy<P> {
+    inner: P,
+    cfg: ChaosConfig,
+    rng: u64,
+    name: String,
+    stats: ChaosStats,
+    /// Ring of recently mapped (va, pa) pairs, targets for cross-chiplet
+    /// redirects.
+    recent: Vec<(VirtAddr, PhysAddr)>,
+    recent_next: usize,
+}
+
+impl<P: PagingPolicy> ChaosPolicy<P> {
+    /// Wraps `inner`, injecting faults per `cfg`.
+    pub fn new(inner: P, cfg: ChaosConfig) -> Self {
+        let name = format!("chaos({})", inner.name());
+        ChaosPolicy {
+            inner,
+            // Seed 0 would lock the xorshift PRNG at 0; mix it first.
+            rng: splitmix64(cfg.seed),
+            cfg,
+            name,
+            stats: ChaosStats::default(),
+            recent: Vec::with_capacity(64),
+            recent_next: 0,
+        }
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn remember(&mut self, va: VirtAddr, pa: PhysAddr) {
+        if self.recent.len() < 64 {
+            self.recent.push((va, pa));
+        } else {
+            self.recent[self.recent_next] = (va, pa);
+            self.recent_next = (self.recent_next + 1) % self.recent.len();
+        }
+    }
+}
+
+impl<P: PagingPolicy> PagingPolicy for ChaosPolicy<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&mut self, allocs: &[AllocInfo], cfg: &SimConfig) {
+        self.inner.begin(allocs, cfg);
+    }
+
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+        let mut dirs = self.inner.on_fault(ctx)?;
+        for d in &dirs {
+            if let Directive::Map { va, pa, .. } = *d {
+                self.remember(va, pa);
+            }
+        }
+        if self.chance(self.cfg.dup_fault_maps) {
+            let dups: Vec<Directive> = dirs
+                .iter()
+                .copied()
+                .filter(|d| matches!(d, Directive::Map { .. }))
+                .collect();
+            self.stats.duplicated_maps += dups.len() as u64;
+            dirs.extend(dups);
+        }
+        if self.chance(self.cfg.misaligned_map) {
+            self.stats.misaligned_maps += 1;
+            dirs.push(Directive::Map {
+                // The faulting page base is 64KB-aligned; nudging it by 4KB
+                // breaks the alignment the size requires.
+                va: VirtAddr::new(ctx.va.raw() + 0x1000),
+                pa: PhysAddr::new(0),
+                size: PageSize::Size64K,
+                alloc: ctx.alloc,
+            });
+        }
+        if self.chance(self.cfg.bogus_promote) {
+            self.stats.bogus_promotes += 1;
+            dirs.push(Directive::Promote {
+                base: VirtAddr::new(NOWHERE + (ctx.va.raw() & !(VA_BLOCK_BYTES - 1))),
+                size: PageSize::Size2M,
+            });
+        }
+        if self.chance(self.cfg.cross_migrate) && self.recent.len() >= 2 {
+            let i = (self.next_u64() % self.recent.len() as u64) as usize;
+            let j = (self.next_u64() % self.recent.len() as u64) as usize;
+            let (va, _) = self.recent[i];
+            let (_, to_pa) = self.recent[j];
+            if i != j {
+                self.stats.cross_migrates += 1;
+                dirs.push(Directive::Migrate { va, to_pa });
+            }
+        }
+        Ok(dirs)
+    }
+
+    fn on_walk(&mut self, ev: &WalkEvent) {
+        self.inner.on_walk(ev);
+    }
+
+    fn wants_access_samples(&self) -> bool {
+        self.inner.wants_access_samples()
+    }
+
+    fn on_access(&mut self, ev: &WalkEvent) {
+        self.inner.on_access(ev);
+    }
+
+    fn on_epoch(&mut self, cycle: u64) -> Vec<Directive> {
+        let dirs = self.inner.on_epoch(cycle);
+        let mut out = Vec::with_capacity(dirs.len());
+        for d in dirs {
+            if self.chance(self.cfg.drop_directive) {
+                self.stats.dropped_directives += 1;
+            } else {
+                out.push(d);
+            }
+        }
+        if self.chance(self.cfg.flood) {
+            for i in 0..self.cfg.flood_len {
+                out.push(Directive::Unmap {
+                    va: VirtAddr::new(NOWHERE + i as u64 * BASE_PAGE_BYTES),
+                });
+            }
+            self.stats.flooded_unmaps += self.cfg.flood_len as u64;
+        }
+        out
+    }
+
+    fn on_kernel_end(&mut self, kernel: usize, cycle: u64) -> Vec<Directive> {
+        let dirs = self.inner.on_kernel_end(kernel, cycle);
+        let mut out = Vec::with_capacity(dirs.len());
+        for d in dirs {
+            if self.chance(self.cfg.drop_directive) {
+                self.stats.dropped_directives += 1;
+            } else {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    fn ideal_migration(&self) -> bool {
+        self.inner.ideal_migration()
+    }
+
+    fn blocks_consumed(&self) -> Option<usize> {
+        self.inner.blocks_consumed()
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.inner.frame_fallbacks()
+    }
+}
+
+/// Machine-state coherence checks (page table ↔ TLBs ↔ physical
+/// capacity). The engine runs these at epoch boundaries when
+/// [`SimConfig::audit_epochs`](crate::SimConfig::audit_epochs) is set; the
+/// TLB-coverage half lives in the engine (TLBs are machine-internal), the
+/// page-table half is reusable here.
+pub struct StateAuditor {
+    capacity_bytes_per_chiplet: u64,
+    num_chiplets: usize,
+}
+
+impl StateAuditor {
+    /// An auditor for machines of `cfg`'s shape.
+    pub fn new(cfg: &SimConfig) -> Self {
+        StateAuditor {
+            capacity_bytes_per_chiplet: cfg.pf_blocks_per_chiplet * VA_BLOCK_BYTES,
+            num_chiplets: cfg.num_chiplets,
+        }
+    }
+
+    /// Checks page-table invariants: leaf alignment (VA and PA), no
+    /// physical frame mapped by two leaves, and per-chiplet mapped bytes
+    /// within physical capacity. Returns one error per violation.
+    pub fn check_page_table(&self, pt: &PageTable) -> Vec<SimError> {
+        let mut violations = Vec::new();
+        // 4KB-frame granularity covers every leaf size.
+        let mut frames: HashMap<u64, VirtAddr> = HashMap::new();
+        let mut per_chiplet = vec![0u64; self.num_chiplets];
+        for (va, pte) in pt.iter() {
+            let bytes = pte.size.bytes();
+            if !va.is_aligned(bytes) {
+                violations.push(SimError::Misaligned {
+                    addr: va.raw(),
+                    align: bytes,
+                });
+            }
+            if !pte.pa.is_aligned(bytes) {
+                violations.push(SimError::Misaligned {
+                    addr: pte.pa.raw(),
+                    align: bytes,
+                });
+            }
+            let ch = pt.layout().chiplet_of(pte.pa);
+            if (ch.index()) < per_chiplet.len() {
+                per_chiplet[ch.index()] += bytes;
+            }
+            for i in 0..(bytes >> 12) {
+                let frame = (pte.pa.raw() >> 12) + i;
+                if let Some(prev) = frames.insert(frame, va) {
+                    violations.push(SimError::PolicyViolation {
+                        reason: format!(
+                            "frame {:#x} mapped by both {prev} and {va}",
+                            frame << 12
+                        ),
+                    });
+                }
+            }
+        }
+        for (c, &bytes) in per_chiplet.iter().enumerate() {
+            if bytes > self.capacity_bytes_per_chiplet {
+                violations.push(SimError::PolicyViolation {
+                    reason: format!(
+                        "chiplet {c} maps {bytes} bytes, over its {}-byte capacity",
+                        self.capacity_bytes_per_chiplet
+                    ),
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// SplitMix64, for seeding the injection PRNG (never returns a fixed
+/// point at 0 for any seed).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_types::{AllocId, PhysLayout};
+
+    const A: AllocId = AllocId::new(1);
+
+    #[test]
+    fn auditor_accepts_coherent_table() {
+        let cfg = SimConfig::baseline();
+        let mut pt = PageTable::new(PhysLayout::new(4));
+        pt.map(
+            VirtAddr::new(0),
+            PhysAddr::new(VA_BLOCK_BYTES),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr::new(VA_BLOCK_BYTES),
+            PhysAddr::new(4 * VA_BLOCK_BYTES),
+            PageSize::Size2M,
+            A,
+        )
+        .unwrap();
+        assert!(StateAuditor::new(&cfg).check_page_table(&pt).is_empty());
+    }
+
+    #[test]
+    fn auditor_flags_double_mapped_frames() {
+        let cfg = SimConfig::baseline();
+        let mut pt = PageTable::new(PhysLayout::new(4));
+        let frame = PhysAddr::new(VA_BLOCK_BYTES);
+        pt.map(VirtAddr::new(0), frame, PageSize::Size64K, A).unwrap();
+        pt.map(VirtAddr::new(BASE_PAGE_BYTES), frame, PageSize::Size64K, A)
+            .unwrap();
+        let v = StateAuditor::new(&cfg).check_page_table(&pt);
+        assert!(!v.is_empty());
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, SimError::PolicyViolation { .. })));
+    }
+
+    #[test]
+    fn auditor_flags_over_capacity_chiplets() {
+        let mut cfg = SimConfig::baseline();
+        cfg.pf_blocks_per_chiplet = 1;
+        let layout = PhysLayout::new(4);
+        let mut pt = PageTable::new(layout);
+        // Two 2MB leaves on chiplet 0's blocks exceed its single PF block.
+        for i in 0..2u64 {
+            let block = layout.block_of_chiplet(mcm_types::ChipletId::new(0), i);
+            pt.map(
+                VirtAddr::new(i * VA_BLOCK_BYTES),
+                layout.block_base(block),
+                PageSize::Size2M,
+                A,
+            )
+            .unwrap();
+        }
+        let v = StateAuditor::new(&cfg).check_page_table(&pt);
+        assert!(v
+            .iter()
+            .any(|e| matches!(e, SimError::PolicyViolation { reason } if reason.contains("capacity"))));
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_per_seed() {
+        struct Null;
+        impl PagingPolicy for Null {
+            fn name(&self) -> &str {
+                "null"
+            }
+            fn begin(&mut self, _: &[AllocInfo], _: &SimConfig) {}
+            fn on_fault(&mut self, _: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+                Ok(Vec::new())
+            }
+        }
+        let mut a = ChaosPolicy::new(Null, ChaosConfig::with_seed(7));
+        let mut b = ChaosPolicy::new(Null, ChaosConfig::with_seed(7));
+        let seq_a: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = ChaosPolicy::new(Null, ChaosConfig::with_seed(8));
+        assert_ne!(seq_a, (0..32).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+}

@@ -2,6 +2,8 @@
 
 use mcm_types::{PageSize, PhysLayout};
 
+use crate::SimError;
+
 /// Placement policy for page-table-entry pages across chiplets (paper §2.4,
 /// §3.2 and the MGvm baseline \[87\]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +165,11 @@ pub struct SimConfig {
     /// capacities shrink by the same factor to preserve pressure ratios
     /// (see DESIGN.md §6). `1` = unscaled Table 1 capacities.
     pub resource_scale: u64,
+    /// Run the state auditor (page-table / TLB / capacity coherence
+    /// checks) at every epoch boundary; violations are counted in
+    /// [`DegradationStats::audit_violations`](crate::DegradationStats).
+    /// Off by default — it is a debugging/chaos-harness aid.
+    pub audit_epochs: bool,
 }
 
 impl Default for SimConfig {
@@ -208,6 +215,7 @@ impl Default for SimConfig {
             epoch_cycles: 50_000,
             pf_blocks_per_chiplet: 4096,
             resource_scale: 1,
+            audit_epochs: false,
         }
     }
 }
@@ -241,9 +249,81 @@ impl SimConfig {
     /// PWC) down by `factor`, matching workload footprints scaled by the
     /// same factor (DESIGN.md §6).
     pub fn scaled(mut self, factor: u64) -> Self {
-        assert!(factor >= 1, "scale factor must be at least 1");
-        self.resource_scale = factor;
+        // A zero factor is nonsense; clamp here and let `validate` report
+        // it for configurations built by hand.
+        self.resource_scale = factor.max(1);
         self
+    }
+
+    /// Checks every structural invariant the engine relies on. Called by
+    /// [`run`](crate::run) before anything is built, so a bad
+    /// configuration fails with a typed
+    /// [`SimError::ConfigInvalid`] instead of a panic (or a silent
+    /// division by zero) mid-run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn fail(reason: String) -> Result<(), SimError> {
+            Err(SimError::ConfigInvalid { reason })
+        }
+        if self.num_chiplets == 0 || !self.num_chiplets.is_power_of_two() {
+            return fail(format!(
+                "num_chiplets must be a non-zero power of two, got {}",
+                self.num_chiplets
+            ));
+        }
+        if self.sms_per_chiplet == 0 {
+            return fail("sms_per_chiplet must be non-zero".into());
+        }
+        if self.max_warps_per_sm == 0 {
+            return fail("max_warps_per_sm must be non-zero".into());
+        }
+        if self.warp_mlp == 0 {
+            return fail("warp_mlp must be non-zero".into());
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return fail(format!(
+                "line_bytes must be a non-zero power of two, got {}",
+                self.line_bytes
+            ));
+        }
+        if self.page_walkers == 0 {
+            return fail("page_walkers must be non-zero".into());
+        }
+        if self.walk_queue == 0 {
+            return fail("walk_queue must be non-zero".into());
+        }
+        if self.dram_channels == 0 || !self.dram_channels.is_power_of_two() {
+            return fail(format!(
+                "dram_channels must be a non-zero power of two, got {}",
+                self.dram_channels
+            ));
+        }
+        if self.resource_scale == 0 {
+            return fail("resource_scale must be at least 1".into());
+        }
+        if self.epoch_cycles == 0 {
+            return fail("epoch_cycles must be non-zero".into());
+        }
+        if self.pf_blocks_per_chiplet == 0 {
+            return fail("pf_blocks_per_chiplet must be non-zero".into());
+        }
+        if self.translation.tlb_classes.is_empty() {
+            return fail("translation.tlb_classes must name at least one page size".into());
+        }
+        let classes = &self.translation.tlb_classes;
+        for (i, s) in classes.iter().enumerate() {
+            if classes[..i].contains(s) {
+                return fail(format!("translation.tlb_classes lists {s} twice"));
+            }
+        }
+        // Every page size must have a usable TLB entry table, so a policy
+        // mapping any leaf size gets coverage rather than a zero-entry TLB.
+        for size in PageSize::ALL {
+            let e = self.tlb_entries(size);
+            if e.l1 == 0 || e.l2 == 0 {
+                return fail(format!("TLB entry table for {size} is empty ({e:?})"));
+            }
+        }
+        Ok(())
     }
 
     /// TLB entry counts for one page-size class (Table 1 for native sizes,
@@ -340,6 +420,54 @@ mod tests {
         let t = SimConfig::baseline().scaled(1024);
         assert_eq!(t.tlb_entries(PageSize::Size4K).l2, 8);
         assert_eq!(t.effective_l1d_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn baseline_validates() {
+        SimConfig::baseline().validate().expect("Table 1 is valid");
+        SimConfig::eight_chiplets()
+            .scaled(8)
+            .validate()
+            .expect("scaling study config is valid");
+    }
+
+    fn rejects(mutate: impl FnOnce(&mut SimConfig), needle: &str) {
+        let mut c = SimConfig::baseline();
+        mutate(&mut c);
+        match c.validate() {
+            Err(SimError::ConfigInvalid { reason }) => assert!(
+                reason.contains(needle),
+                "expected reason mentioning {needle:?}, got {reason:?}"
+            ),
+            other => panic!("expected ConfigInvalid for {needle:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        rejects(|c| c.num_chiplets = 0, "num_chiplets");
+        rejects(|c| c.num_chiplets = 3, "num_chiplets");
+        rejects(|c| c.sms_per_chiplet = 0, "sms_per_chiplet");
+        rejects(|c| c.max_warps_per_sm = 0, "max_warps_per_sm");
+        rejects(|c| c.warp_mlp = 0, "warp_mlp");
+        rejects(|c| c.line_bytes = 96, "line_bytes");
+        rejects(|c| c.page_walkers = 0, "page_walkers");
+        rejects(|c| c.walk_queue = 0, "walk_queue");
+        rejects(|c| c.dram_channels = 12, "dram_channels");
+        rejects(|c| c.resource_scale = 0, "resource_scale");
+        rejects(|c| c.epoch_cycles = 0, "epoch_cycles");
+        rejects(|c| c.pf_blocks_per_chiplet = 0, "pf_blocks_per_chiplet");
+        rejects(|c| c.translation.tlb_classes.clear(), "tlb_classes");
+        rejects(
+            |c| c.translation.tlb_classes.push(PageSize::Size64K),
+            "twice",
+        );
+    }
+
+    #[test]
+    fn scaled_clamps_zero_factor() {
+        let c = SimConfig::baseline().scaled(0);
+        assert_eq!(c.resource_scale, 1);
     }
 
     #[test]

@@ -28,16 +28,63 @@ use crate::tlb::Tlb;
 use crate::trace::{tb_chiplet, Workload};
 use crate::SimError;
 
+/// How a completed run ended (see DESIGN.md, "Error handling &
+/// degradation semantics").
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// The run completed with no degradation events.
+    Completed(RunStats),
+    /// The run completed, but the engine absorbed faults along the way
+    /// (rejected directives, capacity fallbacks, walk-queue stalls, ...).
+    Degraded {
+        /// Full statistics of the (completed) run.
+        stats: RunStats,
+        /// Bounded sample of the typed errors behind the degradation
+        /// counters (a copy of `stats.degradation.errors`).
+        errors: Vec<SimError>,
+    },
+}
+
+impl RunOutcome {
+    /// The run's statistics, regardless of outcome.
+    pub fn stats(&self) -> &RunStats {
+        match self {
+            RunOutcome::Completed(s) => s,
+            RunOutcome::Degraded { stats, .. } => stats,
+        }
+    }
+
+    /// Consumes the outcome, returning the statistics.
+    pub fn into_stats(self) -> RunStats {
+        match self {
+            RunOutcome::Completed(s) => s,
+            RunOutcome::Degraded { stats, .. } => stats,
+        }
+    }
+
+    /// `true` for [`RunOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded { .. })
+    }
+}
+
 /// Runs `workload` to completion under `policy` and returns the statistics.
 ///
 /// `remote_cache` optionally interposes a NUBA/SAC-style remote-data cache
 /// between local L2 misses and the ring.
 ///
+/// Degradation events (rejected directives, capacity fallbacks, stale TLB
+/// coverage, walk-queue stalls) do **not** fail the run; they are counted
+/// in [`RunStats::degradation`]. Use [`run_outcome`] to distinguish clean
+/// from degraded completions.
+///
 /// # Errors
 ///
+/// * [`SimError::ConfigInvalid`] if `cfg` fails [`SimConfig::validate`].
 /// * [`SimError::PolicyViolation`] if the policy fails to resolve a fault
-///   it was given, or emits invalid directives.
-/// * Page-table errors surfaced by invalid directives.
+///   it was given.
+/// * Any typed error the policy's fault handler returns (e.g.
+///   [`SimError::OutOfFrames`] when physical memory is truly exhausted).
 ///
 /// # Examples
 ///
@@ -48,10 +95,28 @@ pub fn run(
     policy: &mut dyn PagingPolicy,
     remote_cache: Option<&mut dyn RemoteCacheModel>,
 ) -> Result<RunStats, SimError> {
+    Ok(run_outcome(cfg, workload, policy, remote_cache)?.into_stats())
+}
+
+/// Like [`run`], but reports whether the completed run degraded and with
+/// which errors.
+///
+/// # Errors
+///
+/// Same as [`run`]: only configuration errors and unresolvable faults abort
+/// the run.
+pub fn run_outcome(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    policy: &mut dyn PagingPolicy,
+    remote_cache: Option<&mut dyn RemoteCacheModel>,
+) -> Result<RunOutcome, SimError> {
+    cfg.validate()?;
     let mut m = Machine::new(cfg, workload, remote_cache);
     policy.begin(workload.allocs(), cfg);
     m.run_all(workload, policy)?;
     m.stats.blocks_consumed = policy.blocks_consumed();
+    m.stats.degradation.fallback_remote_frames = policy.frame_fallbacks();
     m.stats.dram_per_chiplet = (0..cfg.num_chiplets)
         .map(|c| m.dram.accesses(mcm_types::ChipletId::new(c as u8)))
         .collect();
@@ -59,7 +124,13 @@ pub fn run(
     m.stats.ring_transfers = m.ring.transfers();
     m.stats.dram_queue_cycles = m.dram.queue_cycles();
     m.stats.ring_queue_cycles = m.ring.queue_cycles();
-    Ok(m.stats)
+    let stats = m.stats;
+    if stats.degradation.is_degraded() {
+        let errors = stats.degradation.errors.clone();
+        Ok(RunOutcome::Degraded { stats, errors })
+    } else {
+        Ok(RunOutcome::Completed(stats))
+    }
 }
 
 /// Tag bit distinguishing PTE lines from data lines in the L2 cache key
@@ -238,7 +309,10 @@ impl<'c, 'r> Machine<'c, 'r> {
         for k in 0..workload.num_kernels() {
             now = self.run_kernel(workload, k, now, policy)?;
             let dirs = policy.on_kernel_end(k, now);
-            self.apply_directives(&dirs, policy.ideal_migration(), now)?;
+            self.apply_directives(&dirs, policy.ideal_migration(), now);
+            if self.cfg.audit_epochs {
+                self.audit();
+            }
         }
         self.stats.cycles = now;
         Ok(())
@@ -330,7 +404,10 @@ impl<'c, 'r> Machine<'c, 'r> {
             while t >= self.next_epoch {
                 let epoch = self.next_epoch;
                 let dirs = policy.on_epoch(epoch);
-                self.apply_directives(&dirs, policy.ideal_migration(), epoch)?;
+                self.apply_directives(&dirs, policy.ideal_migration(), epoch);
+                if self.cfg.audit_epochs {
+                    self.audit();
+                }
                 self.next_epoch += self.cfg.epoch_cycles;
             }
 
@@ -422,44 +499,68 @@ impl<'c, 'r> Machine<'c, 'r> {
         let issue = self.sm_port[sm].acquire(t, 1);
 
         // --- Address translation ---
+        // A TLB hit normally implies a mapping; coverage can outlive its
+        // mapping only when a directive bypassed the shootdown path (fault
+        // injection). Stale hits are invalidated, counted, and re-walked
+        // instead of panicking.
         let mut tt = issue + self.cfg.l1_tlb_latency;
-        let l1_hit = self.l1_tlb[sm].iter_mut().any(|tlb| tlb.lookup(va));
-        let pte = if l1_hit {
-            self.stats.l1tlb_hits += 1;
-            self.page_table
-                .translate(va)
-                .expect("TLB coverage implies a mapping")
+        let mut hit_pte = None;
+        if self.l1_tlb[sm].iter_mut().any(|tlb| tlb.lookup(va)) {
+            match self.page_table.translate(va) {
+                Some(p) => {
+                    self.stats.l1tlb_hits += 1;
+                    hit_pte = Some(p);
+                }
+                None => {
+                    self.note_stale_tlb(va);
+                    self.stats.l1tlb_misses += 1;
+                }
+            }
         } else {
             self.stats.l1tlb_misses += 1;
-            tt += self.cfg.l2_tlb_latency;
-            let l2_hit = self.l2_tlb[chiplet.index()]
-                .iter_mut()
-                .any(|tlb| tlb.lookup(va));
-            if l2_hit {
-                self.stats.l2tlb_hits += 1;
-                let pte = self
-                    .page_table
-                    .translate(va)
-                    .expect("TLB coverage implies a mapping");
-                self.fill_l1(sm, va, pte);
-                pte
-            } else {
-                self.stats.l2tlb_misses += 1;
-                let (walk_done, pte) = match self.page_walk(sm, chiplet, tb, va, tt, policy)? {
-                    WalkResult::Walked(done, pte) => (done, pte),
-                    WalkResult::Faulted(resume) => return Ok(AccessResult::Fault(resume)),
-                };
-                tt = walk_done;
-                self.fill_l2(chiplet, va, pte);
-                self.fill_l1(sm, va, pte);
-                policy.on_walk(&WalkEvent {
-                    va,
-                    alloc: pte.alloc,
-                    requester: chiplet,
-                    data_chiplet: self.page_table.layout().chiplet_of(pte.pa),
-                    cycle: tt,
-                });
-                pte
+        }
+        let pte = match hit_pte {
+            Some(p) => p,
+            None => {
+                tt += self.cfg.l2_tlb_latency;
+                let mut l2_pte = None;
+                if self.l2_tlb[chiplet.index()]
+                    .iter_mut()
+                    .any(|tlb| tlb.lookup(va))
+                {
+                    match self.page_table.translate(va) {
+                        Some(p) => {
+                            self.stats.l2tlb_hits += 1;
+                            self.fill_l1(sm, va, p);
+                            l2_pte = Some(p);
+                        }
+                        None => self.note_stale_tlb(va),
+                    }
+                }
+                match l2_pte {
+                    Some(p) => p,
+                    None => {
+                        self.stats.l2tlb_misses += 1;
+                        let (walk_done, pte) =
+                            match self.page_walk(sm, chiplet, tb, va, tt, policy)? {
+                                WalkResult::Walked(done, pte) => (done, pte),
+                                WalkResult::Faulted(resume) => {
+                                    return Ok(AccessResult::Fault(resume))
+                                }
+                            };
+                        tt = walk_done;
+                        self.fill_l2(chiplet, va, pte);
+                        self.fill_l1(sm, va, pte);
+                        policy.on_walk(&WalkEvent {
+                            va,
+                            alloc: pte.alloc,
+                            requester: chiplet,
+                            data_chiplet: self.page_table.layout().chiplet_of(pte.pa),
+                            cycle: tt,
+                        });
+                        pte
+                    }
+                }
             }
         };
         self.stats.translation_cycles += tt - issue;
@@ -552,6 +653,12 @@ impl<'c, 'r> Machine<'c, 'r> {
                         return Ok(WalkResult::Walked(done, pte));
                     }
                 }
+                // A new walk needs a queue entry. The per-chiplet walk
+                // queue is finite (`cfg.walk_queue`): when it is full of
+                // in-flight walks, the request stalls until the earliest
+                // one completes (back-pressure) instead of growing the
+                // queue without bound.
+                let t = self.reserve_walk_slot(chiplet, t)?;
                 let levels = self.cfg.walk_levels(pte.size);
                 let start = self.walkers[chiplet.index()].acquire(t, self.cfg.walker_service);
                 let mut tw = start;
@@ -564,11 +671,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                     }
                 }
                 tw = self.leaf_pte_access(chiplet, va, pte, levels, tw);
-                let mshr = &mut self.walk_mshr[chiplet.index()];
-                if mshr.len() > 4096 {
-                    mshr.retain(|_, &mut done| done > t);
-                }
-                mshr.insert(page_key, tw);
+                self.walk_mshr[chiplet.index()].insert(page_key, tw);
                 self.stats.walks += 1;
                 self.stats.walk_cycles += tw - t;
                 return Ok(WalkResult::Walked(tw, pte));
@@ -590,14 +693,69 @@ impl<'c, 'r> Machine<'c, 'r> {
                 tb,
                 cycle: t,
             };
-            let dirs = policy.on_fault(&ctx);
-            self.apply_directives(&dirs, policy.ideal_migration(), t)?;
+            // A fault the policy cannot resolve (e.g. OutOfFrames on every
+            // chiplet) is fatal: the warp can never make progress.
+            let dirs = policy.on_fault(&ctx)?;
+            self.apply_directives(&dirs, policy.ideal_migration(), t);
             if self.page_table.translate(va).is_none() {
                 return Err(SimError::PolicyViolation {
                     reason: format!("fault handler did not map {va}"),
                 });
             }
             Ok(WalkResult::Faulted(t + self.cfg.fault_latency))
+        }
+    }
+
+    /// Waits (in simulated time) for a free entry in `chiplet`'s page-walk
+    /// queue, dropping completed walks first. Returns the cycle at which
+    /// the new walk may issue.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WalkQueueOverflow`] if the queue is full and cannot
+    /// drain — only reachable if in-flight walks stop completing, which
+    /// would otherwise hang the simulation.
+    fn reserve_walk_slot(&mut self, chiplet: ChipletId, mut t: u64) -> Result<u64, SimError> {
+        let idx = chiplet.index();
+        let cap = self.cfg.walk_queue;
+        if self.walk_mshr[idx].len() < cap {
+            return Ok(t);
+        }
+        self.walk_mshr[idx].retain(|_, &mut done| done > t);
+        let mut stalled = 0u64;
+        while self.walk_mshr[idx].len() >= cap {
+            let earliest = self.walk_mshr[idx].values().copied().min().unwrap_or(t);
+            if earliest <= t {
+                return Err(SimError::WalkQueueOverflow {
+                    chiplet,
+                    depth: self.walk_mshr[idx].len(),
+                });
+            }
+            stalled += earliest - t;
+            t = earliest;
+            self.walk_mshr[idx].retain(|_, &mut done| done > t);
+            self.stats.degradation.walk_queue_stalls += 1;
+        }
+        if stalled > 0 {
+            self.stats.degradation.walk_queue_stall_cycles += stalled;
+        }
+        Ok(t)
+    }
+
+    /// Counts a stale TLB hit (coverage without a mapping) and drops the
+    /// stale coverage machine-wide.
+    fn note_stale_tlb(&mut self, va: VirtAddr) {
+        self.stats.degradation.stale_tlb_hits += 1;
+        self.stats.degradation.record(SimError::NotMapped { va });
+        for sm_tlbs in &mut self.l1_tlb {
+            for tlb in sm_tlbs.iter_mut() {
+                tlb.invalidate_page(va);
+            }
+        }
+        for ch_tlbs in &mut self.l2_tlb {
+            for tlb in ch_tlbs.iter_mut() {
+                tlb.invalidate_page(va);
+            }
         }
     }
 
@@ -674,28 +832,40 @@ impl<'c, 'r> Machine<'c, 'r> {
     }
 
     fn fill_l1(&mut self, sm: usize, va: VirtAddr, pte: Pte) {
-        let (class, mask) = self.fill_mask(va, pte);
-        self.l1_tlb[sm][class].fill(va, mask);
+        match self.fill_mask(va, pte) {
+            Some((class, mask)) => self.l1_tlb[sm][class].fill(va, mask),
+            None => self.note_missing_class(pte.size),
+        }
     }
 
     fn fill_l2(&mut self, chiplet: ChipletId, va: VirtAddr, pte: Pte) {
-        let (class, mask) = self.fill_mask(va, pte);
-        if mask.count_ones() > 1 {
-            self.stats.coalesced_fills += 1;
+        match self.fill_mask(va, pte) {
+            Some((class, mask)) => {
+                if mask.count_ones() > 1 {
+                    self.stats.coalesced_fills += 1;
+                }
+                self.l2_tlb[chiplet.index()][class].fill(va, mask);
+            }
+            None => self.note_missing_class(pte.size),
         }
-        self.l2_tlb[chiplet.index()][class].fill(va, mask);
+    }
+
+    /// Counts a translation whose leaf size has no TLB class: the walk was
+    /// already charged, the entry just cannot be cached.
+    fn note_missing_class(&mut self, size: PageSize) {
+        self.stats.degradation.tlb_class_missing += 1;
+        self.stats
+            .degradation
+            .record(SimError::TlbClassMissing { size });
     }
 
     /// The TLB class and valid-bit mask to install for a translation of
     /// `va` (coalescing logic of §4.6; Barre-Chord patterns; Ideal reach).
-    fn fill_mask(&self, va: VirtAddr, pte: Pte) -> (usize, u32) {
-        let class = self
-            .classes
-            .iter()
-            .position(|&s| s == pte.size)
-            .unwrap_or_else(|| panic!("no TLB class for {} pages", pte.size));
+    /// `None` if the machine has no TLB class for the leaf's size.
+    fn fill_mask(&self, va: VirtAddr, pte: Pte) -> Option<(usize, u32)> {
+        let class = self.classes.iter().position(|&s| s == pte.size)?;
         if pte.size != PageSize::Size64K {
-            return (class, 1);
+            return Some((class, 1));
         }
         let tr = &self.cfg.translation;
         let mask = if tr.ideal_2m_reach {
@@ -711,63 +881,105 @@ impl<'c, 'r> Machine<'c, 'r> {
         if mask == 0 {
             // Defensive: cover just this page at its position in the group.
             let group = if tr.ideal_2m_reach { 32 } else { 16 };
-            return (class, 1 << ((va.raw() >> 16) % group));
+            return Some((class, 1 << ((va.raw() >> 16) % group)));
         }
-        (class, mask)
+        Some((class, mask))
     }
 
-    fn apply_directives(
-        &mut self,
-        dirs: &[Directive],
-        ideal: bool,
-        now: u64,
-    ) -> Result<(), SimError> {
-        for d in dirs {
-            match *d {
-                Directive::Map {
-                    va,
-                    pa,
-                    size,
-                    alloc,
-                } => {
-                    self.page_table.map(va, pa, size, alloc)?;
-                }
-                Directive::Promote { base, size } => {
-                    self.page_table.promote(base, size)?;
-                    self.stats.promotions += 1;
-                    // Promotion rewrites PTEs: stale 64KB entries must go.
-                    self.invalidate_block_entries(base, size.base_pages());
-                }
-                Directive::Unmap { va } => {
-                    let pte = self.page_table.unmap(va)?;
-                    self.shootdown(va, pte.size, ideal, now);
-                }
-                Directive::Migrate { va, to_pa } => {
-                    let pte = self.page_table.unmap(va)?;
-                    if pte.size != PageSize::Size64K {
-                        return Err(SimError::PolicyViolation {
-                            reason: format!("migrate of non-64KB leaf at {va}"),
-                        });
-                    }
-                    self.shootdown(va, pte.size, ideal, now);
-                    self.page_table.map(va, to_pa, pte.size, pte.alloc)?;
-                    self.stats.migrations += 1;
-                    if let Some(rc) = self.remote_cache.as_deref_mut() {
-                        for l in 0..(BASE_PAGE_BYTES / self.cfg.line_bytes) {
-                            rc.invalidate(pte.pa + l * self.cfg.line_bytes);
-                        }
-                    }
-                    if !ideal {
-                        let src = self.page_table.layout().chiplet_of(pte.pa);
-                        let dst = self.page_table.layout().chiplet_of(to_pa);
-                        self.gmmu_ovh[src.index()].acquire(now, self.cfg.migration_latency);
-                        self.gmmu_ovh[dst.index()].acquire(now, self.cfg.migration_latency);
-                        self.ring.transfer(src, dst, now);
-                    }
-                }
+    /// Applies a directive batch, skipping (and recording) invalid
+    /// directives instead of aborting the run: a bad directive fails the
+    /// *fault*, not the *process*. Each rejection is counted in
+    /// `degradation.rejected_directives` with a sampled
+    /// [`SimError::DirectiveRejected`].
+    fn apply_directives(&mut self, dirs: &[Directive], ideal: bool, now: u64) {
+        for (i, d) in dirs.iter().enumerate() {
+            if let Err(e) = self.apply_directive(*d, ideal, now) {
+                self.stats.degradation.rejected_directives += 1;
+                self.stats.degradation.record(SimError::DirectiveRejected {
+                    index: i,
+                    reason: e.to_string(),
+                });
             }
         }
-        Ok(())
+    }
+
+    /// Validates and applies one directive. State is only mutated once
+    /// validation passed, so a rejected directive leaves the machine
+    /// untouched.
+    fn apply_directive(&mut self, d: Directive, ideal: bool, now: u64) -> Result<(), SimError> {
+        match d {
+            Directive::Map {
+                va,
+                pa,
+                size,
+                alloc,
+            } => {
+                if !self.classes.contains(&size) {
+                    return Err(SimError::TlbClassMissing { size });
+                }
+                self.page_table.map(va, pa, size, alloc)
+            }
+            Directive::Promote { base, size } => {
+                if !self.classes.contains(&size) {
+                    return Err(SimError::TlbClassMissing { size });
+                }
+                self.page_table.promote(base, size)?;
+                self.stats.promotions += 1;
+                // Promotion rewrites PTEs: stale 64KB entries must go.
+                self.invalidate_block_entries(base, size.base_pages());
+                Ok(())
+            }
+            Directive::Unmap { va } => {
+                let pte = self.page_table.unmap(va)?;
+                self.shootdown(va, pte.size, ideal, now);
+                Ok(())
+            }
+            Directive::Migrate { va, to_pa } => {
+                let pte = self
+                    .page_table
+                    .translate(va)
+                    .ok_or(SimError::NotMapped { va })?;
+                if pte.size != PageSize::Size64K {
+                    return Err(SimError::PolicyViolation {
+                        reason: format!("migrate of non-64KB leaf at {va}"),
+                    });
+                }
+                if va.raw() % BASE_PAGE_BYTES != 0 {
+                    return Err(SimError::Misaligned {
+                        addr: va.raw(),
+                        align: BASE_PAGE_BYTES,
+                    });
+                }
+                if to_pa.raw() % BASE_PAGE_BYTES != 0 {
+                    return Err(SimError::Misaligned {
+                        addr: to_pa.raw(),
+                        align: BASE_PAGE_BYTES,
+                    });
+                }
+                let pte = self.page_table.unmap(va)?;
+                self.shootdown(va, pte.size, ideal, now);
+                if let Err(e) = self.page_table.map(va, to_pa, pte.size, pte.alloc) {
+                    // Keep the migration atomic: restore the original
+                    // mapping before reporting the rejection.
+                    let _ = self.page_table.map(va, pte.pa, pte.size, pte.alloc);
+                    return Err(e);
+                }
+                self.stats.migrations += 1;
+                if let Some(rc) = self.remote_cache.as_deref_mut() {
+                    for l in 0..(BASE_PAGE_BYTES / self.cfg.line_bytes) {
+                        rc.invalidate(pte.pa + l * self.cfg.line_bytes);
+                    }
+                }
+                if !ideal {
+                    let src = self.page_table.layout().chiplet_of(pte.pa);
+                    let dst = self.page_table.layout().chiplet_of(to_pa);
+                    self.gmmu_ovh[src.index()].acquire(now, self.cfg.migration_latency);
+                    self.gmmu_ovh[dst.index()].acquire(now, self.cfg.migration_latency);
+                    self.ring.transfer(src, dst, now);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Invalidates TLB coverage for one page and charges the shootdown.
@@ -788,6 +1000,28 @@ impl<'c, 'r> Machine<'c, 'r> {
             for s in &mut self.gmmu_ovh {
                 s.acquire(now, self.cfg.tlb_shootdown_latency);
             }
+        }
+    }
+
+    /// Epoch state audit (enabled by
+    /// [`SimConfig::audit_epochs`](crate::SimConfig)): checks page-table /
+    /// TLB / capacity coherence and counts violations as degradation.
+    fn audit(&mut self) {
+        let auditor = crate::chaos::StateAuditor::new(self.cfg);
+        let mut violations = auditor.check_page_table(&self.page_table);
+        // Cached TLB coverage must never outlive its mapping.
+        for tlbs in self.l1_tlb.iter().chain(self.l2_tlb.iter()) {
+            for tlb in tlbs {
+                for va in tlb.covered_pages() {
+                    if self.page_table.translate(va).is_none() {
+                        violations.push(SimError::NotMapped { va });
+                    }
+                }
+            }
+        }
+        for v in violations {
+            self.stats.degradation.audit_violations += 1;
+            self.stats.degradation.record(v);
         }
     }
 

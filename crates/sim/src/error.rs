@@ -1,7 +1,7 @@
 //! Error type for simulator operations.
 
 use core::fmt;
-use mcm_types::{PageSize, VirtAddr};
+use mcm_types::{ChipletId, PageSize, VirtAddr};
 
 /// Errors returned by the page table and the simulation engine.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,6 +40,42 @@ pub enum SimError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// Physical memory is exhausted: no chiplet could serve a frame of the
+    /// requested size (the §4.7 least-loaded fallback also failed).
+    OutOfFrames {
+        /// Chiplet originally asked for the frame.
+        chiplet: ChipletId,
+        /// Frame size that could not be served.
+        size: PageSize,
+    },
+    /// A translation produced a page size for which the machine has no TLB
+    /// class; the walk is still charged but the entry cannot be cached.
+    TlbClassMissing {
+        /// The uncacheable leaf size.
+        size: PageSize,
+    },
+    /// A chiplet's page-walk queue is full and cannot drain; the walk was
+    /// refused instead of growing the queue without bound.
+    WalkQueueOverflow {
+        /// Chiplet whose GMMU refused the walk.
+        chiplet: ChipletId,
+        /// In-flight walks queued when the overflow was detected.
+        depth: usize,
+    },
+    /// The simulator configuration failed [`SimConfig::validate`]
+    /// (crate::SimConfig::validate); the run never started.
+    ConfigInvalid {
+        /// Which invariant the configuration violates.
+        reason: String,
+    },
+    /// The engine rejected one directive of a policy's batch and skipped it
+    /// (the remaining directives still apply — degraded mode).
+    DirectiveRejected {
+        /// Position of the offending directive within its batch.
+        index: usize,
+        /// Why it was rejected (the underlying error, rendered).
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +92,19 @@ impl fmt::Display for SimError {
                 write!(f, "cannot promote block at {va}: {reason}")
             }
             SimError::PolicyViolation { reason } => write!(f, "policy violation: {reason}"),
+            SimError::OutOfFrames { chiplet, size } => {
+                write!(f, "out of {size} frames: chiplet {chiplet} exhausted and no fallback chiplet has free blocks")
+            }
+            SimError::TlbClassMissing { size } => {
+                write!(f, "no TLB class for {size} pages")
+            }
+            SimError::WalkQueueOverflow { chiplet, depth } => {
+                write!(f, "page-walk queue overflow on chiplet {chiplet} ({depth} walks in flight)")
+            }
+            SimError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::DirectiveRejected { index, reason } => {
+                write!(f, "directive {index} rejected: {reason}")
+            }
         }
     }
 }
@@ -74,5 +123,32 @@ mod tests {
         assert!(e.to_string().contains("0x42"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn degradation_variants_render_their_context() {
+        let e = SimError::OutOfFrames {
+            chiplet: ChipletId::new(2),
+            size: PageSize::Size2M,
+        };
+        assert!(e.to_string().contains("2MB"));
+        let e = SimError::TlbClassMissing {
+            size: PageSize::Size256K,
+        };
+        assert!(e.to_string().contains("256KB"));
+        let e = SimError::WalkQueueOverflow {
+            chiplet: ChipletId::new(1),
+            depth: 256,
+        };
+        assert!(e.to_string().contains("256"));
+        let e = SimError::ConfigInvalid {
+            reason: "zero chiplets".into(),
+        };
+        assert!(e.to_string().contains("zero chiplets"));
+        let e = SimError::DirectiveRejected {
+            index: 3,
+            reason: "no mapping at 0x0".into(),
+        };
+        assert!(e.to_string().contains("directive 3"));
     }
 }

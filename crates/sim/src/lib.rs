@@ -29,8 +29,11 @@
 //! ```
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod cache;
+pub mod chaos;
 mod config;
 mod dram;
 mod engine;
@@ -44,9 +47,10 @@ mod tlb;
 mod trace;
 
 pub use cache::SetAssocCache;
+pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor};
 pub use config::{PtePlacement, SimConfig, TlbEntries, TranslationConfig};
 pub use dram::Dram;
-pub use engine::run;
+pub use engine::{run, run_outcome, RunOutcome};
 pub use error::SimError;
 pub use interconnect::{Ring, RingLeg};
 pub use page_table::{PageTable, Pte, PTES_PER_LINE};
@@ -55,6 +59,6 @@ pub use policy::{
     WalkEvent,
 };
 pub use resources::{BucketedResource, Server, BUCKET_CYCLES};
-pub use stats::{AllocAccessStats, RunStats};
+pub use stats::{AllocAccessStats, DegradationStats, RunStats};
 pub use tlb::Tlb;
 pub use trace::{tb_chiplet, KernelDesc, Workload};

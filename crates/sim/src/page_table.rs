@@ -136,18 +136,13 @@ impl PageTable {
         }
         let vpn = va.raw() >> size.shift();
         if !self.maps.contains_key(&size) {
-            self.maps.insert(size, HashMap::new());
             self.probe_order.push(size);
             self.probe_order.sort_by(|a, b| b.cmp(a));
         }
-        self.maps.get_mut(&size).expect("just ensured").insert(
-            vpn,
-            Pte {
-                pa,
-                size,
-                alloc,
-            },
-        );
+        self.maps
+            .entry(size)
+            .or_default()
+            .insert(vpn, Pte { pa, size, alloc });
         self.mapped_bytes += size.bytes();
         Ok(())
     }
@@ -248,12 +243,25 @@ impl PageTable {
                 }
             }
         }
-        let map64k = self.maps.get_mut(&PageSize::Size64K).expect("checked");
-        for i in 0..pages {
-            map64k.remove(&(base_vpn + i));
+        if let Some(map64k) = self.maps.get_mut(&PageSize::Size64K) {
+            for i in 0..pages {
+                map64k.remove(&(base_vpn + i));
+            }
         }
         self.mapped_bytes -= size.bytes();
-        self.map(base, base_pa, size, alloc)?;
+        if let Err(e) = self.map(base, base_pa, size, alloc) {
+            // Unreachable with the checks above, but never leave the table
+            // half-promoted: restore the 64KB leaves before reporting.
+            for i in 0..pages {
+                let _ = self.map(
+                    base + i * BASE_PAGE_BYTES,
+                    base_pa + i * BASE_PAGE_BYTES,
+                    PageSize::Size64K,
+                    alloc,
+                );
+            }
+            return Err(e);
+        }
         Ok(Pte {
             pa: base_pa,
             size,

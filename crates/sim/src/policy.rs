@@ -8,7 +8,7 @@
 
 use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, SmId, TbId, VirtAddr};
 
-use crate::SimConfig;
+use crate::{SimConfig, SimError};
 
 /// Compiler-level knowledge about a data structure's access pattern, as a
 /// static-analysis pass (LASP \[47\] / SUV \[17\]) would derive it. Consumed
@@ -152,7 +152,15 @@ pub trait PagingPolicy {
 
     /// Resolve a demand fault. The returned directives **must** map
     /// `ctx.va` (the engine verifies).
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SimError`] when the fault cannot be resolved —
+    /// most commonly [`SimError::OutOfFrames`] when every chiplet's free
+    /// lists are exhausted. The engine treats this as fatal for the run
+    /// (the faulting warp can never make progress) and aborts with the
+    /// error rather than panicking.
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError>;
 
     /// Observe a completed page walk (hardware-sampled statistics).
     fn on_walk(&mut self, _ev: &WalkEvent) {}
@@ -190,6 +198,62 @@ pub trait PagingPolicy {
     /// fragmentation comparison), if it tracks them.
     fn blocks_consumed(&self) -> Option<usize> {
         None
+    }
+
+    /// Frames the policy's allocator placed on a non-preferred chiplet
+    /// because the preferred chiplet's free lists were exhausted (the
+    /// least-loaded fallback of §4.7), if it tracks them. The engine
+    /// copies this into
+    /// [`DegradationStats::fallback_remote_frames`](crate::DegradationStats)
+    /// at the end of a run.
+    fn frame_fallbacks(&self) -> u64 {
+        0
+    }
+}
+
+impl<P: PagingPolicy + ?Sized> PagingPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn begin(&mut self, allocs: &[AllocInfo], cfg: &SimConfig) {
+        (**self).begin(allocs, cfg);
+    }
+
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+        (**self).on_fault(ctx)
+    }
+
+    fn on_walk(&mut self, ev: &WalkEvent) {
+        (**self).on_walk(ev);
+    }
+
+    fn wants_access_samples(&self) -> bool {
+        (**self).wants_access_samples()
+    }
+
+    fn on_access(&mut self, ev: &WalkEvent) {
+        (**self).on_access(ev);
+    }
+
+    fn on_epoch(&mut self, cycle: u64) -> Vec<Directive> {
+        (**self).on_epoch(cycle)
+    }
+
+    fn on_kernel_end(&mut self, kernel: usize, cycle: u64) -> Vec<Directive> {
+        (**self).on_kernel_end(kernel, cycle)
+    }
+
+    fn ideal_migration(&self) -> bool {
+        (**self).ideal_migration()
+    }
+
+    fn blocks_consumed(&self) -> Option<usize> {
+        (**self).blocks_consumed()
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        (**self).frame_fallbacks()
     }
 }
 

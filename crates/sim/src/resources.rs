@@ -111,7 +111,8 @@ impl BucketedResource {
                 self.used[bucket] += take;
                 remaining -= take as u64;
                 if remaining == 0 {
-                    return start.expect("set on first take");
+                    // `start` was set when the first units were taken.
+                    return start.unwrap_or(now);
                 }
             }
             bucket += 1;

@@ -4,6 +4,8 @@ use std::collections::HashMap;
 
 use mcm_types::AllocId;
 
+use crate::SimError;
+
 /// Per-data-structure access statistics (Fig. 8 plots these).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AllocAccessStats {
@@ -96,6 +98,9 @@ pub struct RunStats {
 
     /// Per-data-structure counters.
     pub per_alloc: HashMap<AllocId, AllocAccessStats>,
+
+    /// Graceful-degradation events the run absorbed instead of aborting.
+    pub degradation: DegradationStats,
 }
 
 impl RunStats {
@@ -164,6 +169,65 @@ impl RunStats {
     }
 }
 
+/// Counters for every event the engine absorbed in degraded mode rather
+/// than aborting the run (see DESIGN.md, "Error handling & degradation
+/// semantics"). A run with any of these non-zero completes but is reported
+/// as [`RunOutcome::Degraded`](crate::RunOutcome::Degraded).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Frames placed on a fallback (least-loaded remote) chiplet because
+    /// the preferred chiplet's free lists were exhausted.
+    pub fallback_remote_frames: u64,
+    /// Policy directives the engine rejected and skipped.
+    pub rejected_directives: u64,
+    /// Translations whose leaf size had no TLB class; the walk was charged
+    /// but the entry could not be cached.
+    pub tlb_class_missing: u64,
+    /// Times a page walk stalled because the chiplet's walk queue was full
+    /// (back-pressure instead of unbounded queue growth).
+    pub walk_queue_stalls: u64,
+    /// Total cycles walks spent stalled behind a full walk queue.
+    pub walk_queue_stall_cycles: u64,
+    /// TLB lookups that hit on coverage whose mapping no longer exists;
+    /// the stale entries were invalidated and the access re-walked.
+    pub stale_tlb_hits: u64,
+    /// Coherence violations found by the epoch state audit (only counted
+    /// when [`SimConfig::audit_epochs`](crate::SimConfig::audit_epochs) is
+    /// set).
+    pub audit_violations: u64,
+    /// Bounded sample (first [`Self::MAX_ERROR_SAMPLES`]) of the typed
+    /// errors behind the counters above.
+    pub errors: Vec<SimError>,
+}
+
+impl DegradationStats {
+    /// How many concrete errors are retained in [`Self::errors`].
+    pub const MAX_ERROR_SAMPLES: usize = 32;
+
+    /// Total degradation events (cycle counters excluded).
+    pub fn events(&self) -> u64 {
+        self.fallback_remote_frames
+            + self.rejected_directives
+            + self.tlb_class_missing
+            + self.walk_queue_stalls
+            + self.stale_tlb_hits
+            + self.audit_violations
+    }
+
+    /// Whether the run degraded at all.
+    pub fn is_degraded(&self) -> bool {
+        self.events() > 0
+    }
+
+    /// Records a typed error sample, keeping only the first
+    /// [`Self::MAX_ERROR_SAMPLES`]. Callers bump the matching counter.
+    pub(crate) fn record(&mut self, err: SimError) {
+        if self.errors.len() < Self::MAX_ERROR_SAMPLES {
+            self.errors.push(err);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +264,32 @@ mod tests {
             ..s.clone()
         };
         assert!((faster.speedup_over(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_events_and_sampling() {
+        let mut d = DegradationStats::default();
+        assert!(!d.is_degraded());
+        d.rejected_directives = 2;
+        d.stale_tlb_hits = 1;
+        assert_eq!(d.events(), 3);
+        assert!(d.is_degraded());
+        // Stall cycles alone do not make a run degraded (the stall counter
+        // does).
+        let mut c = DegradationStats {
+            walk_queue_stall_cycles: 500,
+            ..Default::default()
+        };
+        assert!(!c.is_degraded());
+        c.walk_queue_stalls = 1;
+        assert!(c.is_degraded());
+        // Error samples are bounded.
+        for i in 0..2 * DegradationStats::MAX_ERROR_SAMPLES {
+            d.record(SimError::PolicyViolation {
+                reason: format!("e{i}"),
+            });
+        }
+        assert_eq!(d.errors.len(), DegradationStats::MAX_ERROR_SAMPLES);
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl Tlb {
     /// or if `ways > entries`.
     pub fn new(size: PageSize, entries: usize, ways: usize, group: u32) -> Self {
         assert!(entries > 0 && ways > 0 && ways <= entries);
-        assert!(group >= 1 && group <= 32, "group must be 1..=32");
+        assert!((1..=32).contains(&group), "group must be 1..=32");
         let sets = (entries / ways).max(1).next_power_of_two();
         Tlb {
             size,
@@ -131,7 +131,7 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
-                .expect("set is full");
+                .unwrap_or(0);
             lines.swap_remove(lru);
         }
         lines.push(TlbEntry {
@@ -169,6 +169,20 @@ impl Tlb {
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates over the base VA of every page this TLB currently covers
+    /// (one item per set mask bit). The state auditor uses this to check
+    /// that cached coverage never outlives its page-table mapping.
+    pub fn covered_pages(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        let shift = self.size.shift();
+        let group = self.group as u64;
+        self.sets.iter().flatten().flat_map(move |e| {
+            let (key, mask) = (e.key, e.mask);
+            (0..group)
+                .filter(move |bit| mask >> bit & 1 == 1)
+                .map(move |bit| VirtAddr::new((key * group + bit) << shift))
+        })
     }
 }
 
@@ -264,6 +278,16 @@ mod tests {
     fn fill_must_cover_target() {
         let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
         t.fill(va64k(2), 0b0001);
+    }
+
+    #[test]
+    fn covered_pages_enumerates_mask_bits() {
+        let mut t = Tlb::new(PageSize::Size64K, 16, 16, 16);
+        t.fill(va64k(2), 0b1110);
+        t.fill(va64k(17), 0b10);
+        let mut pages: Vec<u64> = t.covered_pages().map(|va| va.raw() >> 16).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![1, 2, 3, 17]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use mcm_sim::{
     run, AllocInfo, Directive, FaultCtx, KernelDesc, PagingPolicy, RemoteCacheModel, RemoteServe,
-    SimConfig, StaticHint, TranslationConfig, WalkEvent, Workload,
+    SimConfig, SimError, StaticHint, TranslationConfig, WalkEvent, Workload,
 };
 use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, TbId, VirtAddr, WarpId, VA_BLOCK_BYTES};
 
@@ -96,22 +96,22 @@ impl PagingPolicy for Ft64 {
     fn begin(&mut self, _allocs: &[AllocInfo], cfg: &SimConfig) {
         self.next_frame = vec![0; cfg.num_chiplets];
     }
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         // Frame n of chiplet c lives in PF block c + n/32*C.
         let c = ctx.requester.index() as u64;
         let n = self.next_frame[ctx.requester.index()];
         self.next_frame[ctx.requester.index()] += 1;
-        if n % 32 == 0 {
+        if n.is_multiple_of(32) {
             self.blocks += 1;
         }
         let chiplets = self.next_frame.len() as u64;
         let pa = PhysAddr::new((c + n / 32 * chiplets) * VA_BLOCK_BYTES + (n % 32) * 65536);
-        vec![Directive::Map {
+        Ok(vec![Directive::Map {
             va: ctx.va,
             pa,
             size: PageSize::Size64K,
             alloc: ctx.alloc,
-        }]
+        }])
     }
     fn blocks_consumed(&self) -> Option<usize> {
         Some(self.blocks)
@@ -185,7 +185,7 @@ impl PagingPolicy for Promote2M {
         "stub-2m"
     }
     fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         // Map the entire VA block contiguously and promote immediately.
         let block = ctx.va.align_down(VA_BLOCK_BYTES);
         let pa = PhysAddr::new(block.raw()); // identity: chiplet varies per block
@@ -201,7 +201,7 @@ impl PagingPolicy for Promote2M {
             base: block,
             size: PageSize::Size2M,
         });
-        dirs
+        Ok(dirs)
     }
 }
 
@@ -229,13 +229,13 @@ fn clap_coalescing_cuts_walks_for_contiguous_frames() {
             "stub-contig"
         }
         fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-        fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
-            vec![Directive::Map {
+        fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+            Ok(vec![Directive::Map {
                 va: ctx.va,
                 pa: PhysAddr::new(ctx.va.raw()), // identity => contiguous
                 size: PageSize::Size64K,
                 alloc: ctx.alloc,
-            }]
+            }])
         }
     }
     let w = Stub::new(128 * MB, 64, 64);
@@ -264,17 +264,17 @@ impl PagingPolicy for MigrateAll {
         "stub-migrate"
     }
     fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         // Place everything on chiplet 1's blocks, scattered.
         let n = self.mapped.len() as u64;
         let pa = PhysAddr::new((1 + (n / 32) * 4) * VA_BLOCK_BYTES + (n % 32) * 65536);
         self.mapped.push((ctx.va, n));
-        vec![Directive::Map {
+        Ok(vec![Directive::Map {
             va: ctx.va,
             pa,
             size: PageSize::Size64K,
             alloc: ctx.alloc,
-        }]
+        }])
     }
     fn on_epoch(&mut self, _cycle: u64) -> Vec<Directive> {
         if self.migrated {
@@ -338,16 +338,16 @@ impl PagingPolicy for AllRemote {
         "stub-remote"
     }
     fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-    fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
         let n = self.0;
         self.0 += 1;
         let pa = PhysAddr::new((3 + (n / 32) * 4) * VA_BLOCK_BYTES + (n % 32) * 65536);
-        vec![Directive::Map {
+        Ok(vec![Directive::Map {
             va: ctx.va,
             pa,
             size: PageSize::Size64K,
             alloc: ctx.alloc,
-        }]
+        }])
     }
 }
 
@@ -406,7 +406,7 @@ fn multi_kernel_runs_and_notifies() {
         fn begin(&mut self, a: &[AllocInfo], c: &SimConfig) {
             self.0.begin(a, c)
         }
-        fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+        fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
             self.0.on_fault(ctx)
         }
         fn on_kernel_end(&mut self, _k: usize, _cycle: u64) -> Vec<Directive> {
@@ -430,8 +430,8 @@ fn policy_that_ignores_faults_is_rejected() {
             "lazy"
         }
         fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-        fn on_fault(&mut self, _ctx: &FaultCtx) -> Vec<Directive> {
-            Vec::new()
+        fn on_fault(&mut self, _ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+            Ok(Vec::new())
         }
     }
     let w = Stub::new(8 * MB, 16, 32);
@@ -447,19 +447,26 @@ fn double_mapping_is_rejected() {
             "double"
         }
         fn begin(&mut self, _a: &[AllocInfo], _c: &SimConfig) {}
-        fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+        fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
             let m = Directive::Map {
                 va: ctx.va,
                 pa: PhysAddr::new(ctx.va.raw()),
                 size: PageSize::Size64K,
                 alloc: ctx.alloc,
             };
-            vec![m, m]
+            Ok(vec![m, m])
         }
     }
     let w = Stub::new(8 * MB, 16, 32);
-    let err = run(&small_cfg(), &w, &mut DoubleMap, None).expect_err("must fail");
-    assert!(err.to_string().contains("overlaps"));
+    // A duplicate Map is a degradation, not a fatal error: the run completes
+    // and the rejection is recorded in the per-run stats.
+    let s = run(&small_cfg(), &w, &mut DoubleMap, None).expect("runs degraded");
+    assert!(s.degradation.rejected_directives >= 1);
+    assert!(s
+        .degradation
+        .errors
+        .iter()
+        .any(|e| e.to_string().contains("overlaps")));
 }
 
 #[test]
@@ -472,7 +479,7 @@ fn walk_events_reach_the_policy() {
         fn begin(&mut self, a: &[AllocInfo], c: &SimConfig) {
             self.0.begin(a, c)
         }
-        fn on_fault(&mut self, ctx: &FaultCtx) -> Vec<Directive> {
+        fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
             self.0.on_fault(ctx)
         }
         fn on_walk(&mut self, ev: &WalkEvent) {

@@ -1,0 +1,181 @@
+//! Property tests: no sequence of map / unmap / promote / remap
+//! operations can corrupt the page table.
+//!
+//! A reference model tracks the expected leaves while random operation
+//! sequences drive the real table; after every operation the table must
+//! agree with the model, its `mapped_bytes` accounting must balance, and
+//! the [`StateAuditor`] — an independent coherence checker — must find
+//! nothing to complain about.
+
+use std::collections::HashMap;
+
+use mcm_sim::{PageTable, SimConfig, StateAuditor};
+use mcm_types::{
+    AllocId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES, VA_BLOCK_BYTES,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// VA blocks the operations range over.
+const BLOCKS: u64 = 4;
+/// 64KB pages per 2MB VA block.
+const PAGES: u64 = VA_BLOCK_BYTES / BASE_PAGE_BYTES;
+/// Remapped ("migrated") frames live in a PA region disjoint from the
+/// identity region, so frame uniqueness still follows from VA uniqueness.
+const REMAP_DELTA: u64 = 1 << 28;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Map the 64KB page `(block, page)` identity (pa = va).
+    Map { block: u64, page: u64 },
+    /// Unmap whatever leaf starts at `(block, page)`.
+    Unmap { block: u64, page: u64 },
+    /// Promote `block` to a single 2MB leaf.
+    Promote { block: u64 },
+    /// Migrate the leaf starting at `(block, page)` to the other PA region.
+    Remap { block: u64, page: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..BLOCKS, 0u64..PAGES).prop_map(|(block, page)| Op::Map { block, page }),
+        (0u64..BLOCKS, 0u64..PAGES).prop_map(|(block, page)| Op::Unmap { block, page }),
+        (0u64..BLOCKS).prop_map(|block| Op::Promote { block }),
+        (0u64..BLOCKS, 0u64..PAGES).prop_map(|(block, page)| Op::Remap { block, page }),
+    ]
+}
+
+fn va_of(block: u64, page: u64) -> u64 {
+    block * VA_BLOCK_BYTES + page * BASE_PAGE_BYTES
+}
+
+/// Reference model: leaf base VA -> (frame PA, leaf size).
+type Model = HashMap<u64, (u64, PageSize)>;
+
+/// The model leaf covering `va`, if any.
+fn covering(model: &Model, va: u64) -> Option<(u64, u64, PageSize)> {
+    model
+        .iter()
+        .find(|&(&base, &(_, size))| base <= va && va < base + size.bytes())
+        .map(|(&base, &(pa, size))| (base, pa, size))
+}
+
+fn model_bytes(model: &Model) -> u64 {
+    model.values().map(|&(_, size)| size.bytes()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_op_sequences_never_corrupt_the_table(
+        ops in vec(op_strategy(), 1..64),
+    ) {
+        let layout = PhysLayout::new(4);
+        let cfg = SimConfig::baseline();
+        let auditor = StateAuditor::new(&cfg);
+        let mut pt = PageTable::new(layout);
+        let mut model: Model = HashMap::new();
+        let alloc = AllocId::new(0);
+
+        for op in ops {
+            match op {
+                Op::Map { block, page } => {
+                    let va = va_of(block, page);
+                    let res = pt.map(
+                        VirtAddr::new(va),
+                        PhysAddr::new(va),
+                        PageSize::Size64K,
+                        alloc,
+                    );
+                    let free = covering(&model, va).is_none();
+                    prop_assert!(
+                        res.is_ok() == free,
+                        "map {:?} disagreed with model (free={})", op, free
+                    );
+                    if free {
+                        model.insert(va, (va, PageSize::Size64K));
+                    }
+                }
+                Op::Unmap { block, page } => {
+                    let va = va_of(block, page);
+                    let res = pt.unmap(VirtAddr::new(va));
+                    let leaf = model.remove(&va);
+                    prop_assert!(
+                        res.is_ok() == leaf.is_some(),
+                        "unmap {:?} disagreed with model", op
+                    );
+                    if let (Ok(pte), Some((pa, size))) = (res, leaf) {
+                        prop_assert_eq!(pte.pa.raw(), pa);
+                        prop_assert_eq!(pte.size, size);
+                    }
+                }
+                Op::Promote { block } => {
+                    let base = va_of(block, 0);
+                    // Promotable iff every page is a 64KB leaf and the
+                    // frames form one aligned contiguous 2MB run.
+                    let base_pa = model.get(&base).map(|&(pa, _)| pa);
+                    let promotable = base_pa.is_some_and(|bp| {
+                        bp.is_multiple_of(VA_BLOCK_BYTES)
+                            && (0..PAGES).all(|i| {
+                                model.get(&va_of(block, i))
+                                    == Some(&(bp + i * BASE_PAGE_BYTES, PageSize::Size64K))
+                            })
+                    });
+                    let res = pt.promote_to_2m(VirtAddr::new(base));
+                    prop_assert!(
+                        res.is_ok() == promotable,
+                        "promote {:?} disagreed with model", op
+                    );
+                    if promotable {
+                        for i in 0..PAGES {
+                            model.remove(&va_of(block, i));
+                        }
+                        model.insert(base, (base_pa.unwrap_or(base), PageSize::Size2M));
+                    }
+                }
+                Op::Remap { block, page } => {
+                    let va = va_of(block, page);
+                    let Some(&(old_pa, size)) = model.get(&va) else {
+                        // No leaf starts here: the migration must be
+                        // rejected and must not disturb the table.
+                        prop_assert!(pt.unmap(VirtAddr::new(va)).is_err());
+                        continue;
+                    };
+                    // Toggle between the identity and remap PA regions.
+                    let new_pa = if old_pa >= REMAP_DELTA { va } else { va + REMAP_DELTA };
+                    pt.unmap(VirtAddr::new(va)).map_err(|e| {
+                        TestCaseError::fail(format!("remap unmap failed: {e}"))
+                    })?;
+                    pt.map(VirtAddr::new(va), PhysAddr::new(new_pa), size, alloc)
+                        .map_err(|e| {
+                            TestCaseError::fail(format!("remap map failed: {e}"))
+                        })?;
+                    model.insert(va, (new_pa, size));
+                }
+            }
+
+            // Invariant 1: byte accounting balances.
+            prop_assert_eq!(pt.mapped_bytes(), model_bytes(&model));
+            prop_assert_eq!(pt.len(), model.len());
+
+            // Invariant 2: every probe agrees with the model.
+            for block in 0..BLOCKS {
+                for page in 0..PAGES {
+                    let va = va_of(block, page);
+                    let got = pt.resolve(VirtAddr::new(va)).map(|pa| pa.raw());
+                    let want = covering(&model, va).map(|(base, pa, _)| pa + (va - base));
+                    prop_assert!(got == want, "translate mismatch at {va:#x}: {got:?} vs {want:?}");
+                }
+            }
+
+            // Invariant 3: the independent auditor sees a coherent table.
+            let violations = auditor.check_page_table(&pt);
+            prop_assert!(
+                violations.is_empty(),
+                "auditor found violations: {:?}",
+                violations.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+}

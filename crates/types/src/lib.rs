@@ -23,6 +23,8 @@
 //! ```
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod address;
 mod ids;

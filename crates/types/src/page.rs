@@ -146,14 +146,14 @@ impl PageSize {
 
     /// The next larger size, if any.
     pub fn larger(self) -> Option<PageSize> {
-        let i = PageSize::ALL.iter().position(|&s| s == self).expect("in ALL");
+        let i = PageSize::ALL.iter().position(|&s| s == self)?;
         PageSize::ALL.get(i + 1).copied()
     }
 
     /// The next smaller size, if any.
     pub fn smaller(self) -> Option<PageSize> {
-        let i = PageSize::ALL.iter().position(|&s| s == self).expect("in ALL");
-        i.checked_sub(1).map(|j| PageSize::ALL[j])
+        let i = PageSize::ALL.iter().position(|&s| s == self)?;
+        i.checked_sub(1).and_then(|j| PageSize::ALL.get(j).copied())
     }
 }
 

@@ -28,6 +28,8 @@
 //! ```
 
 #![deny(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod builder;
 mod pattern;

@@ -201,7 +201,7 @@ fn sliced_offset(
     // wavefront kernel execution does, so early VA blocks become fully
     // mapped during PMM — while the live translation working set spans a
     // realistic multi-period window rather than a single period.
-    let lines_pp = ((sub / LINE).min(4)).max(1);
+    let lines_pp = (sub / LINE).clamp(1, 4);
     let window = (periods / 8).max(1);
     let j0 = (tb.index() as u64 * warps_per_tb as u64 + warp.index() as u64)
         .wrapping_mul(0x9E37_79B9)
@@ -246,7 +246,7 @@ fn tiled_offset(
     let tile_row_idx = tb.index() as u64 / tiles_per_row;
     let tile_col_idx = tb.index() as u64 % tiles_per_row;
     let sub_w = (tile_w / warps_per_tb as u64).max(LINE);
-    let lines_pr = ((sub_w / LINE).min(2)).max(1);
+    let lines_pr = (sub_w / LINE).clamp(1, 2);
     let r = (k as u64 / lines_pr) % tile_rows;
     let col = tile_col_idx * tile_w
         + warp.index() as u64 % warps_per_tb as u64 * sub_w
@@ -332,7 +332,7 @@ mod tests {
             &mut r,
         );
         // TB 3 of 8 owns [3MB, 4MB).
-        assert!(off >= 3 << 20 && off < 4 << 20);
+        assert!((3 << 20..4 << 20).contains(&off));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use clap_repro::clap::{Clap, LocalityTree};
 use clap_repro::policies::{s2m, s64k};
-use clap_repro::sim::{run, PagingPolicy, RunStats, SimConfig};
+use clap_repro::sim::{run, RunStats, SimConfig};
 use clap_repro::types::{ChipletId, PageSize};
 use clap_repro::workloads::{KernelSpec, Part, Pattern, WorkloadBuilder, FOOTPRINT_SCALE};
 

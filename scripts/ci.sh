@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. Run from anywhere; no network needed
+# (the workspace vendors its dev-dependency stubs in crates/).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== ci: all green"

@@ -3,6 +3,8 @@
 //! Re-exports the workspace crates under one roof so examples and
 //! integration tests can `use clap_repro::...`.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub use clap_core as clap;
 pub use mcm_bench as bench;
 pub use mcm_mem as mem;
