@@ -213,7 +213,11 @@ fn bench_micro(c: &mut Criterion) {
         let mut rt = RemoteTracker::new(4);
         let mut i = 0u16;
         b.iter(|| {
-            rt.record(ChipletId::new((i % 4) as u8), AllocId::new(i % 40), i.is_multiple_of(3));
+            rt.record(
+                ChipletId::new((i % 4) as u8),
+                AllocId::new(i % 40),
+                i.is_multiple_of(3),
+            );
             i = i.wrapping_add(1);
         })
     });

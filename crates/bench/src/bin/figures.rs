@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CLAP paper's evaluation.
 //!
 //! ```text
-//! figures [--quick] [--out DIR] \
+//! figures [--quick] [--jobs N] [--out DIR] \
 //!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
 //! figures [--quick] probe <WORKLOAD>
 //! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
@@ -12,77 +12,146 @@
 //! the degradation counters instead of the performance columns.
 //!
 //! `--quick` runs at reduced threadblock counts (smoke scale); by default
-//! results are printed and CSVs written to `results/`.
+//! results are printed and CSVs written to `results/`, along with
+//! per-experiment wall-clock timings in `results/bench_timings.json`.
+//!
+//! `--jobs N` (or the `MCM_JOBS` environment variable; default: available
+//! parallelism) fans each experiment's independent sweep cells out over N
+//! worker threads. Output is byte-identical for every worker count.
 
 use std::env;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use mcm_bench::experiments::{self, Harness};
-use mcm_bench::report::{render_grid, render_table4, write_csv};
+use mcm_bench::experiments::{self, Grid, Harness};
+use mcm_bench::report::{render_grid, render_table4, write_csv, write_timings, ExperimentTiming};
+use mcm_bench::runner::jobs_from_env;
+
+struct Options {
+    quick: bool,
+    jobs: usize,
+    out_dir: PathBuf,
+    /// Chaos seed for `probe --chaos[=SEED]`.
+    chaos_seed: Option<u64>,
+    /// Positional arguments (experiment ids, or `probe <WORKLOAD>`).
+    targets: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--quick] [--jobs N] [--out DIR] [--chaos[=SEED]] [TARGET ...]\n\
+         targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
+         table1 table2 table4 ablation | probe <WORKLOAD>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        jobs: jobs_from_env(),
+        out_dir: PathBuf::from("results"),
+        chaos_seed: None,
+        targets: Vec::new(),
+    };
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                }
+            },
+            "--out" => match args.next() {
+                Some(d) => opts.out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory");
+                    usage();
+                }
+            },
+            "--chaos" => opts.chaos_seed = Some(1),
+            "--help" | "-h" => usage(),
+            _ => {
+                if let Some(v) = a.strip_prefix("--jobs=") {
+                    match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => opts.jobs = n,
+                        _ => {
+                            eprintln!("--jobs needs a positive integer, got {v:?}");
+                            usage();
+                        }
+                    }
+                } else if let Some(v) = a.strip_prefix("--chaos=") {
+                    match v.parse::<u64>() {
+                        Ok(s) => opts.chaos_seed = Some(s),
+                        Err(_) => {
+                            eprintln!("--chaos seed must be an integer, got {v:?}");
+                            usage();
+                        }
+                    }
+                } else if a.starts_with("--") {
+                    eprintln!("unknown flag {a:?}");
+                    usage();
+                } else {
+                    opts.targets.push(a);
+                }
+            }
+        }
+    }
+    if opts.targets.is_empty() {
+        opts.targets.push("all".into());
+    }
+    opts
+}
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != args.iter().position(|x| x == "--out").and_then(|i| args.get(i + 1)).map(|s| s.as_str()))
-        .map(String::as_str)
-        .collect();
-    let targets: Vec<&str> = if targets.is_empty() {
-        vec!["all"]
-    } else {
-        targets
-    };
-
-    let h = if quick {
+    let opts = parse_args();
+    let h = if opts.quick {
         Harness::quick()
     } else {
         Harness::full()
-    };
+    }
+    .with_jobs(opts.jobs);
 
-    let all = targets.contains(&"all");
-    let want = |t: &str| all || targets.contains(&t);
-    let t0 = Instant::now();
-
-    if let Some(pos) = targets.iter().position(|t| *t == "probe") {
-        let wname = targets.get(pos + 1).copied().unwrap_or("STE");
-        let chaos_seed = args.iter().find_map(|a| {
-            if a == "--chaos" {
-                Some(1u64)
-            } else {
-                a.strip_prefix("--chaos=").map(|s| {
-                    s.parse().unwrap_or_else(|_| {
-                        eprintln!("--chaos seed must be an integer, got {s:?}");
-                        std::process::exit(2);
-                    })
-                })
-            }
-        });
-        match chaos_seed {
+    if let Some(pos) = opts.targets.iter().position(|t| t == "probe") {
+        let wname = opts
+            .targets
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("STE");
+        match opts.chaos_seed {
             Some(seed) => probe_chaos(&h, wname, seed),
             None => probe(&h, wname),
         }
         return;
     }
 
+    let all = opts.targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || opts.targets.iter().any(|x| x == t);
+    let t0 = Instant::now();
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
+    let timed = |timings: &mut Vec<ExperimentTiming>, id: &str, f: &dyn Fn()| {
+        let t = Instant::now();
+        f();
+        timings.push(ExperimentTiming {
+            id: id.into(),
+            seconds: t.elapsed().as_secs_f64(),
+        });
+    };
+
     if want("table1") {
-        print_table1(&h);
+        timed(&mut timings, "table1", &|| print_table1(&h));
     }
-    let emit = |g: &mcm_bench::experiments::Grid| {
+    let emit = |g: &Grid| {
         println!("{}", render_grid(g));
-        if let Err(e) = write_csv(g, &out_dir) {
+        if let Err(e) = write_csv(g, &opts.out_dir) {
             eprintln!("warning: failed to write {}.csv: {e}", g.id);
         }
     };
-    type GridFn<'a> = (&'a str, Box<dyn Fn(&Harness) -> mcm_bench::experiments::Grid>);
-    let jobs: Vec<GridFn> = vec![
+    type GridFn<'a> = (&'a str, Box<dyn Fn(&Harness) -> Grid>);
+    let grids: Vec<GridFn> = vec![
         ("fig1", Box::new(experiments::fig1)),
         ("fig2", Box::new(experiments::fig2)),
         ("fig6", Box::new(experiments::fig6)),
@@ -96,16 +165,25 @@ fn main() {
         ("table2", Box::new(experiments::table2)),
         ("ablation", Box::new(experiments::ablation)),
     ];
-    for (id, f) in jobs {
+    for (id, f) in grids {
         if want(id) {
-            emit(&f(&h));
+            timed(&mut timings, id, &|| emit(&f(&h)));
         }
     }
     if want("table4") {
-        let rows = experiments::table4(&h);
-        println!("{}", render_table4(&rows));
+        timed(&mut timings, "table4", &|| {
+            let rows = experiments::table4(&h);
+            println!("{}", render_table4(&rows));
+        });
     }
-    eprintln!("[figures] completed in {:.1?}", t0.elapsed());
+    if let Err(e) = write_timings(&timings, opts.jobs, opts.quick, &opts.out_dir) {
+        eprintln!("warning: failed to write bench_timings.json: {e}");
+    }
+    eprintln!(
+        "[figures] completed in {:.1?} with {} job(s)",
+        t0.elapsed(),
+        opts.jobs
+    );
 }
 
 /// Deep-dive: full statistics for one workload under every main config.
@@ -117,7 +195,19 @@ fn probe(h: &Harness, wname: &str) {
     });
     println!(
         "{:<18} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8} {:>6} {:>6} {:>7} {:>7} {:>7} {:>6}",
-        "config", "cycles", "remote", "xlat", "wlat", "l1tlbM%", "l2tlbM%", "l1d%", "l2d%", "walks", "mshr", "faults", "promo"
+        "config",
+        "cycles",
+        "remote",
+        "xlat",
+        "wlat",
+        "l1tlbM%",
+        "l2tlbM%",
+        "l1d%",
+        "l2d%",
+        "walks",
+        "mshr",
+        "faults",
+        "promo"
     );
     for kind in ConfigKind::main_eval() {
         let s = h.run(&w, kind);
@@ -193,7 +283,10 @@ fn probe_chaos(h: &Harness, wname: &str, seed: u64) {
 
 fn print_table1(h: &Harness) {
     let c = h.base_config();
-    println!("== table1 — baseline simulation configuration (resource scale 1/{})", c.resource_scale);
+    println!(
+        "== table1 — baseline simulation configuration (resource scale 1/{})",
+        c.resource_scale
+    );
     println!("chiplets               {}", c.num_chiplets);
     println!(
         "GPU cores              {} SMs/chiplet, {} total, max {} warps/SM, MLP {}",
@@ -215,9 +308,16 @@ fn print_table1(h: &Harness) {
         c.l2d_latency,
         c.effective_l2d_bytes() / 1024
     );
-    for s in [mcm_types::PageSize::Size4K, mcm_types::PageSize::Size64K, mcm_types::PageSize::Size2M] {
+    for s in [
+        mcm_types::PageSize::Size4K,
+        mcm_types::PageSize::Size64K,
+        mcm_types::PageSize::Size2M,
+    ] {
         let e = c.tlb_entries(s);
-        println!("TLB ({s:>4})             L1 {}-entry {}-cycle, L2 {}-entry {}-cycle 8-way", e.l1, c.l1_tlb_latency, e.l2, c.l2_tlb_latency);
+        println!(
+            "TLB ({s:>4})             L1 {}-entry {}-cycle, L2 {}-entry {}-cycle 8-way",
+            e.l1, c.l1_tlb_latency, e.l2, c.l2_tlb_latency
+        );
     }
     println!(
         "inter-chip             ring, {}-cycle/hop, {}-cycle/transfer link occupancy",

@@ -10,35 +10,75 @@ type Variant<'a> = (&'a str, Box<dyn Fn(&mut SimConfig)>);
 
 fn main() {
     let wname = std::env::args().nth(1).unwrap_or_else(|| "BFS".into());
-    let w = suite::by_name(&wname).expect("workload").with_tb_scale(1, 4);
+    let w = suite::by_name(&wname)
+        .expect("workload")
+        .with_tb_scale(1, 4);
     let base = SimConfig::baseline().scaled(FOOTPRINT_SCALE);
 
     let variants: Vec<Variant> = vec![
         ("default", Box::new(|_c: &mut SimConfig| {})),
         ("fault=0", Box::new(|c| c.fault_latency = 0)),
         ("ring_svc=0", Box::new(|c| c.ring_service = 0)),
-        ("ring_lat=0", Box::new(|c| { c.ring_hop_latency = 0; c.ring_service = 0; })),
+        (
+            "ring_lat=0",
+            Box::new(|c| {
+                c.ring_hop_latency = 0;
+                c.ring_service = 0;
+            }),
+        ),
         ("dram_svc=1", Box::new(|c| c.dram_service = 1)),
         ("walkers=256", Box::new(|c| c.page_walkers = 256)),
         ("mlp=16", Box::new(|c| c.warp_mlp = 16)),
-        ("lat=0", Box::new(|c| {
-            c.l1d_latency = 0; c.l2d_latency = 0; c.dram_latency = 0;
-            c.l1_tlb_latency = 0; c.l2_tlb_latency = 0; c.pwc_latency = 0;
-        })),
-        ("svc=0", Box::new(|c| { c.dram_service = 0; c.ring_service = 0; })),
-        ("lat+svc=0", Box::new(|c| {
-            c.l1d_latency = 0; c.l2d_latency = 0; c.dram_latency = 0;
-            c.l1_tlb_latency = 0; c.l2_tlb_latency = 0; c.pwc_latency = 0;
-            c.dram_service = 0; c.ring_service = 0; c.ring_hop_latency = 0;
-            c.fault_latency = 0;
-        })),
+        (
+            "lat=0",
+            Box::new(|c| {
+                c.l1d_latency = 0;
+                c.l2d_latency = 0;
+                c.dram_latency = 0;
+                c.l1_tlb_latency = 0;
+                c.l2_tlb_latency = 0;
+                c.pwc_latency = 0;
+            }),
+        ),
+        (
+            "svc=0",
+            Box::new(|c| {
+                c.dram_service = 0;
+                c.ring_service = 0;
+            }),
+        ),
+        (
+            "lat+svc=0",
+            Box::new(|c| {
+                c.l1d_latency = 0;
+                c.l2d_latency = 0;
+                c.dram_latency = 0;
+                c.l1_tlb_latency = 0;
+                c.l2_tlb_latency = 0;
+                c.pwc_latency = 0;
+                c.dram_service = 0;
+                c.ring_service = 0;
+                c.ring_hop_latency = 0;
+                c.fault_latency = 0;
+            }),
+        ),
         ("hop=0", Box::new(|c| c.ring_hop_latency = 0)),
-        ("svc+hop=0", Box::new(|c| {
-            c.dram_service = 0; c.ring_service = 0; c.ring_hop_latency = 0;
-        })),
-        ("svc=0,f=0", Box::new(|c| {
-            c.dram_service = 0; c.ring_service = 0; c.fault_latency = 0;
-        })),
+        (
+            "svc+hop=0",
+            Box::new(|c| {
+                c.dram_service = 0;
+                c.ring_service = 0;
+                c.ring_hop_latency = 0;
+            }),
+        ),
+        (
+            "svc=0,f=0",
+            Box::new(|c| {
+                c.dram_service = 0;
+                c.ring_service = 0;
+                c.fault_latency = 0;
+            }),
+        ),
         ("dramlat=0", Box::new(|c| c.dram_latency = 0)),
     ];
     println!(

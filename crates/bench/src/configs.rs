@@ -6,7 +6,9 @@
 //! builds runs the same way.
 
 use clap_core::Clap;
-use mcm_policies::{fbarre, ideal, mgvm, s2m, s4k, s64k, sa_2m, sa_64k, static_paging, CNuma, Grit, Placement};
+use mcm_policies::{
+    fbarre, ideal, mgvm, s2m, s4k, s64k, sa_2m, sa_64k, static_paging, CNuma, Grit, Placement,
+};
 use mcm_sim::{PagingPolicy, PtePlacement, SimConfig, TranslationConfig};
 use mcm_types::PageSize;
 

@@ -8,13 +8,14 @@
 use clap_core::{survey_mean, survey_workload, Clap};
 use mcm_policies::{Nuba, Sac};
 use mcm_sim::{
-    run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome,
-    RunStats, SimConfig, SimError, Workload,
+    run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome, RunStats,
+    SimConfig, SimError, Workload,
 };
 use mcm_types::PageSize;
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
 
 use crate::configs::ConfigKind;
+use crate::runner::SweepRunner;
 
 /// A figure/table's worth of results.
 #[derive(Clone, Debug)]
@@ -66,6 +67,8 @@ pub struct Harness {
     /// Threadblock divisor (1 = full evaluation scale; larger = quicker
     /// smoke/bench runs).
     tb_div: u32,
+    /// Worker threads independent sweep cells fan out over (1 = serial).
+    jobs: usize,
 }
 
 impl Harness {
@@ -74,6 +77,7 @@ impl Harness {
         Harness {
             base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
             tb_div: 1,
+            jobs: 1,
         }
     }
 
@@ -82,7 +86,21 @@ impl Harness {
         Harness {
             base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
             tb_div: 4,
+            jobs: 1,
         }
+    }
+
+    /// Fans independent sweep cells out over `jobs` worker threads.
+    /// Results are collected in submission order, so any worker count
+    /// produces byte-identical output.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The runner experiments fan their sweep cells over.
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::new(self.jobs)
     }
 
     /// The machine configuration used (before per-config adjustments).
@@ -155,11 +173,20 @@ fn grid_over(
     configs: &[ConfigKind],
     baseline_col: usize,
 ) -> Grid {
+    // One sweep cell per (workload × config); cells are independent, so
+    // they fan out over the harness's workers in any order and land back
+    // in submission order.
+    let cells: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
+        .collect();
+    let all: Vec<RunStats> = h
+        .runner()
+        .map(&cells, |_, &(r, c)| h.run(&workloads[r], configs[c]));
     let mut perf = Vec::new();
     let mut remote = Vec::new();
     let mut rows = Vec::new();
-    for w in workloads {
-        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(w, k)).collect();
+    for (r, w) in workloads.iter().enumerate() {
+        let stats = &all[r * configs.len()..(r + 1) * configs.len()];
         let base_cycles = stats[baseline_col].cycles.max(1) as f64;
         perf.push(
             stats
@@ -182,14 +209,20 @@ fn grid_over(
 
 /// The §3.3 page-size ladder (Fig. 6 columns).
 pub fn size_ladder() -> Vec<ConfigKind> {
-    PageSize::ALL.iter().map(|&s| ConfigKind::Static(s)).collect()
+    PageSize::ALL
+        .iter()
+        .map(|&s| ConfigKind::Static(s))
+        .collect()
 }
 
 /// Figure 1: performance (normalized to 4KB) and remote ratio across
 /// native page sizes, intro subset.
 pub fn fig1(h: &Harness) -> Grid {
     let subset = ["STE", "3DC", "LPS", "SC", "SSSP", "DWT", "LUD", "GPT3"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
+    let ws: Vec<_> = subset
+        .iter()
+        .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+        .collect();
     let configs = [
         ConfigKind::Static(PageSize::Size4K),
         ConfigKind::Static(PageSize::Size64K),
@@ -209,30 +242,32 @@ pub fn fig1(h: &Harness) -> Grid {
 /// the page-size-sensitive subset.
 pub fn fig2(h: &Harness) -> Grid {
     let subset = ["STE", "3DC", "LPS", "PAF", "SC", "BFS"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
+    let ws: Vec<_> = subset
+        .iter()
+        .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+        .collect();
     let s2m = ConfigKind::Static(PageSize::Size2M);
     let s64 = ConfigKind::Static(PageSize::Size64K);
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..4).map(move |v| (r, v)))
+        .collect();
+    let all: Vec<RunStats> = h.runner().map(&cells, |_, &(r, v)| {
+        let w = &ws[r];
+        match v {
+            0 => h.run(w, s2m),
+            1 => h.run_cached(w, s2m, CacheKind::Nuba),
+            2 => h.run_cached(w, s2m, CacheKind::Sac),
+            _ => h.run(w, s64),
+        }
+    });
     let mut rows = Vec::new();
     let mut perf = Vec::new();
     let mut remote = Vec::new();
-    for w in &ws {
-        let base = h.run(w, s2m);
-        let nuba = h.run_cached(w, s2m, CacheKind::Nuba);
-        let sac = h.run_cached(w, s2m, CacheKind::Sac);
-        let small = h.run(w, s64);
-        let b = base.cycles.max(1) as f64;
-        perf.push(vec![
-            1.0,
-            b / nuba.cycles.max(1) as f64,
-            b / sac.cycles.max(1) as f64,
-            b / small.cycles.max(1) as f64,
-        ]);
-        remote.push(vec![
-            base.remote_ratio(),
-            nuba.remote_ratio(),
-            sac.remote_ratio(),
-            small.remote_ratio(),
-        ]);
+    for (r, w) in ws.iter().enumerate() {
+        let runs = &all[r * 4..(r + 1) * 4];
+        let b = runs[0].cycles.max(1) as f64;
+        perf.push(runs.iter().map(|s| b / s.cycles.max(1) as f64).collect());
+        remote.push(runs.iter().map(RunStats::remote_ratio).collect());
         rows.push(w.name().to_string());
     }
     Grid {
@@ -271,17 +306,33 @@ pub fn fig6(h: &Harness) -> Grid {
 /// BFS (two structures each). Rows are `workload/structure`.
 pub fn fig8(h: &Harness) -> Grid {
     let configs = size_ladder();
+    let picks_by_workload = [
+        ("3DC", ["vol-in", "vol-out"]),
+        ("BFS", ["edges", "frontier"]),
+    ];
+    let ws: Vec<SyntheticWorkload> = picks_by_workload
+        .iter()
+        .map(|(wname, _)| {
+            suite::by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"))
+        })
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
+        .collect();
+    let all: Vec<RunStats> = h
+        .runner()
+        .map(&cells, |_, &(r, c)| h.run(&ws[r], configs[c]));
     let mut rows = Vec::new();
     let mut remote = Vec::new();
-    for (wname, picks) in [("3DC", ["vol-in", "vol-out"]), ("BFS", ["edges", "frontier"])] {
-        let w = suite::by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"));
+    for (r, (wname, picks)) in picks_by_workload.iter().enumerate() {
+        let w = &ws[r];
         let ids: Vec<_> = w
             .allocs()
             .iter()
             .filter(|a| picks.contains(&a.name.as_str()))
             .map(|a| (a.id, a.name.clone()))
             .collect();
-        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(&w, k)).collect();
+        let stats = &all[r * configs.len()..(r + 1) * configs.len()];
         for (id, name) in ids {
             rows.push(format!("{wname}/{name}"));
             remote.push(
@@ -380,20 +431,26 @@ pub fn fig20(h: &Harness) -> Grid {
 pub fn fig21(h: &Harness) -> Grid {
     let ws = suite::all();
     let s2m = ConfigKind::Static(PageSize::Size2M);
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..6).map(move |v| (r, v)))
+        .collect();
+    let all: Vec<RunStats> = h.runner().map(&cells, |_, &(r, v)| {
+        let w = &ws[r];
+        match v {
+            0 => h.run(w, s2m),
+            1 => h.run_cached(w, s2m, CacheKind::Nuba),
+            2 => h.run_cached(w, s2m, CacheKind::Sac),
+            3 => h.run(w, ConfigKind::Clap),
+            4 => h.run_cached(w, ConfigKind::Clap, CacheKind::Nuba),
+            _ => h.run_cached(w, ConfigKind::Clap, CacheKind::Sac),
+        }
+    });
     let mut rows = Vec::new();
     let mut perf = Vec::new();
     let mut remote = Vec::new();
-    for w in &ws {
-        let base = h.run(w, s2m);
-        let b = base.cycles.max(1) as f64;
-        let runs = [
-            base.clone(),
-            h.run_cached(w, s2m, CacheKind::Nuba),
-            h.run_cached(w, s2m, CacheKind::Sac),
-            h.run(w, ConfigKind::Clap),
-            h.run_cached(w, ConfigKind::Clap, CacheKind::Nuba),
-            h.run_cached(w, ConfigKind::Clap, CacheKind::Sac),
-        ];
+    for (r, w) in ws.iter().enumerate() {
+        let runs = &all[r * 6..(r + 1) * 6];
+        let b = runs[0].cycles.max(1) as f64;
         rows.push(w.name().to_string());
         perf.push(runs.iter().map(|s| b / s.cycles.max(1) as f64).collect());
         remote.push(runs.iter().map(RunStats::remote_ratio).collect());
@@ -445,7 +502,10 @@ pub fn fig22(h: &Harness) -> Grid {
 /// (15%/20%/30%) plus OLP and RT knock-outs.
 pub fn ablation(h: &Harness) -> Grid {
     let subset = ["STE", "LPS", "PAF", "LUD", "GPT3"];
-    let ws: Vec<_> = subset.iter().map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}"))).collect();
+    let ws: Vec<_> = subset
+        .iter()
+        .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+        .collect();
     let configs = [
         ConfigKind::Clap,
         ConfigKind::ClapPmm(15),
@@ -468,7 +528,9 @@ pub fn ablation(h: &Harness) -> Grid {
 pub fn fig22_single(h: &Harness, workload: &str) -> RunStats {
     let mut h8 = h.clone();
     h8.base = SimConfig::eight_chiplets().scaled(FOOTPRINT_SCALE);
-    let w = suite::by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")).with_tb_scale(2, 1);
+    let w = suite::by_name(workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"))
+        .with_tb_scale(2, 1);
     h8.run(&w, ConfigKind::Clap)
 }
 
@@ -481,11 +543,18 @@ pub fn table2(h: &Harness) -> Grid {
         ConfigKind::Static(PageSize::Size64K),
         ConfigKind::Static(PageSize::Size2M),
     ];
+    let ws = suite::all();
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
+        .collect();
+    let all: Vec<RunStats> = h
+        .runner()
+        .map(&cells, |_, &(r, c)| h.run(&ws[r], configs[c]));
     let mut rows = Vec::new();
     let mut perf = Vec::new();
     let mut remote = Vec::new();
-    for w in suite::all() {
-        let stats: Vec<RunStats> = configs.iter().map(|&k| h.run(&w, k)).collect();
+    for (r, w) in ws.iter().enumerate() {
+        let stats = &all[r * configs.len()..(r + 1) * configs.len()];
         rows.push(w.name().to_string());
         perf.push(stats.iter().map(RunStats::l2_mpki).collect());
         remote.push(stats.iter().map(RunStats::l2tlb_mpki).collect());
@@ -514,8 +583,8 @@ pub struct Table4Row {
 /// Table 4: CLAP's selected page size for the three largest structures of
 /// each workload (OLP fallbacks flagged).
 pub fn table4(h: &Harness) -> Vec<Table4Row> {
-    let mut out = Vec::new();
-    for w in suite::all() {
+    let ws = suite::all();
+    h.runner().map(&ws, |_, w| {
         let (_, cfg) = ConfigKind::Clap.build(h.base_config());
         let prepped = w.clone().with_tb_scale(1, h.tb_div);
         let mut clap = Clap::new();
@@ -539,12 +608,11 @@ pub fn table4(h: &Harness) -> Vec<Table4Row> {
                 )
             })
             .collect();
-        out.push(Table4Row {
+        Table4Row {
             workload: w.name().to_string(),
             sizes,
-        });
-    }
-    out
+        }
+    })
 }
 
 #[cfg(test)]
@@ -571,5 +639,19 @@ mod tests {
         let h = Harness::quick();
         let s = h.run(&suite::blk(), ConfigKind::Static(PageSize::Size64K));
         assert!(s.mem_insts > 0);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let ws = [suite::blk(), suite::ste()];
+        let configs = [
+            ConfigKind::Static(PageSize::Size64K),
+            ConfigKind::Static(PageSize::Size2M),
+        ];
+        let serial = grid_over("t", "t", &Harness::quick(), &ws, &configs, 0);
+        let parallel = grid_over("t", "t", &Harness::quick().with_jobs(4), &ws, &configs, 0);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.perf, parallel.perf, "cells must be bit-identical");
+        assert_eq!(serial.remote, parallel.remote);
     }
 }

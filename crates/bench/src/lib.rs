@@ -11,3 +11,4 @@
 pub mod configs;
 pub mod experiments;
 pub mod report;
+pub mod runner;

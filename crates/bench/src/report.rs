@@ -43,13 +43,10 @@ pub fn render_grid(g: &Grid) -> String {
     out
 }
 
-/// Writes a grid to `dir/<id>.csv` with both metrics.
-///
-/// # Errors
-///
-/// Propagates I/O errors from directory creation or file write.
-pub fn write_csv(g: &Grid, dir: &Path) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
+/// The CSV representation of a grid with both metrics (what
+/// [`write_csv`] writes; the determinism tests compare this string
+/// byte-for-byte across worker counts).
+pub fn csv_string(g: &Grid) -> String {
     let mut s = String::new();
     let _ = write!(s, "workload");
     for c in &g.cols {
@@ -69,7 +66,61 @@ pub fn write_csv(g: &Grid, dir: &Path) -> io::Result<()> {
         }
         let _ = writeln!(s);
     }
-    fs::write(dir.join(format!("{}.csv", g.id)), s)
+    s
+}
+
+/// Writes a grid to `dir/<id>.csv` with both metrics.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or file write.
+pub fn write_csv(g: &Grid, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{}.csv", g.id)), csv_string(g))
+}
+
+/// One experiment's wall-clock measurement for `bench_timings.json`.
+#[derive(Clone, Debug)]
+pub struct ExperimentTiming {
+    /// Experiment identifier ("fig18", "table4", ...).
+    pub id: String,
+    /// Wall-clock seconds the experiment took.
+    pub seconds: f64,
+}
+
+/// Writes per-experiment wall-clock timings to `dir/bench_timings.json`
+/// (hand-rolled JSON — the workspace deliberately has no serde
+/// dependency).
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or file write.
+pub fn write_timings(
+    timings: &[ExperimentTiming],
+    jobs: usize,
+    quick: bool,
+    dir: &Path,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let total: f64 = timings.iter().map(|t| t.seconds).sum();
+    let _ = writeln!(s, "  \"total_seconds\": {total:.3},");
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}}}{comma}",
+            t.id.replace('"', "\\\""),
+            t.seconds
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    fs::write(dir.join("bench_timings.json"), s)
 }
 
 /// Renders Table 4 (CLAP's per-structure size selections).
@@ -127,6 +178,32 @@ mod tests {
         let s = std::fs::read_to_string(dir.join("figX.csv")).expect("read");
         assert!(s.starts_with("workload,perf:S-64KB,perf:CLAP,remote:S-64KB"));
         assert!(s.contains("STE,1.000000,1.200000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timings_json_is_well_formed() {
+        let dir = std::env::temp_dir().join("clap-repro-test-timings");
+        let timings = vec![
+            ExperimentTiming {
+                id: "fig1".into(),
+                seconds: 1.25,
+            },
+            ExperimentTiming {
+                id: "table2".into(),
+                seconds: 0.5,
+            },
+        ];
+        write_timings(&timings, 4, true, &dir).expect("write");
+        let s = std::fs::read_to_string(dir.join("bench_timings.json")).expect("read");
+        assert!(s.contains("\"jobs\": 4"));
+        assert!(s.contains("\"quick\": true"));
+        assert!(s.contains("\"id\": \"fig1\", \"seconds\": 1.250"));
+        assert!(s.contains("\"total_seconds\": 1.750"));
+        // Balanced braces/brackets and no trailing comma before the close.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(!s.contains(",\n  ]"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,6 +9,7 @@
 //! completes its run by falling back to least-loaded remote frames.
 
 use mcm_bench::configs::ConfigKind;
+use mcm_bench::runner::SweepRunner;
 use mcm_mem::FrameAllocator;
 use mcm_sim::{
     run_outcome, AllocInfo, ChaosConfig, ChaosPolicy, ChaosStats, Directive, FaultCtx,
@@ -70,11 +71,14 @@ proptest! {
 
     /// >= 100 seeds x all nine stock policies: no panic, and every
     /// deterministically-rejectable injection shows up in the run's
-    /// rejected-directive counter.
+    /// rejected-directive counter. The nine config cells are independent
+    /// runs, so they fan out over a `SweepRunner` (which also exercises
+    /// the whole machine's `Send`-ability under real concurrency).
     #[test]
     fn all_stock_policies_survive_injected_faults(seed in 0u64..1_000_000) {
-        for kind in ConfigKind::main_eval() {
-            let (chaos, stats) = chaos_run(kind, seed);
+        let kinds = ConfigKind::main_eval();
+        let results = SweepRunner::new(4).map(&kinds, |_, &kind| chaos_run(kind, seed));
+        for (kind, (chaos, stats)) in kinds.iter().zip(results) {
             if let Some(stats) = stats {
                 prop_assert!(
                     stats.degradation.rejected_directives >= chaos.must_reject(),
@@ -96,8 +100,9 @@ proptest! {
 fn chaos_injections_fire_and_surface() {
     let mut total = ChaosStats::default();
     let mut degraded_runs = 0u64;
-    for seed in 0..20 {
-        let (chaos, stats) = chaos_run(ConfigKind::Clap, seed);
+    let seeds: Vec<u64> = (0..20).collect();
+    let runs = SweepRunner::new(4).map(&seeds, |_, &seed| chaos_run(ConfigKind::Clap, seed));
+    for (chaos, stats) in runs {
         total.duplicated_maps += chaos.duplicated_maps;
         total.misaligned_maps += chaos.misaligned_maps;
         total.bogus_promotes += chaos.bogus_promotes;
@@ -182,7 +187,8 @@ fn over_subscribed_chiplet_falls_back_and_completes() {
     let mut cfg = SimConfig::baseline().scaled(8);
     cfg.pf_blocks_per_chiplet = 2;
     let mut p = PinnedFirstTouch { allocator: None };
-    let stats = mcm_sim::run(&cfg, &w, &mut p, None).expect("over-subscription must degrade, not fail");
+    let stats =
+        mcm_sim::run(&cfg, &w, &mut p, None).expect("over-subscription must degrade, not fail");
     assert!(
         stats.degradation.fallback_remote_frames > 0,
         "exhausting chiplet 0 must spill frames to remote chiplets"

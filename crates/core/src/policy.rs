@@ -622,10 +622,7 @@ impl PagingPolicy for Clap {
                 if t == 0 || dominant == st.layout.chiplet_of(pa) {
                     continue;
                 }
-                if !st
-                    .allocator
-                    .can_alloc(dominant, PageSize::Size64K, alloc)
-                {
+                if !st.allocator.can_alloc(dominant, PageSize::Size64K, alloc) {
                     continue;
                 }
                 let Ok(new_frame) = st.allocator.alloc_frame(dominant, PageSize::Size64K, alloc)
@@ -876,7 +873,9 @@ mod tests {
         );
         let mut promotes = 0;
         for i in 0..32u64 {
-            let dirs = c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, 1)).unwrap();
+            let dirs = c
+                .on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, 1))
+                .unwrap();
             promotes += dirs
                 .iter()
                 .filter(|d| matches!(d, Directive::Promote { .. }))
@@ -906,7 +905,9 @@ mod tests {
         assert_eq!(layout.chiplet_of(pa1).index(), 1);
         // The released block's frames are reusable: the next chiplet-0
         // page comes from the *same* PF block (frame reuse, §4.2).
-        let d2 = c.on_fault(&ctx(2 * MB + 2 * BASE_PAGE_BYTES, 0, 0)).unwrap();
+        let d2 = c
+            .on_fault(&ctx(2 * MB + 2 * BASE_PAGE_BYTES, 0, 0))
+            .unwrap();
         let Directive::Map { pa: pa2, .. } = d2[0] else {
             panic!("expected Map")
         };
@@ -924,7 +925,8 @@ mod tests {
         let pages = total_mb * MB / BASE_PAGE_BYTES;
         for i in 0..pages {
             let who = ((i / group) % 4) as u8;
-            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who)).unwrap();
+            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who))
+                .unwrap();
             if c.selected_size(AllocId::new(0)).is_some() {
                 break;
             }
@@ -982,7 +984,8 @@ mod tests {
         let mut i = 0;
         while c.selected_size(AllocId::new(0)).is_none() && i < pages {
             let who = ((i / 4) % 4) as u8;
-            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who)).unwrap();
+            c.on_fault(&ctx(2 * MB + i * BASE_PAGE_BYTES, 0, who))
+                .unwrap();
             i += 1;
         }
         assert_eq!(c.selected_size(AllocId::new(0)), Some(PageSize::Size256K));
@@ -990,8 +993,7 @@ mod tests {
         let region = 40 * MB; // untouched, 256KB-aligned
         let d1 = c.on_fault(&ctx(region + BASE_PAGE_BYTES, 0, 2)).unwrap();
         let d0 = c.on_fault(&ctx(region, 0, 2)).unwrap();
-        let (Directive::Map { pa: p1, .. }, Directive::Map { pa: p0, .. }) = (d1[0], d0[0])
-        else {
+        let (Directive::Map { pa: p1, .. }, Directive::Map { pa: p0, .. }) = (d1[0], d0[0]) else {
             panic!("expected maps")
         };
         assert_eq!(p1.distance_from(p0), BASE_PAGE_BYTES);
@@ -1010,7 +1012,8 @@ mod tests {
         );
         for i in 0..13u64 {
             // Alternate chiplets so OLP releases and no block fills.
-            c.on_fault(&ctx(2 * MB + i * 2 * BASE_PAGE_BYTES, 0, (i % 4) as u8)).unwrap();
+            c.on_fault(&ctx(2 * MB + i * 2 * BASE_PAGE_BYTES, 0, (i % 4) as u8))
+                .unwrap();
         }
         assert!(c.used_olp_fallback(AllocId::new(0)));
         assert_eq!(c.selected_size(AllocId::new(0)), None);
@@ -1041,7 +1044,12 @@ mod tests {
         let mut c = Clap::sa();
         c.begin(
             &[
-                alloc_info(0, 2 * MB, 64 * MB, StaticHint::Partitioned { period_bytes: MB }),
+                alloc_info(
+                    0,
+                    2 * MB,
+                    64 * MB,
+                    StaticHint::Partitioned { period_bytes: MB },
+                ),
                 alloc_info(1, 128 * MB, 64 * MB, StaticHint::Shared),
                 alloc_info(2, 256 * MB, 64 * MB, StaticHint::Irregular),
             ],
@@ -1063,7 +1071,12 @@ mod tests {
         let mut c = Clap::sa_plus_plus();
         c.begin(
             &[
-                alloc_info(0, 2 * MB, 64 * MB, StaticHint::Partitioned { period_bytes: 0 }),
+                alloc_info(
+                    0,
+                    2 * MB,
+                    64 * MB,
+                    StaticHint::Partitioned { period_bytes: 0 },
+                ),
                 alloc_info(1, 128 * MB, 64 * MB, StaticHint::Irregular),
             ],
             &cfg(),

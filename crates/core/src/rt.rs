@@ -39,7 +39,11 @@ impl RtTable {
     }
 
     fn record(&mut self, alloc: AllocId, remote: bool) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.alloc == alloc) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.alloc == alloc)
+        {
             e.access = e.access.saturating_add(1);
             if remote {
                 e.remote = e.remote.saturating_add(1);
@@ -70,7 +74,11 @@ impl RtTable {
     }
 
     fn drain(&mut self, alloc: AllocId) -> (u64, u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.alloc == alloc) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.valid && e.alloc == alloc)
+        {
             let out = (e.access as u64, e.remote as u64);
             *e = RtEntry::default();
             out

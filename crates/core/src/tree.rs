@@ -290,10 +290,7 @@ mod tests {
         let t = tree_groups(1); // fully scattered
         assert_eq!(select_size([&t].into_iter(), 0.0), Some(PageSize::Size64K));
         // Inherently shared structure (75% remote): prefer large pages.
-        assert_eq!(
-            select_size([&t].into_iter(), 0.75),
-            Some(PageSize::Size2M)
-        );
+        assert_eq!(select_size([&t].into_iter(), 0.75), Some(PageSize::Size2M));
     }
 
     #[test]

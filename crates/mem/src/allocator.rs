@@ -119,7 +119,10 @@ impl FrameAllocator {
     ///
     /// Panics if `blocks_per_chiplet` is zero.
     pub fn new(layout: PhysLayout, blocks_per_chiplet: u64) -> Self {
-        assert!(blocks_per_chiplet > 0, "need at least one block per chiplet");
+        assert!(
+            blocks_per_chiplet > 0,
+            "need at least one block per chiplet"
+        );
         let free_blocks = ChipletId::all(layout.num_chiplets())
             .map(|c| {
                 (0..blocks_per_chiplet)
@@ -406,12 +409,12 @@ impl FrameAllocator {
     }
 
     fn split_block(&mut self, key: ListKey) -> Result<(), MemError> {
-        let block = self.free_blocks[key.chiplet.index()]
-            .pop_front()
-            .ok_or(MemError::ChipletExhausted {
+        let block = self.free_blocks[key.chiplet.index()].pop_front().ok_or(
+            MemError::ChipletExhausted {
                 chiplet: key.chiplet,
                 size: key.size,
-            })?;
+            },
+        )?;
         debug_assert_eq!(self.layout.chiplet_of_block(block), key.chiplet);
         let frames = (VA_BLOCK_BYTES / key.size.bytes()) as u32;
         let base = self.layout.block_base(block);

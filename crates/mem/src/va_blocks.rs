@@ -123,7 +123,10 @@ mod tests {
         let base = VirtAddr::new(4 * VA_BLOCK_BYTES);
         m.assign(base + 123, PageSize::Size64K, A).unwrap();
         assert_eq!(m.size_of(base), Some(PageSize::Size64K));
-        assert_eq!(m.size_of(base + VA_BLOCK_BYTES - 1), Some(PageSize::Size64K));
+        assert_eq!(
+            m.size_of(base + VA_BLOCK_BYTES - 1),
+            Some(PageSize::Size64K)
+        );
         assert_eq!(m.size_of(base + VA_BLOCK_BYTES), None);
     }
 

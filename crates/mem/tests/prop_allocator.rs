@@ -8,7 +8,11 @@ use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, VA
 
 #[derive(Clone, Debug)]
 enum Op {
-    Alloc { chiplet: u8, size_idx: usize, alloc: u16 },
+    Alloc {
+        chiplet: u8,
+        size_idx: usize,
+        alloc: u16,
+    },
     FreeNth(usize),
 }
 

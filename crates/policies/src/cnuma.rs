@@ -98,11 +98,7 @@ impl CNuma {
     /// Charges real shootdown + copy costs per migration (Fig. 20).
     pub fn with_real_migration(mut self) -> Self {
         self.ideal = false;
-        self.name = if self.inter {
-            "C-NUMA+inter"
-        } else {
-            "C-NUMA"
-        };
+        self.name = if self.inter { "C-NUMA+inter" } else { "C-NUMA" };
         self
     }
 
@@ -229,9 +225,7 @@ impl PagingPolicy for CNuma {
                 total += t;
                 remote += t - c[home];
             }
-            if total < Self::MIN_SAMPLES
-                || (remote as f64) < Self::SPLIT_THRESHOLD * total as f64
-            {
+            if total < Self::MIN_SAMPLES || (remote as f64) < Self::SPLIT_THRESHOLD * total as f64 {
                 continue;
             }
             let next = inter_next(b.granularity);
@@ -360,9 +354,7 @@ mod tests {
         let mut promoted = false;
         for i in 0..32u64 {
             let dirs = c.on_fault(&ctx(base + i * BASE_PAGE_BYTES, 0)).unwrap();
-            promoted |= dirs
-                .iter()
-                .any(|d| matches!(d, Directive::Promote { .. }));
+            promoted |= dirs.iter().any(|d| matches!(d, Directive::Promote { .. }));
         }
         promoted
     }

@@ -111,8 +111,7 @@ impl PagingPolicy for Grit {
             .allocator
             .alloc_frame_or_fallback(ctx.requester, PageSize::Size64K, ctx.alloc)
             .map_err(mem_to_sim)?;
-        st.frames
-            .insert(ctx.va.raw() >> 16, (frame, ctx.alloc));
+        st.frames.insert(ctx.va.raw() >> 16, (frame, ctx.alloc));
         Ok(vec![Directive::Map {
             va: ctx.va,
             pa: frame,
@@ -164,8 +163,7 @@ impl PagingPolicy for Grit {
                     continue;
                 };
                 let current = st.layout.chiplet_of(frame);
-                if dominant != current
-                    && counts[dominant.index()] > 2 * counts[current.index()] + 2
+                if dominant != current && counts[dominant.index()] > 2 * counts[current.index()] + 2
                 {
                     planned.push((vpn, frame, alloc, dominant));
                 }

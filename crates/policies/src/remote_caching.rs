@@ -137,7 +137,10 @@ mod tests {
         assert!(n.access(ChipletId::new(0), pa).is_none());
         // A different chiplet has its own partition: still cold.
         assert!(n.access(ChipletId::new(1), pa).is_none());
-        assert_eq!(n.access(ChipletId::new(0), pa), Some(RemoteServe::LocalDram));
+        assert_eq!(
+            n.access(ChipletId::new(0), pa),
+            Some(RemoteServe::LocalDram)
+        );
     }
 
     #[test]

@@ -166,7 +166,9 @@ pub(crate) fn sa_chiplet(info: &AllocInfo, offset: u64, chiplets: usize) -> Chip
                 period_bytes
             };
             let pos = offset % p;
-            ChipletId::new(((pos as u128 * chiplets as u128 / p as u128) as usize).min(chiplets - 1) as u8)
+            ChipletId::new(
+                ((pos as u128 * chiplets as u128 / p as u128) as usize).min(chiplets - 1) as u8,
+            )
         }
         // Shared or unanalysable: interleave 64KB pages round-robin.
         StaticHint::Shared | StaticHint::Irregular => {
@@ -272,7 +274,10 @@ fn map_demand_page(
             }];
             if full {
                 st.reservations.release(region).map_err(mem_to_sim)?;
-                dirs.push(Directive::Promote { base: region, size: big });
+                dirs.push(Directive::Promote {
+                    base: region,
+                    size: big,
+                });
             }
             Ok(dirs)
         }
@@ -301,7 +306,9 @@ mod tests {
             base: VirtAddr::new(2 << 20),
             bytes: 32 << 20,
             name: "a".into(),
-            hint: StaticHint::Partitioned { period_bytes: 1 << 20 },
+            hint: StaticHint::Partitioned {
+                period_bytes: 1 << 20,
+            },
         }]
     }
 
@@ -368,7 +375,10 @@ mod tests {
                 assert_eq!(dirs.len(), 2);
                 assert!(matches!(
                     dirs[1],
-                    Directive::Promote { size: PageSize::Size2M, .. }
+                    Directive::Promote {
+                        size: PageSize::Size2M,
+                        ..
+                    }
                 ));
                 promoted = true;
             }
@@ -388,7 +398,10 @@ mod tests {
         assert_eq!(dirs.len(), 2);
         assert!(matches!(
             dirs[1],
-            Directive::Promote { size: PageSize::Size256K, .. }
+            Directive::Promote {
+                size: PageSize::Size256K,
+                ..
+            }
         ));
     }
 

@@ -107,7 +107,10 @@ fn promotions_happen_under_2m_paging_only() {
     let small = run_with(&w, s64k());
     let large = run_with(&w, s2m());
     assert_eq!(small.promotions, 0);
-    assert!(large.promotions > 0, "2MB paging should promote full blocks");
+    assert!(
+        large.promotions > 0,
+        "2MB paging should promote full blocks"
+    );
 }
 
 #[test]
@@ -142,8 +145,13 @@ fn remote_caching_recovers_part_of_2m_misplacement() {
     let cfgv = cfg();
     let mut nuba = Nuba::for_config(&cfgv);
     let mut pol = s2m();
-    let cached = run(&cfgv, &w.clone().with_tb_scale(1, 4), &mut pol, Some(&mut nuba))
-        .expect("run succeeds");
+    let cached = run(
+        &cfgv,
+        &w.clone().with_tb_scale(1, 4),
+        &mut pol,
+        Some(&mut nuba),
+    )
+    .expect("run succeeds");
     assert!(cached.remote_cache_hits > 0);
     assert!(
         cached.speedup_over(&plain) > 1.0,

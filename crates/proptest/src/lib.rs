@@ -289,7 +289,10 @@ pub fn seed_for(test_name: &str, case: u32) -> u64 {
 
 #[doc(hidden)]
 pub fn __format_failure(name: &str, case: u32, err: &test_runner::TestCaseError) -> String {
-    format!("proptest '{name}' failed at case {case} (seed {}): {err}", seed_for(name, case))
+    format!(
+        "proptest '{name}' failed at case {case} (seed {}): {err}",
+        seed_for(name, case)
+    )
 }
 
 /// Declares property tests: each `fn name(pat in strategy, ...) { body }`

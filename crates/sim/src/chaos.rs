@@ -333,10 +333,7 @@ impl StateAuditor {
                 let frame = (pte.pa.raw() >> 12) + i;
                 if let Some(prev) = frames.insert(frame, va) {
                     violations.push(SimError::PolicyViolation {
-                        reason: format!(
-                            "frame {:#x} mapped by both {prev} and {va}",
-                            frame << 12
-                        ),
+                        reason: format!("frame {:#x} mapped by both {prev} and {va}", frame << 12),
                     });
                 }
             }
@@ -397,7 +394,8 @@ mod tests {
         let cfg = SimConfig::baseline();
         let mut pt = PageTable::new(PhysLayout::new(4));
         let frame = PhysAddr::new(VA_BLOCK_BYTES);
-        pt.map(VirtAddr::new(0), frame, PageSize::Size64K, A).unwrap();
+        pt.map(VirtAddr::new(0), frame, PageSize::Size64K, A)
+            .unwrap();
         pt.map(VirtAddr::new(BASE_PAGE_BYTES), frame, PageSize::Size64K, A)
             .unwrap();
         let v = StateAuditor::new(&cfg).check_page_table(&pt);
@@ -425,9 +423,9 @@ mod tests {
             .unwrap();
         }
         let v = StateAuditor::new(&cfg).check_page_table(&pt);
-        assert!(v
-            .iter()
-            .any(|e| matches!(e, SimError::PolicyViolation { reason } if reason.contains("capacity"))));
+        assert!(v.iter().any(
+            |e| matches!(e, SimError::PolicyViolation { reason } if reason.contains("capacity"))
+        ));
     }
 
     #[test]

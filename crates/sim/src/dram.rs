@@ -25,7 +25,12 @@ impl Dram {
     /// # Panics
     ///
     /// Panics if `channels_per_chiplet` is zero.
-    pub fn new(layout: PhysLayout, channels_per_chiplet: usize, latency: u64, service: u64) -> Self {
+    pub fn new(
+        layout: PhysLayout,
+        channels_per_chiplet: usize,
+        latency: u64,
+        service: u64,
+    ) -> Self {
         assert!(channels_per_chiplet > 0);
         Dram {
             layout,

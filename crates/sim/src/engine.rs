@@ -7,25 +7,32 @@
 //! from busy-until resources (SM load/store ports, page walkers, DRAM
 //! channels, ring links), so warp-level parallelism hides latency exactly
 //! until a resource saturates.
+//!
+//! The heavy lifting lives in the [`stage`](crate::stage) modules; the
+//! `Machine` here is a thin orchestrator that owns the page table and the
+//! per-SM issue ports and wires the stages together:
+//!
+//! * [`TranslateStage`](crate::stage::translate::TranslateStage) — TLBs,
+//!   page-walk caches, walkers, walk-queue MSHRs;
+//! * [`DataPath`](crate::stage::datapath::DataPath) — data caches, DRAM,
+//!   the ring, the optional remote cache;
+//! * [`Driver`](crate::stage::driver::Driver) — fault resolution,
+//!   directive application, shootdowns, audits;
+//! * [`KernelSchedule`](crate::stage::sched::KernelSchedule) — TB
+//!   distribution and the warp event heap.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use mcm_types::{ChipletId, TbId, VirtAddr};
 
-use mcm_types::{
-    AllocId, ChipletId, PageSize, PhysAddr, SmId, TbId, VirtAddr, WarpId, BASE_PAGE_BYTES,
-    VA_BLOCK_BYTES,
-};
-
-use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
-use crate::dram::Dram;
-use crate::interconnect::Ring;
-use crate::page_table::{PageTable, Pte};
-use crate::policy::{Directive, FaultCtx, PagingPolicy, RemoteCacheModel, RemoteServe, WalkEvent};
-use crate::resources::{BucketedResource, Server};
+use crate::page_table::PageTable;
+use crate::policy::{PagingPolicy, RemoteCacheModel, WalkEvent};
+use crate::resources::BucketedResource;
+use crate::stage::datapath::DataPath;
+use crate::stage::driver::Driver;
+use crate::stage::sched::KernelSchedule;
+use crate::stage::translate::{TranslateStage, Translation};
 use crate::stats::RunStats;
-use crate::tlb::Tlb;
-use crate::trace::{tb_chiplet, Workload};
+use crate::trace::Workload;
 use crate::SimError;
 
 /// How a completed run ended (see DESIGN.md, "Error handling &
@@ -115,41 +122,13 @@ pub fn run_outcome(
     let mut m = Machine::new(cfg, workload, remote_cache);
     policy.begin(workload.allocs(), cfg);
     m.run_all(workload, policy)?;
-    m.stats.blocks_consumed = policy.blocks_consumed();
-    m.stats.degradation.fallback_remote_frames = policy.frame_fallbacks();
-    m.stats.dram_per_chiplet = (0..cfg.num_chiplets)
-        .map(|c| m.dram.accesses(mcm_types::ChipletId::new(c as u8)))
-        .collect();
-    m.stats.dram_accesses = m.stats.dram_per_chiplet.iter().sum();
-    m.stats.ring_transfers = m.ring.transfers();
-    m.stats.dram_queue_cycles = m.dram.queue_cycles();
-    m.stats.ring_queue_cycles = m.ring.queue_cycles();
-    let stats = m.stats;
+    let stats = m.finish(policy);
     if stats.degradation.is_degraded() {
         let errors = stats.degradation.errors.clone();
         Ok(RunOutcome::Degraded { stats, errors })
     } else {
         Ok(RunOutcome::Completed(stats))
     }
-}
-
-/// Tag bit distinguishing PTE lines from data lines in the L2 cache key
-/// space.
-const PTE_LINE_TAG: u64 = 1 << 62;
-
-struct WarpCtx {
-    sm: usize,
-    tb: TbId,
-    accesses: Vec<VirtAddr>,
-    next: usize,
-}
-
-/// Outcome of a page-walk request.
-enum WalkResult {
-    /// Translation completed at the given cycle.
-    Walked(u64, Pte),
-    /// A demand fault was taken and resolved; retry from the given cycle.
-    Faulted(u64),
 }
 
 /// Outcome of simulating one memory instruction.
@@ -164,33 +143,18 @@ enum AccessResult {
     Fault(u64),
 }
 
+/// The orchestrator: owns the page table (read by translation, written by
+/// the driver), the per-SM issue ports, and the run-level statistics the
+/// stages flush into.
 struct Machine<'c, 'r> {
     cfg: &'c SimConfig,
     /// `line_reuse` of the kernel currently running.
     reuse: u64,
-    remote_cache: Option<&'r mut dyn RemoteCacheModel>,
     page_table: PageTable,
-    /// TLB size classes, in `cfg.translation.tlb_classes` order.
-    classes: Vec<PageSize>,
-    /// `l1_tlb[sm][class]`.
-    l1_tlb: Vec<Vec<Tlb>>,
-    /// `l2_tlb[chiplet][class]`.
-    l2_tlb: Vec<Vec<Tlb>>,
-    l1d: Vec<SetAssocCache>,
-    l2d: Vec<SetAssocCache>,
-    pwc: Vec<SetAssocCache>,
-    walkers: Vec<BucketedResource>,
-    /// In-flight walk coalescing (MSHR-style): an outstanding walk for the
-    /// same leaf page absorbs duplicate requests from other warps/SMs of
-    /// the chiplet, as hardware page-walk MSHRs do.
-    walk_mshr: Vec<HashMap<u64, u64>>,
-    /// Serialization point for shootdown/migration overhead per chiplet.
-    gmmu_ovh: Vec<Server>,
+    translate: TranslateStage,
+    data: DataPath<'r>,
+    driver: Driver,
     sm_port: Vec<BucketedResource>,
-    dram: Dram,
-    ring: Ring,
-    /// Sorted (base, end, alloc) for fault attribution.
-    alloc_ranges: Vec<(u64, u64, AllocId)>,
     stats: RunStats,
     next_epoch: u64,
 }
@@ -201,102 +165,16 @@ impl<'c, 'r> Machine<'c, 'r> {
         workload: &dyn Workload,
         remote_cache: Option<&'r mut dyn RemoteCacheModel>,
     ) -> Self {
-        let layout = cfg.layout();
-        let classes = cfg.translation.tlb_classes.clone();
-        let group_for = |size: PageSize| -> u32 {
-            if size != PageSize::Size64K {
-                return 1;
-            }
-            if cfg.translation.ideal_2m_reach {
-                32
-            } else if cfg.translation.coalescing_64k || cfg.translation.barre_pattern {
-                16
-            } else {
-                1
-            }
-        };
-        let l1_tlbs_for_sm = || -> Vec<Tlb> {
-            classes
-                .iter()
-                .map(|&s| {
-                    let e = cfg.tlb_entries(s).l1;
-                    Tlb::new(s, e, e, group_for(s)) // fully associative
-                })
-                .collect()
-        };
-        let l2_tlbs_for_chiplet = || -> Vec<Tlb> {
-            classes
-                .iter()
-                .map(|&s| {
-                    let e = cfg.tlb_entries(s).l2;
-                    Tlb::new(s, e, cfg.l2_tlb_ways.min(e), group_for(s))
-                })
-                .collect()
-        };
-        let mut alloc_ranges: Vec<(u64, u64, AllocId)> = workload
-            .allocs()
-            .iter()
-            .map(|a| (a.base.raw(), a.base.raw() + a.bytes, a.id))
-            .collect();
-        alloc_ranges.sort_unstable_by_key(|r| r.0);
-
         Machine {
             cfg,
             reuse: 1,
-            remote_cache,
-            page_table: PageTable::new(layout),
-            classes: classes.clone(),
-            l1_tlb: (0..cfg.total_sms()).map(|_| l1_tlbs_for_sm()).collect(),
-            l2_tlb: (0..cfg.num_chiplets)
-                .map(|_| l2_tlbs_for_chiplet())
-                .collect(),
-            l1d: (0..cfg.total_sms())
-                .map(|_| {
-                    SetAssocCache::with_geometry(
-                        cfg.effective_l1d_bytes(),
-                        cfg.line_bytes as usize,
-                        cfg.l1d_ways,
-                    )
-                })
-                .collect(),
-            l2d: (0..cfg.num_chiplets)
-                .map(|_| {
-                    SetAssocCache::with_geometry(
-                        cfg.effective_l2d_bytes(),
-                        cfg.line_bytes as usize,
-                        cfg.l2d_ways,
-                    )
-                })
-                .collect(),
-            pwc: (0..cfg.num_chiplets)
-                .map(|_| SetAssocCache::fully_associative(cfg.effective_pwc_entries()))
-                .collect(),
-            walkers: (0..cfg.num_chiplets)
-                .map(|_| BucketedResource::new(cfg.page_walkers))
-                .collect(),
-            walk_mshr: (0..cfg.num_chiplets).map(|_| HashMap::new()).collect(),
-            gmmu_ovh: vec![Server::new(); cfg.num_chiplets],
+            page_table: PageTable::new(cfg.layout()),
+            translate: TranslateStage::new(cfg),
+            data: DataPath::new(cfg, remote_cache),
+            driver: Driver::new(cfg, workload.allocs()),
             sm_port: vec![BucketedResource::new(1); cfg.total_sms()],
-            dram: Dram::new(layout, cfg.dram_channels, cfg.dram_latency, cfg.dram_service),
-            ring: Ring::new(cfg.num_chiplets, cfg.ring_hop_latency, cfg.ring_service),
-            alloc_ranges,
             stats: RunStats::default(),
             next_epoch: cfg.epoch_cycles,
-        }
-    }
-
-    fn alloc_of(&self, va: VirtAddr) -> Option<AllocId> {
-        let v = va.raw();
-        match self
-            .alloc_ranges
-            .binary_search_by(|&(base, _, _)| base.cmp(&v))
-        {
-            Ok(i) => Some(self.alloc_ranges[i].2),
-            Err(0) => None,
-            Err(i) => {
-                let (_, end, id) = self.alloc_ranges[i - 1];
-                (v < end).then_some(id)
-            }
         }
     }
 
@@ -309,9 +187,18 @@ impl<'c, 'r> Machine<'c, 'r> {
         for k in 0..workload.num_kernels() {
             now = self.run_kernel(workload, k, now, policy)?;
             let dirs = policy.on_kernel_end(k, now);
-            self.apply_directives(&dirs, policy.ideal_migration(), now);
+            self.driver.apply_directives(
+                self.cfg,
+                &mut self.page_table,
+                &mut self.translate,
+                &mut self.data,
+                &dirs,
+                policy.ideal_migration(),
+                now,
+            );
             if self.cfg.audit_epochs {
-                self.audit();
+                self.driver
+                    .audit(self.cfg, &self.page_table, &self.translate);
             }
         }
         self.stats.cycles = now;
@@ -325,88 +212,29 @@ impl<'c, 'r> Machine<'c, 'r> {
         start: u64,
         policy: &mut dyn PagingPolicy,
     ) -> Result<u64, SimError> {
-        let kd = workload.kernel(k);
+        let mut sched = KernelSchedule::new(self.cfg, workload, k, start);
+        let kd = *sched.kernel();
         self.reuse = kd.line_reuse.max(1) as u64;
-        if kd.num_tbs == 0 {
-            return Ok(start);
-        }
-        let sms = self.cfg.total_sms();
-        let sms_per_chiplet = self.cfg.sms_per_chiplet;
-        // Distribute TBs: contiguous across chiplets (FT scheduling), then
-        // round-robin over the chiplet's SMs.
-        let mut sm_queue: Vec<VecDeque<TbId>> = vec![VecDeque::new(); sms];
-        let mut per_chiplet_counter = vec![0usize; self.cfg.num_chiplets];
-        for t in 0..kd.num_tbs {
-            let tb = TbId::new(t);
-            let ch = tb_chiplet(tb, kd.num_tbs, self.cfg.num_chiplets);
-            let sm = ch * sms_per_chiplet + per_chiplet_counter[ch] % sms_per_chiplet;
-            per_chiplet_counter[ch] += 1;
-            sm_queue[sm].push_back(tb);
-        }
-        let concurrent_tbs = (self.cfg.max_warps_per_sm / kd.warps_per_tb.max(1) as usize).max(1);
-
-        let mut warps: Vec<WarpCtx> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        let mut tb_live_warps: Vec<u32> = Vec::new(); // indexed by slot
-        let mut warp_tb_slot: Vec<usize> = Vec::new();
-        let mut resident: Vec<usize> = vec![0; sms];
+        let issue_gap = kd.insts_per_mem as u64;
         let mut end = start;
 
-        let start_tb =
-            |sm: usize,
-             tb: TbId,
-             at: u64,
-             warps: &mut Vec<WarpCtx>,
-             heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-             tb_live_warps: &mut Vec<u32>,
-             warp_tb_slot: &mut Vec<usize>| {
-                let slot = tb_live_warps.len();
-                tb_live_warps.push(kd.warps_per_tb);
-                for w in 0..kd.warps_per_tb {
-                    let accesses = workload.warp_accesses(k, tb, WarpId::new(w));
-                    let id = warps.len();
-                    warps.push(WarpCtx {
-                        sm,
-                        tb,
-                        accesses,
-                        next: 0,
-                    });
-                    warp_tb_slot.push(slot);
-                    // Deterministic per-warp jitter: warps of concurrently
-                    // launched TBs do not start in threadblock order, so
-                    // first-touch races at equal progress are unbiased.
-                    let jitter = (tb.index() as u64 * 131 + w as u64 * 17)
-                        .wrapping_mul(0x9E37_79B9)
-                        % 64;
-                    heap.push(Reverse((at + jitter, id)));
-                }
-            };
-
-        for sm in 0..sms {
-            for _ in 0..concurrent_tbs {
-                if let Some(tb) = sm_queue[sm].pop_front() {
-                    resident[sm] += 1;
-                    start_tb(
-                        sm,
-                        tb,
-                        start,
-                        &mut warps,
-                        &mut heap,
-                        &mut tb_live_warps,
-                        &mut warp_tb_slot,
-                    );
-                }
-            }
-        }
-
-        while let Some(Reverse((t, wid))) = heap.pop() {
+        while let Some((t, wid)) = sched.pop() {
             // Epoch callbacks for reactive policies.
             while t >= self.next_epoch {
                 let epoch = self.next_epoch;
                 let dirs = policy.on_epoch(epoch);
-                self.apply_directives(&dirs, policy.ideal_migration(), epoch);
+                self.driver.apply_directives(
+                    self.cfg,
+                    &mut self.page_table,
+                    &mut self.translate,
+                    &mut self.data,
+                    &dirs,
+                    policy.ideal_migration(),
+                    epoch,
+                );
                 if self.cfg.audit_epochs {
-                    self.audit();
+                    self.driver
+                        .audit(self.cfg, &self.page_table, &self.translate);
                 }
                 self.next_epoch += self.cfg.epoch_cycles;
             }
@@ -416,27 +244,16 @@ impl<'c, 'r> Machine<'c, 'r> {
             // returns (GPU load pipelining). A demand fault suspends the
             // warp until the driver resolves it; the faulting access (and
             // the rest of the batch) retries on resume.
-            let (sm, tb, batch) = {
-                let w = &warps[wid];
-                let n = self
-                    .cfg
-                    .warp_mlp
-                    .max(1)
-                    .min(w.accesses.len() - w.next.min(w.accesses.len()));
-                let batch: Vec<VirtAddr> = w.accesses[w.next..w.next + n].to_vec();
-                (w.sm, w.tb, batch)
-            };
-
+            let (sm, tb, batch) = sched.batch(self.cfg, wid);
             if !batch.is_empty() {
                 let mut batch_done = t;
-                let issue_gap = kd.insts_per_mem as u64;
                 let mut fault_resume = None;
                 let mut advanced = 0usize;
                 for (i, va) in batch.iter().enumerate() {
                     match self.memory_access(sm, tb, *va, t + i as u64 * issue_gap, policy)? {
                         AccessResult::Done(done) => {
                             self.stats.mem_insts += self.reuse;
-                            self.stats.warp_insts += kd.insts_per_mem as u64 * self.reuse;
+                            self.stats.warp_insts += issue_gap * self.reuse;
                             batch_done = batch_done.max(done);
                             advanced += 1;
                         }
@@ -446,47 +263,29 @@ impl<'c, 'r> Machine<'c, 'r> {
                         }
                     }
                 }
-                warps[wid].next += advanced;
+                sched.advance(wid, advanced);
                 end = end.max(batch_done);
                 if let Some(resume) = fault_resume {
-                    heap.push(Reverse((resume, wid)));
+                    sched.reschedule(wid, resume);
                     continue;
                 }
-                if warps[wid].next < warps[wid].accesses.len() {
+                if !sched.warp_finished(wid) {
                     // Issue time for the (line_reuse - 1) repeats per
                     // access: L1-hit loads dual-issue with their arithmetic
                     // (one cycle each), so they cost issue slots, not full
                     // arithmetic gaps.
                     let repeat_issue = (self.reuse - 1) * advanced as u64;
-                    heap.push(Reverse((batch_done + issue_gap + repeat_issue, wid)));
+                    sched.reschedule(wid, batch_done + issue_gap + repeat_issue);
                     continue;
                 }
             }
-
-            // Warp retired; maybe retire the TB and start the next one.
-            let slot = warp_tb_slot[wid];
-            tb_live_warps[slot] -= 1;
-            if tb_live_warps[slot] == 0 {
-                warps[wid].accesses = Vec::new();
-                if let Some(next_tb) = sm_queue[sm].pop_front() {
-                    start_tb(
-                        sm,
-                        next_tb,
-                        t,
-                        &mut warps,
-                        &mut heap,
-                        &mut tb_live_warps,
-                        &mut warp_tb_slot,
-                    );
-                } else {
-                    resident[sm] -= 1;
-                }
-            }
+            sched.retire_warp(workload, k, wid, t);
         }
         Ok(end)
     }
 
-    /// Simulates one warp memory instruction.
+    /// Simulates one warp memory instruction: SM port → translation stage →
+    /// data path, with faults routed through the driver stage.
     fn memory_access(
         &mut self,
         sm: usize,
@@ -499,70 +298,43 @@ impl<'c, 'r> Machine<'c, 'r> {
         let issue = self.sm_port[sm].acquire(t, 1);
 
         // --- Address translation ---
-        // A TLB hit normally implies a mapping; coverage can outlive its
-        // mapping only when a directive bypassed the shootdown path (fault
-        // injection). Stale hits are invalidated, counted, and re-walked
-        // instead of panicking.
-        let mut tt = issue + self.cfg.l1_tlb_latency;
-        let mut hit_pte = None;
-        if self.l1_tlb[sm].iter_mut().any(|tlb| tlb.lookup(va)) {
-            match self.page_table.translate(va) {
-                Some(p) => {
-                    self.stats.l1tlb_hits += 1;
-                    hit_pte = Some(p);
-                }
-                None => {
-                    self.note_stale_tlb(va);
-                    self.stats.l1tlb_misses += 1;
-                }
-            }
-        } else {
-            self.stats.l1tlb_misses += 1;
-        }
-        let pte = match hit_pte {
-            Some(p) => p,
-            None => {
-                tt += self.cfg.l2_tlb_latency;
-                let mut l2_pte = None;
-                if self.l2_tlb[chiplet.index()]
-                    .iter_mut()
-                    .any(|tlb| tlb.lookup(va))
-                {
-                    match self.page_table.translate(va) {
-                        Some(p) => {
-                            self.stats.l2tlb_hits += 1;
-                            self.fill_l1(sm, va, p);
-                            l2_pte = Some(p);
-                        }
-                        None => self.note_stale_tlb(va),
-                    }
-                }
-                match l2_pte {
-                    Some(p) => p,
-                    None => {
-                        self.stats.l2tlb_misses += 1;
-                        let (walk_done, pte) =
-                            match self.page_walk(sm, chiplet, tb, va, tt, policy)? {
-                                WalkResult::Walked(done, pte) => (done, pte),
-                                WalkResult::Faulted(resume) => {
-                                    return Ok(AccessResult::Fault(resume))
-                                }
-                            };
-                        tt = walk_done;
-                        self.fill_l2(chiplet, va, pte);
-                        self.fill_l1(sm, va, pte);
-                        policy.on_walk(&WalkEvent {
-                            va,
-                            alloc: pte.alloc,
-                            requester: chiplet,
-                            data_chiplet: self.page_table.layout().chiplet_of(pte.pa),
-                            cycle: tt,
-                        });
-                        pte
-                    }
-                }
+        let gmmu_free = self.driver.gmmu_ready(chiplet);
+        let (pte, tt, walked) = match self.translate.translate(
+            self.cfg,
+            &self.page_table,
+            &mut self.data,
+            sm,
+            chiplet,
+            va,
+            issue,
+            gmmu_free,
+        )? {
+            Translation::Done { pte, done, walked } => (pte, done, walked),
+            Translation::Fault { at } => {
+                let resume = self.driver.resolve_fault(
+                    self.cfg,
+                    &mut self.page_table,
+                    &mut self.translate,
+                    &mut self.data,
+                    policy,
+                    sm,
+                    chiplet,
+                    tb,
+                    va,
+                    at,
+                )?;
+                return Ok(AccessResult::Fault(resume));
             }
         };
+        if walked {
+            policy.on_walk(&WalkEvent {
+                va,
+                alloc: pte.alloc,
+                requester: chiplet,
+                data_chiplet: self.page_table.layout().chiplet_of(pte.pa),
+                cycle: tt,
+            });
+        }
         self.stats.translation_cycles += tt - issue;
 
         // --- Data access ---
@@ -578,8 +350,8 @@ impl<'c, 'r> Machine<'c, 'r> {
             entry.remote += self.reuse;
         }
         // The (reuse - 1) unsimulated repeats hit the L1 cache and L1 TLB.
-        self.stats.l1d_hits += self.reuse - 1;
-        self.stats.l1tlb_hits += self.reuse - 1;
+        self.data.stats.l1d_hits += self.reuse - 1;
+        self.translate.stats.l1tlb_hits += self.reuse - 1;
         if policy.wants_access_samples() {
             policy.on_access(&WalkEvent {
                 va,
@@ -590,460 +362,21 @@ impl<'c, 'r> Machine<'c, 'r> {
             });
         }
 
-        let line = pa.raw() / self.cfg.line_bytes;
-        let done = if self.l1d[sm].access(line) {
-            self.stats.l1d_hits += 1;
-            tt + self.cfg.l1d_latency
-        } else {
-            self.stats.l1d_misses += 1;
-            let t_l2 = tt + self.cfg.l1d_latency;
-            if self.l2d[chiplet.index()].access(line) {
-                self.stats.l2d_hits += 1;
-                t_l2 + self.cfg.l2d_latency
-            } else {
-                self.stats.l2d_misses += 1;
-                let t_mem = t_l2 + self.cfg.l2d_latency;
-                if !remote {
-                    self.dram.access(pa, t_mem)
-                } else {
-                    let served = match self.remote_cache.as_deref_mut() {
-                        Some(rc) => rc.access(chiplet, pa),
-                        None => None,
-                    };
-                    match served {
-                        Some(RemoteServe::Sram) => {
-                            self.stats.remote_cache_hits += 1;
-                            t_mem + self.cfg.l2d_latency
-                        }
-                        Some(RemoteServe::LocalDram) => {
-                            self.stats.remote_cache_hits += 1;
-                            self.dram.access_at(chiplet, pa, t_mem)
-                        }
-                        None => {
-                            let arrive = self.ring.request(chiplet, data_chiplet, t_mem);
-                            let mem_done = self.dram.access(pa, arrive);
-                            self.ring.transfer(data_chiplet, chiplet, mem_done)
-                        }
-                    }
-                }
-            }
-        };
+        let done = self
+            .data
+            .access(self.cfg, sm, chiplet, data_chiplet, pa, tt);
         self.stats.data_cycles += done - tt;
         Ok(AccessResult::Done(done))
     }
 
-    /// Walks the page table for `va`, resolving faults through the policy.
-    fn page_walk(
-        &mut self,
-        sm: usize,
-        chiplet: ChipletId,
-        tb: TbId,
-        va: VirtAddr,
-        t: u64,
-        policy: &mut dyn PagingPolicy,
-    ) -> Result<WalkResult, SimError> {
-        let t = t.max(self.gmmu_ovh[chiplet.index()].next_free());
-        {
-            if let Some(pte) = self.page_table.translate(va) {
-                // MSHR hit: join an in-flight walk for the same leaf page.
-                let page_key = va.raw() >> pte.size.shift();
-                if let Some(&done) = self.walk_mshr[chiplet.index()].get(&page_key) {
-                    if done > t {
-                        self.stats.walk_mshr_hits += 1;
-                        return Ok(WalkResult::Walked(done, pte));
-                    }
-                }
-                // A new walk needs a queue entry. The per-chiplet walk
-                // queue is finite (`cfg.walk_queue`): when it is full of
-                // in-flight walks, the request stalls until the earliest
-                // one completes (back-pressure) instead of growing the
-                // queue without bound.
-                let t = self.reserve_walk_slot(chiplet, t)?;
-                let levels = self.cfg.walk_levels(pte.size);
-                let start = self.walkers[chiplet.index()].acquire(t, self.cfg.walker_service);
-                let mut tw = start;
-                for level in 1..levels {
-                    let key = PageTable::walk_node_key(va, level, pte.size, levels);
-                    if self.pwc[chiplet.index()].access(key) {
-                        tw += self.cfg.pwc_latency;
-                    } else {
-                        tw = self.pte_node_access(chiplet, va, level, pte.size, levels, tw);
-                    }
-                }
-                tw = self.leaf_pte_access(chiplet, va, pte, levels, tw);
-                self.walk_mshr[chiplet.index()].insert(page_key, tw);
-                self.stats.walks += 1;
-                self.stats.walk_cycles += tw - t;
-                return Ok(WalkResult::Walked(tw, pte));
-            }
-            // Page fault: the walk failed; the GMMU logs it and the driver
-            // resolves it by asking the policy (paper §2.5 case ⑥-⑦). The
-            // mapping is installed now; the warp retries once the fault
-            // latency elapses.
-            self.stats.faults += 1;
-            let page = va.align_down(BASE_PAGE_BYTES);
-            let alloc = self.alloc_of(va).ok_or_else(|| SimError::PolicyViolation {
-                reason: format!("access to unallocated address {va}"),
-            })?;
-            let ctx = FaultCtx {
-                va: page,
-                alloc,
-                requester: chiplet,
-                sm: SmId::new(sm as u32),
-                tb,
-                cycle: t,
-            };
-            // A fault the policy cannot resolve (e.g. OutOfFrames on every
-            // chiplet) is fatal: the warp can never make progress.
-            let dirs = policy.on_fault(&ctx)?;
-            self.apply_directives(&dirs, policy.ideal_migration(), t);
-            if self.page_table.translate(va).is_none() {
-                return Err(SimError::PolicyViolation {
-                    reason: format!("fault handler did not map {va}"),
-                });
-            }
-            Ok(WalkResult::Faulted(t + self.cfg.fault_latency))
-        }
-    }
-
-    /// Waits (in simulated time) for a free entry in `chiplet`'s page-walk
-    /// queue, dropping completed walks first. Returns the cycle at which
-    /// the new walk may issue.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::WalkQueueOverflow`] if the queue is full and cannot
-    /// drain — only reachable if in-flight walks stop completing, which
-    /// would otherwise hang the simulation.
-    fn reserve_walk_slot(&mut self, chiplet: ChipletId, mut t: u64) -> Result<u64, SimError> {
-        let idx = chiplet.index();
-        let cap = self.cfg.walk_queue;
-        if self.walk_mshr[idx].len() < cap {
-            return Ok(t);
-        }
-        self.walk_mshr[idx].retain(|_, &mut done| done > t);
-        let mut stalled = 0u64;
-        while self.walk_mshr[idx].len() >= cap {
-            let earliest = self.walk_mshr[idx].values().copied().min().unwrap_or(t);
-            if earliest <= t {
-                return Err(SimError::WalkQueueOverflow {
-                    chiplet,
-                    depth: self.walk_mshr[idx].len(),
-                });
-            }
-            stalled += earliest - t;
-            t = earliest;
-            self.walk_mshr[idx].retain(|_, &mut done| done > t);
-            self.stats.degradation.walk_queue_stalls += 1;
-        }
-        if stalled > 0 {
-            self.stats.degradation.walk_queue_stall_cycles += stalled;
-        }
-        Ok(t)
-    }
-
-    /// Counts a stale TLB hit (coverage without a mapping) and drops the
-    /// stale coverage machine-wide.
-    fn note_stale_tlb(&mut self, va: VirtAddr) {
-        self.stats.degradation.stale_tlb_hits += 1;
-        self.stats.degradation.record(SimError::NotMapped { va });
-        for sm_tlbs in &mut self.l1_tlb {
-            for tlb in sm_tlbs.iter_mut() {
-                tlb.invalidate_page(va);
-            }
-        }
-        for ch_tlbs in &mut self.l2_tlb {
-            for tlb in ch_tlbs.iter_mut() {
-                tlb.invalidate_page(va);
-            }
-        }
-    }
-
-    /// One upper-level page-table access on a PWC miss.
-    fn pte_node_access(
-        &mut self,
-        requester: ChipletId,
-        va: VirtAddr,
-        level: u32,
-        leaf: PageSize,
-        levels: u32,
-        t: u64,
-    ) -> u64 {
-        let node_chiplet = self.page_table.walk_node_chiplet(
-            va,
-            level,
-            leaf,
-            requester,
-            self.cfg.pte_placement,
-            levels,
-        );
-        let key = PageTable::walk_node_key(va, level, leaf, levels);
-        let pa = self.synth_pte_pa(node_chiplet, key);
-        if node_chiplet == requester {
-            self.dram.access(pa, t)
-        } else {
-            let arrive = self.ring.request(requester, node_chiplet, t);
-            let done = self.dram.access(pa, arrive);
-            self.ring.transfer(node_chiplet, requester, done)
-        }
-    }
-
-    /// The leaf PTE access: PTE lines are cached in the requester's L2
-    /// (this is what the coalescing logic inspects, §4.6).
-    fn leaf_pte_access(
-        &mut self,
-        requester: ChipletId,
-        va: VirtAddr,
-        pte: Pte,
-        levels: u32,
-        t: u64,
-    ) -> u64 {
-        let leaf = pte.size;
-        let vpn = va.raw() >> leaf.shift();
-        let line_key = PTE_LINE_TAG | ((leaf.shift() as u64) << 52) | (vpn / 16);
-        if self.l2d[requester.index()].access(line_key) {
-            return t + self.cfg.l2d_latency;
-        }
-        let leaf_chiplet = match self.cfg.pte_placement {
-            // [87]-style placement: the leaf PTE page sits with its data.
-            crate::config::PtePlacement::DataLocal => {
-                self.page_table.layout().chiplet_of(pte.pa)
-            }
-            p => self
-                .page_table
-                .walk_node_chiplet(va, levels, leaf, requester, p, levels),
-        };
-        let pa = self.synth_pte_pa(leaf_chiplet, line_key);
-        if leaf_chiplet == requester {
-            self.dram.access(pa, t)
-        } else {
-            let arrive = self.ring.request(requester, leaf_chiplet, t);
-            let done = self.dram.access(pa, arrive);
-            self.ring.transfer(leaf_chiplet, requester, done)
-        }
-    }
-
-    /// Synthesises a physical address on `chiplet` for a page-table node,
-    /// spreading nodes over the chiplet's DRAM channels.
-    fn synth_pte_pa(&self, chiplet: ChipletId, key: u64) -> PhysAddr {
-        let layout = self.page_table.layout();
-        let block = layout.block_of_chiplet(chiplet, key % self.cfg.pf_blocks_per_chiplet.max(1));
-        layout.block_base(block) + (key.wrapping_mul(0x9E37_79B9) % (VA_BLOCK_BYTES / 256)) * 256
-    }
-
-    fn fill_l1(&mut self, sm: usize, va: VirtAddr, pte: Pte) {
-        match self.fill_mask(va, pte) {
-            Some((class, mask)) => self.l1_tlb[sm][class].fill(va, mask),
-            None => self.note_missing_class(pte.size),
-        }
-    }
-
-    fn fill_l2(&mut self, chiplet: ChipletId, va: VirtAddr, pte: Pte) {
-        match self.fill_mask(va, pte) {
-            Some((class, mask)) => {
-                if mask.count_ones() > 1 {
-                    self.stats.coalesced_fills += 1;
-                }
-                self.l2_tlb[chiplet.index()][class].fill(va, mask);
-            }
-            None => self.note_missing_class(pte.size),
-        }
-    }
-
-    /// Counts a translation whose leaf size has no TLB class: the walk was
-    /// already charged, the entry just cannot be cached.
-    fn note_missing_class(&mut self, size: PageSize) {
-        self.stats.degradation.tlb_class_missing += 1;
+    /// Flushes every stage's statistics slice and the policy's allocator
+    /// tallies into the run-level statistics, consuming the machine.
+    fn finish(mut self, policy: &mut dyn PagingPolicy) -> RunStats {
+        self.translate.stats.flush_into(&mut self.stats);
+        self.data.flush_into(self.cfg, &mut self.stats);
+        self.driver.stats.flush_into(&mut self.stats);
+        self.stats.blocks_consumed = policy.blocks_consumed();
+        self.stats.degradation.fallback_remote_frames = policy.frame_fallbacks();
         self.stats
-            .degradation
-            .record(SimError::TlbClassMissing { size });
-    }
-
-    /// The TLB class and valid-bit mask to install for a translation of
-    /// `va` (coalescing logic of §4.6; Barre-Chord patterns; Ideal reach).
-    /// `None` if the machine has no TLB class for the leaf's size.
-    fn fill_mask(&self, va: VirtAddr, pte: Pte) -> Option<(usize, u32)> {
-        let class = self.classes.iter().position(|&s| s == pte.size)?;
-        if pte.size != PageSize::Size64K {
-            return Some((class, 1));
-        }
-        let tr = &self.cfg.translation;
-        let mask = if tr.ideal_2m_reach {
-            self.page_table.block_mask_64k(va)
-        } else if tr.coalescing_64k {
-            self.page_table.coalesce_mask(va).unwrap_or(0)
-        } else if tr.barre_pattern {
-            self.page_table.stride_mask(va).unwrap_or(0)
-        } else {
-            // Plain TLB: single-page entries (group 1, bit 0).
-            1
-        };
-        if mask == 0 {
-            // Defensive: cover just this page at its position in the group.
-            let group = if tr.ideal_2m_reach { 32 } else { 16 };
-            return Some((class, 1 << ((va.raw() >> 16) % group)));
-        }
-        Some((class, mask))
-    }
-
-    /// Applies a directive batch, skipping (and recording) invalid
-    /// directives instead of aborting the run: a bad directive fails the
-    /// *fault*, not the *process*. Each rejection is counted in
-    /// `degradation.rejected_directives` with a sampled
-    /// [`SimError::DirectiveRejected`].
-    fn apply_directives(&mut self, dirs: &[Directive], ideal: bool, now: u64) {
-        for (i, d) in dirs.iter().enumerate() {
-            if let Err(e) = self.apply_directive(*d, ideal, now) {
-                self.stats.degradation.rejected_directives += 1;
-                self.stats.degradation.record(SimError::DirectiveRejected {
-                    index: i,
-                    reason: e.to_string(),
-                });
-            }
-        }
-    }
-
-    /// Validates and applies one directive. State is only mutated once
-    /// validation passed, so a rejected directive leaves the machine
-    /// untouched.
-    fn apply_directive(&mut self, d: Directive, ideal: bool, now: u64) -> Result<(), SimError> {
-        match d {
-            Directive::Map {
-                va,
-                pa,
-                size,
-                alloc,
-            } => {
-                if !self.classes.contains(&size) {
-                    return Err(SimError::TlbClassMissing { size });
-                }
-                self.page_table.map(va, pa, size, alloc)
-            }
-            Directive::Promote { base, size } => {
-                if !self.classes.contains(&size) {
-                    return Err(SimError::TlbClassMissing { size });
-                }
-                self.page_table.promote(base, size)?;
-                self.stats.promotions += 1;
-                // Promotion rewrites PTEs: stale 64KB entries must go.
-                self.invalidate_block_entries(base, size.base_pages());
-                Ok(())
-            }
-            Directive::Unmap { va } => {
-                let pte = self.page_table.unmap(va)?;
-                self.shootdown(va, pte.size, ideal, now);
-                Ok(())
-            }
-            Directive::Migrate { va, to_pa } => {
-                let pte = self
-                    .page_table
-                    .translate(va)
-                    .ok_or(SimError::NotMapped { va })?;
-                if pte.size != PageSize::Size64K {
-                    return Err(SimError::PolicyViolation {
-                        reason: format!("migrate of non-64KB leaf at {va}"),
-                    });
-                }
-                if va.raw() % BASE_PAGE_BYTES != 0 {
-                    return Err(SimError::Misaligned {
-                        addr: va.raw(),
-                        align: BASE_PAGE_BYTES,
-                    });
-                }
-                if to_pa.raw() % BASE_PAGE_BYTES != 0 {
-                    return Err(SimError::Misaligned {
-                        addr: to_pa.raw(),
-                        align: BASE_PAGE_BYTES,
-                    });
-                }
-                let pte = self.page_table.unmap(va)?;
-                self.shootdown(va, pte.size, ideal, now);
-                if let Err(e) = self.page_table.map(va, to_pa, pte.size, pte.alloc) {
-                    // Keep the migration atomic: restore the original
-                    // mapping before reporting the rejection.
-                    let _ = self.page_table.map(va, pte.pa, pte.size, pte.alloc);
-                    return Err(e);
-                }
-                self.stats.migrations += 1;
-                if let Some(rc) = self.remote_cache.as_deref_mut() {
-                    for l in 0..(BASE_PAGE_BYTES / self.cfg.line_bytes) {
-                        rc.invalidate(pte.pa + l * self.cfg.line_bytes);
-                    }
-                }
-                if !ideal {
-                    let src = self.page_table.layout().chiplet_of(pte.pa);
-                    let dst = self.page_table.layout().chiplet_of(to_pa);
-                    self.gmmu_ovh[src.index()].acquire(now, self.cfg.migration_latency);
-                    self.gmmu_ovh[dst.index()].acquire(now, self.cfg.migration_latency);
-                    self.ring.transfer(src, dst, now);
-                }
-                Ok(())
-            }
-        }
-    }
-
-    /// Invalidates TLB coverage for one page and charges the shootdown.
-    fn shootdown(&mut self, va: VirtAddr, size: PageSize, ideal: bool, now: u64) {
-        for sm_tlbs in &mut self.l1_tlb {
-            for tlb in sm_tlbs.iter_mut() {
-                tlb.invalidate_page(va);
-            }
-        }
-        for ch_tlbs in &mut self.l2_tlb {
-            for tlb in ch_tlbs.iter_mut() {
-                tlb.invalidate_page(va);
-            }
-        }
-        let _ = size;
-        if !ideal {
-            self.stats.shootdowns += 1;
-            for s in &mut self.gmmu_ovh {
-                s.acquire(now, self.cfg.tlb_shootdown_latency);
-            }
-        }
-    }
-
-    /// Epoch state audit (enabled by
-    /// [`SimConfig::audit_epochs`](crate::SimConfig)): checks page-table /
-    /// TLB / capacity coherence and counts violations as degradation.
-    fn audit(&mut self) {
-        let auditor = crate::chaos::StateAuditor::new(self.cfg);
-        let mut violations = auditor.check_page_table(&self.page_table);
-        // Cached TLB coverage must never outlive its mapping.
-        for tlbs in self.l1_tlb.iter().chain(self.l2_tlb.iter()) {
-            for tlb in tlbs {
-                for va in tlb.covered_pages() {
-                    if self.page_table.translate(va).is_none() {
-                        violations.push(SimError::NotMapped { va });
-                    }
-                }
-            }
-        }
-        for v in violations {
-            self.stats.degradation.audit_violations += 1;
-            self.stats.degradation.record(v);
-        }
-    }
-
-    /// Drops 64KB-class TLB coverage of a promoted region of `pages`
-    /// 64KB pages.
-    fn invalidate_block_entries(&mut self, block_base: VirtAddr, pages: u64) {
-        for i in 0..pages {
-            let va = block_base + i * BASE_PAGE_BYTES;
-            for sm_tlbs in &mut self.l1_tlb {
-                for tlb in sm_tlbs.iter_mut() {
-                    if tlb.size_class() == PageSize::Size64K {
-                        tlb.invalidate_page(va);
-                    }
-                }
-            }
-            for ch_tlbs in &mut self.l2_tlb {
-                for tlb in ch_tlbs.iter_mut() {
-                    if tlb.size_class() == PageSize::Size64K {
-                        tlb.invalidate_page(va);
-                    }
-                }
-            }
-        }
     }
 }

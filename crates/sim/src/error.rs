@@ -99,7 +99,10 @@ impl fmt::Display for SimError {
                 write!(f, "no TLB class for {size} pages")
             }
             SimError::WalkQueueOverflow { chiplet, depth } => {
-                write!(f, "page-walk queue overflow on chiplet {chiplet} ({depth} walks in flight)")
+                write!(
+                    f,
+                    "page-walk queue overflow on chiplet {chiplet} ({depth} walks in flight)"
+                )
             }
             SimError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
             SimError::DirectiveRejected { index, reason } => {

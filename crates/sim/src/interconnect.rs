@@ -89,7 +89,14 @@ impl Ring {
     /// arrival time given the remote service completes at `remote_done`.
     pub fn round_trip(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> (u64, RingLeg<'_>) {
         let arrive = self.transfer(src, dst, now);
-        (arrive, RingLeg { ring: self, dst, src })
+        (
+            arrive,
+            RingLeg {
+                ring: self,
+                dst,
+                src,
+            },
+        )
     }
 
     /// Total transfers routed.

@@ -42,6 +42,7 @@ mod interconnect;
 mod page_table;
 mod policy;
 mod resources;
+pub mod stage;
 mod stats;
 mod tlb;
 mod trace;

@@ -287,7 +287,8 @@ impl PageTable {
     /// Returns `None` if `va`'s own page is not mapped as a 64KB leaf.
     pub fn coalesce_mask(&self, va: VirtAddr) -> Option<u32> {
         self.line_mask(va, |anchor_pa, anchor_idx, i, pa| {
-            let expect = anchor_pa.raw() as i128 + (i as i128 - anchor_idx as i128) * BASE_PAGE_BYTES as i128;
+            let expect = anchor_pa.raw() as i128
+                + (i as i128 - anchor_idx as i128) * BASE_PAGE_BYTES as i128;
             pa.raw() as i128 == expect
         })
     }
@@ -431,8 +432,13 @@ mod tests {
     #[test]
     fn translate_resolves_offsets() {
         let mut t = pt();
-        t.map(VirtAddr::new(0x20_0000), PhysAddr::new(0x40_0000), PageSize::Size2M, A)
-            .unwrap();
+        t.map(
+            VirtAddr::new(0x20_0000),
+            PhysAddr::new(0x40_0000),
+            PageSize::Size2M,
+            A,
+        )
+        .unwrap();
         let pa = t.resolve(VirtAddr::new(0x20_1234)).unwrap();
         assert_eq!(pa.raw(), 0x40_1234);
         assert_eq!(t.chiplet_of(VirtAddr::new(0x20_1234)).unwrap().index(), 2);
@@ -442,8 +448,13 @@ mod tests {
     #[test]
     fn mixed_sizes_probe_correctly() {
         let mut t = pt();
-        t.map(VirtAddr::new(0), PhysAddr::new(0x100_0000), PageSize::Size64K, A)
-            .unwrap();
+        t.map(
+            VirtAddr::new(0),
+            PhysAddr::new(0x100_0000),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
         t.map(
             VirtAddr::new(VA_BLOCK_BYTES),
             PhysAddr::new(0x200_0000),
@@ -456,7 +467,9 @@ mod tests {
             PageSize::Size64K
         );
         assert_eq!(
-            t.translate(VirtAddr::new(VA_BLOCK_BYTES + 100)).unwrap().size,
+            t.translate(VirtAddr::new(VA_BLOCK_BYTES + 100))
+                .unwrap()
+                .size,
             PageSize::Size2M
         );
         assert_eq!(t.len(), 2);
@@ -466,32 +479,62 @@ mod tests {
     #[test]
     fn overlap_detection_across_sizes() {
         let mut t = pt();
-        t.map(VirtAddr::new(0x1_0000), PhysAddr::new(0), PageSize::Size64K, A)
-            .unwrap();
+        t.map(
+            VirtAddr::new(0x1_0000),
+            PhysAddr::new(0),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
         // 2MB over the same block conflicts.
         assert!(matches!(
-            t.map(VirtAddr::new(0), PhysAddr::new(0x20_0000), PageSize::Size2M, A),
+            t.map(
+                VirtAddr::new(0),
+                PhysAddr::new(0x20_0000),
+                PageSize::Size2M,
+                A
+            ),
             Err(SimError::MapConflict { .. })
         ));
         // Same page conflicts.
         assert!(matches!(
-            t.map(VirtAddr::new(0x1_0000), PhysAddr::new(0x10_0000), PageSize::Size64K, A),
+            t.map(
+                VirtAddr::new(0x1_0000),
+                PhysAddr::new(0x10_0000),
+                PageSize::Size64K,
+                A
+            ),
             Err(SimError::MapConflict { .. })
         ));
         // Disjoint page is fine.
-        t.map(VirtAddr::new(0x2_0000), PhysAddr::new(0x10_0000), PageSize::Size64K, A)
-            .unwrap();
+        t.map(
+            VirtAddr::new(0x2_0000),
+            PhysAddr::new(0x10_0000),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
     }
 
     #[test]
     fn misaligned_map_is_rejected() {
         let mut t = pt();
         assert!(matches!(
-            t.map(VirtAddr::new(0x1000), PhysAddr::new(0), PageSize::Size64K, A),
+            t.map(
+                VirtAddr::new(0x1000),
+                PhysAddr::new(0),
+                PageSize::Size64K,
+                A
+            ),
             Err(SimError::Misaligned { .. })
         ));
         assert!(matches!(
-            t.map(VirtAddr::new(0), PhysAddr::new(0x1000), PageSize::Size64K, A),
+            t.map(
+                VirtAddr::new(0),
+                PhysAddr::new(0x1000),
+                PageSize::Size64K,
+                A
+            ),
             Err(SimError::Misaligned { .. })
         ));
     }
@@ -499,8 +542,13 @@ mod tests {
     #[test]
     fn unmap_returns_pte_and_frees_space() {
         let mut t = pt();
-        t.map(VirtAddr::new(0), PhysAddr::new(0x100_0000), PageSize::Size64K, A)
-            .unwrap();
+        t.map(
+            VirtAddr::new(0),
+            PhysAddr::new(0x100_0000),
+            PageSize::Size64K,
+            A,
+        )
+        .unwrap();
         let pte = t.unmap(VirtAddr::new(0)).unwrap();
         assert_eq!(pte.pa.raw(), 0x100_0000);
         assert!(t.is_empty());
@@ -556,12 +604,16 @@ mod tests {
         assert_eq!(pte.size, PageSize::Size2M);
         assert_eq!(t.len(), 1);
         assert_eq!(
-            t.translate(VirtAddr::new(5 * BASE_PAGE_BYTES)).unwrap().size,
+            t.translate(VirtAddr::new(5 * BASE_PAGE_BYTES))
+                .unwrap()
+                .size,
             PageSize::Size2M
         );
         // Offsets still resolve.
         assert_eq!(
-            t.resolve(VirtAddr::new(5 * BASE_PAGE_BYTES + 7)).unwrap().raw(),
+            t.resolve(VirtAddr::new(5 * BASE_PAGE_BYTES + 7))
+                .unwrap()
+                .raw(),
             8 * VA_BLOCK_BYTES + 5 * BASE_PAGE_BYTES + 7
         );
     }
@@ -592,7 +644,9 @@ mod tests {
         let mask5 = t.coalesce_mask(VirtAddr::new(5 * BASE_PAGE_BYTES)).unwrap();
         assert_eq!(mask5, 0b10_0000);
         // Unmapped anchor -> None.
-        assert!(t.coalesce_mask(VirtAddr::new(9 * BASE_PAGE_BYTES)).is_none());
+        assert!(t
+            .coalesce_mask(VirtAddr::new(9 * BASE_PAGE_BYTES))
+            .is_none());
     }
 
     #[test]
@@ -637,7 +691,14 @@ mod tests {
         let va = VirtAddr::new(0x77_0000);
         let req = ChipletId::new(3);
         assert_eq!(
-            t.walk_node_chiplet(va, 2, PageSize::Size64K, req, PtePlacement::RequesterLocal, 4),
+            t.walk_node_chiplet(
+                va,
+                2,
+                PageSize::Size64K,
+                req,
+                PtePlacement::RequesterLocal,
+                4
+            ),
             req
         );
         // Distributed placement is a pure function of the node.

@@ -141,7 +141,11 @@ pub enum Directive {
 /// faults into [`Directive`]s. The engine validates and applies directives,
 /// charging migration/shootdown costs unless
 /// [`ideal_migration`](PagingPolicy::ideal_migration) is `true`.
-pub trait PagingPolicy {
+///
+/// Policies must be [`Send`]: a run (machine + policy) is built on one
+/// thread and may execute on another, which is how the bench harness fans
+/// independent sweep cells out over worker threads.
+pub trait PagingPolicy: Send {
     /// Short configuration name as used in the paper's figures
     /// ("S-64KB", "CLAP", ...).
     fn name(&self) -> &str;
@@ -268,7 +272,10 @@ pub enum RemoteServe {
 
 /// A remote-data caching scheme (NUBA \[111\], SAC \[109\]) consulted when a
 /// local L2 miss targets remote-mapped data.
-pub trait RemoteCacheModel {
+///
+/// Like [`PagingPolicy`], models must be [`Send`] so whole runs can move
+/// across threads.
+pub trait RemoteCacheModel: Send {
     /// Scheme name ("NUBA", "SAC").
     fn name(&self) -> &str;
 

@@ -103,8 +103,7 @@ impl BucketedResource {
                 let take = remaining.min(free as u64) as u32;
                 if start.is_none() {
                     // Position within the bucket reflects how full it is.
-                    let offset = (self.used[bucket] as u64 * BUCKET_CYCLES
-                        / self.capacity as u64)
+                    let offset = (self.used[bucket] as u64 * BUCKET_CYCLES / self.capacity as u64)
                         .min(BUCKET_CYCLES - 1);
                     start = Some((bucket as u64 * BUCKET_CYCLES + offset).max(now));
                 }
@@ -158,7 +157,10 @@ mod tests {
         assert!(straddle < BUCKET_CYCLES);
         // After that, bucket 0 is exhausted for good.
         let start = r.acquire(0, 5);
-        assert!((BUCKET_CYCLES..2 * BUCKET_CYCLES).contains(&start), "got {start}");
+        assert!(
+            (BUCKET_CYCLES..2 * BUCKET_CYCLES).contains(&start),
+            "got {start}"
+        );
     }
 
     #[test]

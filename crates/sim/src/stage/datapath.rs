@@ -1,0 +1,324 @@
+//! The data-path stage: L1/L2 data caches, DRAM channels, the ring
+//! interconnect and the optional remote-data cache.
+//!
+//! Owns everything between a physical address and its data, including the
+//! memory traffic of page walks (upper-level PTE nodes and leaf PTE
+//! lines), which the [translation stage](crate::stage::translate) charges
+//! through this stage's narrow API.
+
+use mcm_types::{ChipletId, PageSize, PhysAddr, VirtAddr, BASE_PAGE_BYTES, VA_BLOCK_BYTES};
+
+use crate::cache::SetAssocCache;
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::interconnect::Ring;
+use crate::page_table::{PageTable, Pte};
+use crate::policy::{RemoteCacheModel, RemoteServe};
+use crate::stats::RunStats;
+
+/// Tag bit distinguishing PTE lines from data lines in the L2 cache key
+/// space.
+const PTE_LINE_TAG: u64 = 1 << 62;
+
+/// Counters owned by the data-path stage, flushed into
+/// [`RunStats`] at end of run.
+#[derive(Clone, Debug, Default)]
+pub struct DataPathStats {
+    /// L1 data cache hits.
+    pub l1d_hits: u64,
+    /// L1 data cache misses.
+    pub l1d_misses: u64,
+    /// L2 data cache hits.
+    pub l2d_hits: u64,
+    /// L2 data cache misses.
+    pub l2d_misses: u64,
+    /// Remote-cache hits (NUBA/SAC runs).
+    pub remote_cache_hits: u64,
+}
+
+/// The data path of one machine.
+///
+/// The lifetime `'r` borrows the run's optional remote-cache scheme
+/// (NUBA/SAC), which interposes between local L2 misses and the ring.
+pub struct DataPath<'r> {
+    l1d: Vec<SetAssocCache>,
+    l2d: Vec<SetAssocCache>,
+    dram: Dram,
+    ring: Ring,
+    remote_cache: Option<&'r mut dyn RemoteCacheModel>,
+    /// This stage's statistics slice.
+    pub stats: DataPathStats,
+}
+
+impl<'r> DataPath<'r> {
+    /// Builds the cache/DRAM/ring hierarchy for `cfg`.
+    pub fn new(cfg: &SimConfig, remote_cache: Option<&'r mut dyn RemoteCacheModel>) -> Self {
+        let layout = cfg.layout();
+        DataPath {
+            l1d: (0..cfg.total_sms())
+                .map(|_| {
+                    SetAssocCache::with_geometry(
+                        cfg.effective_l1d_bytes(),
+                        cfg.line_bytes as usize,
+                        cfg.l1d_ways,
+                    )
+                })
+                .collect(),
+            l2d: (0..cfg.num_chiplets)
+                .map(|_| {
+                    SetAssocCache::with_geometry(
+                        cfg.effective_l2d_bytes(),
+                        cfg.line_bytes as usize,
+                        cfg.l2d_ways,
+                    )
+                })
+                .collect(),
+            dram: Dram::new(
+                layout,
+                cfg.dram_channels,
+                cfg.dram_latency,
+                cfg.dram_service,
+            ),
+            ring: Ring::new(cfg.num_chiplets, cfg.ring_hop_latency, cfg.ring_service),
+            remote_cache,
+            stats: DataPathStats::default(),
+        }
+    }
+
+    /// One data access from `sm` on `chiplet` to `pa` (owned by
+    /// `data_chiplet`) at cycle `t`: L1$ → L2$ → local DRAM, or the
+    /// remote-cache / ring path when the line is remote. Returns the
+    /// completion cycle.
+    pub fn access(
+        &mut self,
+        cfg: &SimConfig,
+        sm: usize,
+        chiplet: ChipletId,
+        data_chiplet: ChipletId,
+        pa: PhysAddr,
+        t: u64,
+    ) -> u64 {
+        let line = pa.raw() / cfg.line_bytes;
+        if self.l1d[sm].access(line) {
+            self.stats.l1d_hits += 1;
+            return t + cfg.l1d_latency;
+        }
+        self.stats.l1d_misses += 1;
+        let t_l2 = t + cfg.l1d_latency;
+        if self.l2d[chiplet.index()].access(line) {
+            self.stats.l2d_hits += 1;
+            return t_l2 + cfg.l2d_latency;
+        }
+        self.stats.l2d_misses += 1;
+        let t_mem = t_l2 + cfg.l2d_latency;
+        if data_chiplet == chiplet {
+            return self.dram.access(pa, t_mem);
+        }
+        let served = match self.remote_cache.as_deref_mut() {
+            Some(rc) => rc.access(chiplet, pa),
+            None => None,
+        };
+        match served {
+            Some(RemoteServe::Sram) => {
+                self.stats.remote_cache_hits += 1;
+                t_mem + cfg.l2d_latency
+            }
+            Some(RemoteServe::LocalDram) => {
+                self.stats.remote_cache_hits += 1;
+                self.dram.access_at(chiplet, pa, t_mem)
+            }
+            None => {
+                let arrive = self.ring.request(chiplet, data_chiplet, t_mem);
+                let mem_done = self.dram.access(pa, arrive);
+                self.ring.transfer(data_chiplet, chiplet, mem_done)
+            }
+        }
+    }
+
+    /// A DRAM line read by `requester` from `owner`'s memory: direct when
+    /// local, request/transfer over the ring when remote.
+    fn mem_read(&mut self, requester: ChipletId, owner: ChipletId, pa: PhysAddr, t: u64) -> u64 {
+        if owner == requester {
+            self.dram.access(pa, t)
+        } else {
+            let arrive = self.ring.request(requester, owner, t);
+            let done = self.dram.access(pa, arrive);
+            self.ring.transfer(owner, requester, done)
+        }
+    }
+
+    /// One upper-level page-table access on a PWC miss.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pte_node_access(
+        &mut self,
+        cfg: &SimConfig,
+        pt: &PageTable,
+        requester: ChipletId,
+        va: VirtAddr,
+        level: u32,
+        leaf: PageSize,
+        levels: u32,
+        t: u64,
+    ) -> u64 {
+        let node_chiplet =
+            pt.walk_node_chiplet(va, level, leaf, requester, cfg.pte_placement, levels);
+        let key = PageTable::walk_node_key(va, level, leaf, levels);
+        let pa = self.synth_pte_pa(cfg, pt, node_chiplet, key);
+        self.mem_read(requester, node_chiplet, pa, t)
+    }
+
+    /// The leaf PTE access: PTE lines are cached in the requester's L2
+    /// (this is what the coalescing logic inspects, §4.6).
+    #[allow(clippy::too_many_arguments)]
+    pub fn leaf_pte_access(
+        &mut self,
+        cfg: &SimConfig,
+        pt: &PageTable,
+        requester: ChipletId,
+        va: VirtAddr,
+        pte: Pte,
+        levels: u32,
+        t: u64,
+    ) -> u64 {
+        let leaf = pte.size;
+        let vpn = va.raw() >> leaf.shift();
+        let line_key = PTE_LINE_TAG | ((leaf.shift() as u64) << 52) | (vpn / 16);
+        if self.l2d[requester.index()].access(line_key) {
+            return t + cfg.l2d_latency;
+        }
+        let leaf_chiplet = match cfg.pte_placement {
+            // [87]-style placement: the leaf PTE page sits with its data.
+            crate::config::PtePlacement::DataLocal => pt.layout().chiplet_of(pte.pa),
+            p => pt.walk_node_chiplet(va, levels, leaf, requester, p, levels),
+        };
+        let pa = self.synth_pte_pa(cfg, pt, leaf_chiplet, line_key);
+        self.mem_read(requester, leaf_chiplet, pa, t)
+    }
+
+    /// Synthesises a physical address on `chiplet` for a page-table node,
+    /// spreading nodes over the chiplet's DRAM channels.
+    fn synth_pte_pa(
+        &self,
+        cfg: &SimConfig,
+        pt: &PageTable,
+        chiplet: ChipletId,
+        key: u64,
+    ) -> PhysAddr {
+        let layout = pt.layout();
+        let block = layout.block_of_chiplet(chiplet, key % cfg.pf_blocks_per_chiplet.max(1));
+        layout.block_base(block) + (key.wrapping_mul(0x9E37_79B9) % (VA_BLOCK_BYTES / 256)) * 256
+    }
+
+    /// Invalidates any remote-cached copies of the 64KB page at `pa`
+    /// (migration support).
+    pub fn invalidate_page_lines(&mut self, cfg: &SimConfig, pa: PhysAddr) {
+        if let Some(rc) = self.remote_cache.as_deref_mut() {
+            for l in 0..(BASE_PAGE_BYTES / cfg.line_bytes) {
+                rc.invalidate(pa + l * cfg.line_bytes);
+            }
+        }
+    }
+
+    /// Charges one ring transfer from `src` to `dst` at `now` (migration
+    /// data movement).
+    pub fn ring_transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) {
+        self.ring.transfer(src, dst, now);
+    }
+
+    /// Flushes this stage's slice — cache counters plus the DRAM/ring
+    /// tallies — into the run-level statistics.
+    pub(crate) fn flush_into(&mut self, cfg: &SimConfig, out: &mut RunStats) {
+        out.l1d_hits += self.stats.l1d_hits;
+        out.l1d_misses += self.stats.l1d_misses;
+        out.l2d_hits += self.stats.l2d_hits;
+        out.l2d_misses += self.stats.l2d_misses;
+        out.remote_cache_hits += self.stats.remote_cache_hits;
+        out.dram_per_chiplet = (0..cfg.num_chiplets)
+            .map(|c| self.dram.accesses(ChipletId::new(c as u8)))
+            .collect();
+        out.dram_accesses = out.dram_per_chiplet.iter().sum();
+        out.ring_transfers = self.ring.transfers();
+        out.dram_queue_cycles = self.dram.queue_cycles();
+        out.ring_queue_cycles = self.ring.queue_cycles();
+        self.stats = DataPathStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::baseline().scaled(8)
+    }
+
+    #[test]
+    fn l1_hit_is_cheapest_and_counted() {
+        let c = cfg();
+        let mut d = DataPath::new(&c, None);
+        let ch = ChipletId::new(0);
+        let pa = PhysAddr::new(0);
+        let cold = d.access(&c, 0, ch, ch, pa, 0);
+        assert!(cold >= c.l1d_latency + c.l2d_latency + c.dram_latency);
+        assert_eq!(d.stats.l1d_misses, 1);
+        let warm = d.access(&c, 0, ch, ch, pa, 1_000);
+        assert_eq!(warm, 1_000 + c.l1d_latency);
+        assert_eq!(d.stats.l1d_hits, 1);
+    }
+
+    #[test]
+    fn remote_access_pays_the_ring() {
+        let c = cfg();
+        let layout = c.layout();
+        let mut d = DataPath::new(&c, None);
+        let requester = ChipletId::new(0);
+        // A frame on chiplet 1: remote for chiplet 0.
+        let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
+        let remote_done = d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        let mut d2 = DataPath::new(&c, None);
+        let local_pa = layout.block_base(layout.block_of_chiplet(requester, 0));
+        let local_done = d2.access(&c, 0, requester, layout.chiplet_of(local_pa), local_pa, 0);
+        assert!(
+            remote_done > local_done,
+            "remote access ({remote_done}) must cost more than local ({local_done})"
+        );
+    }
+
+    #[test]
+    fn remote_cache_short_circuits_the_ring() {
+        struct AlwaysSram;
+        impl RemoteCacheModel for AlwaysSram {
+            fn name(&self) -> &str {
+                "test-sram"
+            }
+            fn access(&mut self, _r: ChipletId, _pa: PhysAddr) -> Option<RemoteServe> {
+                Some(RemoteServe::Sram)
+            }
+        }
+        let c = cfg();
+        let layout = c.layout();
+        let mut rc = AlwaysSram;
+        let mut d = DataPath::new(&c, Some(&mut rc));
+        let requester = ChipletId::new(0);
+        let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
+        let done = d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        assert_eq!(done, c.l1d_latency + c.l2d_latency + c.l2d_latency);
+        assert_eq!(d.stats.remote_cache_hits, 1);
+    }
+
+    #[test]
+    fn flush_reports_dram_and_ring_tallies() {
+        let c = cfg();
+        let layout = c.layout();
+        let mut d = DataPath::new(&c, None);
+        let requester = ChipletId::new(0);
+        let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
+        d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        let mut out = RunStats::default();
+        d.flush_into(&c, &mut out);
+        assert_eq!(out.dram_accesses, 1);
+        assert_eq!(out.dram_per_chiplet.len(), c.num_chiplets);
+        assert!(out.ring_transfers >= 1, "remote miss must cross the ring");
+        assert_eq!(out.l2d_misses, 1);
+    }
+}

@@ -226,6 +226,21 @@ impl DegradationStats {
             self.errors.push(err);
         }
     }
+
+    /// Merges another stage's degradation slice into this one: counters
+    /// add, error samples stay bounded at [`Self::MAX_ERROR_SAMPLES`].
+    pub(crate) fn absorb(&mut self, mut other: DegradationStats) {
+        self.fallback_remote_frames += other.fallback_remote_frames;
+        self.rejected_directives += other.rejected_directives;
+        self.tlb_class_missing += other.tlb_class_missing;
+        self.walk_queue_stalls += other.walk_queue_stalls;
+        self.walk_queue_stall_cycles += other.walk_queue_stall_cycles;
+        self.stale_tlb_hits += other.stale_tlb_hits;
+        self.audit_violations += other.audit_violations;
+        for e in other.errors.drain(..) {
+            self.record(e);
+        }
+    }
 }
 
 #[cfg(test)]

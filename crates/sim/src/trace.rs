@@ -1,6 +1,6 @@
 //! The workload interface: kernels, threadblocks, and warp access streams.
 
-use mcm_types::{TbId, WarpId, VirtAddr};
+use mcm_types::{TbId, VirtAddr, WarpId};
 
 use crate::policy::AllocInfo;
 
@@ -27,7 +27,11 @@ pub struct KernelDesc {
 ///
 /// Streams are materialised per warp on demand so the engine never holds a
 /// full trace in memory.
-pub trait Workload {
+///
+/// Workloads must be [`Send`] + [`Sync`]: the engine only ever takes
+/// `&dyn Workload`, and the bench harness shares one workload instance
+/// across sweep worker threads.
+pub trait Workload: Send + Sync {
     /// Workload name ("STE", "BFS", ...).
     fn name(&self) -> &str;
 

@@ -166,8 +166,13 @@ fn line_reuse_scales_instruction_counts_only() {
     }
     let base = Stub::new(16 * MB, 64, 32);
     let plain = run(&small_cfg(), &base, &mut Ft64::new(), None).expect("runs");
-    let reused = run(&small_cfg(), &Reuse(Stub::new(16 * MB, 64, 32)), &mut Ft64::new(), None)
-        .expect("runs");
+    let reused = run(
+        &small_cfg(),
+        &Reuse(Stub::new(16 * MB, 64, 32)),
+        &mut Ft64::new(),
+        None,
+    )
+    .expect("runs");
     assert_eq!(reused.mem_insts, plain.mem_insts * 8);
     assert_eq!(reused.warp_insts, plain.warp_insts * 8);
     // Simulated machine work is identical.

@@ -14,9 +14,8 @@ enum PtOp {
 
 fn pt_op() -> impl Strategy<Value = PtOp> {
     prop_oneof![
-        (0u64..256, 0u64..256, 0usize..PageSize::ALL.len()).prop_map(|(vpn, pfn, size_idx)| {
-            PtOp::Map { vpn, pfn, size_idx }
-        }),
+        (0u64..256, 0u64..256, 0usize..PageSize::ALL.len())
+            .prop_map(|(vpn, pfn, size_idx)| { PtOp::Map { vpn, pfn, size_idx } }),
         (0u64..256).prop_map(|vpn| PtOp::Unmap { vpn }),
     ]
 }

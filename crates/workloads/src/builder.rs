@@ -242,8 +242,7 @@ impl Workload for SyntheticWorkload {
         // Build each part's unique working set, then interleave passes.
         let mut uniques: Vec<Vec<VirtAddr>> = Vec::with_capacity(spec.parts.len());
         for part in &spec.parts {
-            let share =
-                ((part.weight / total_weight) * spec.unique_lines as f64).round() as usize;
+            let share = ((part.weight / total_weight) * spec.unique_lines as f64).round() as usize;
             let n = share.max(1);
             let a = &self.allocs[part.alloc];
             let (w_off, w_len) = part.window.unwrap_or((0, a.bytes));
@@ -321,7 +320,14 @@ mod tests {
                 unique_lines: 24,
                 passes: 2,
                 parts: vec![
-                    Part::new(0, 0.75, Pattern::Sliced { period: 1 << 20, halo: 0.0 }),
+                    Part::new(
+                        0,
+                        0.75,
+                        Pattern::Sliced {
+                            period: 1 << 20,
+                            halo: 0.0,
+                        },
+                    ),
                     Part::new(1, 0.25, Pattern::Uniform),
                 ],
             })
@@ -336,7 +342,12 @@ mod tests {
         assert_eq!(a.base.raw() % VA_BLOCK_BYTES, 0);
         assert_eq!(b.base.raw() % VA_BLOCK_BYTES, 0);
         assert!(b.base.raw() >= a.base.raw() + a.bytes + VA_BLOCK_BYTES);
-        assert_eq!(a.hint, StaticHint::Partitioned { period_bytes: 1 << 20 });
+        assert_eq!(
+            a.hint,
+            StaticHint::Partitioned {
+                period_bytes: 1 << 20
+            }
+        );
         assert_eq!(b.hint, StaticHint::Shared);
     }
 
@@ -404,14 +415,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "undeclared allocation")]
     fn bad_part_index_panics() {
-        let _ = WorkloadBuilder::new("bad").alloc("a", 1 << 20).kernel(KernelSpec {
-            num_tbs: 1,
-            warps_per_tb: 1,
-            insts_per_mem: 1,
-            line_reuse: 1,
-            unique_lines: 1,
-            passes: 1,
-            parts: vec![Part::new(1, 1.0, Pattern::Uniform)],
-        });
+        let _ = WorkloadBuilder::new("bad")
+            .alloc("a", 1 << 20)
+            .kernel(KernelSpec {
+                num_tbs: 1,
+                warps_per_tb: 1,
+                insts_per_mem: 1,
+                line_reuse: 1,
+                unique_lines: 1,
+                passes: 1,
+                parts: vec![Part::new(1, 1.0, Pattern::Uniform)],
+            });
     }
 }

@@ -99,16 +99,23 @@ impl Pattern {
         match *self {
             Pattern::Sliced { period, halo } => {
                 let jitter = halo > 0.0 && rng.gen_bool(halo);
-                sliced_offset(
-                    k, tb, warp, num_tbs, warps_per_tb, bytes, period, jitter,
-                )
+                sliced_offset(k, tb, warp, num_tbs, warps_per_tb, bytes, period, jitter)
             }
             Pattern::Uniform => uniform_offset(bytes, rng),
             Pattern::SharedSweep => shared_sweep_offset(k, n_unique, tb, warp, bytes),
             Pattern::Tiled2D {
                 row_bytes,
                 tile_rows,
-            } => tiled_offset(k, tb, warp, num_tbs, warps_per_tb, bytes, row_bytes, tile_rows),
+            } => tiled_offset(
+                k,
+                tb,
+                warp,
+                num_tbs,
+                warps_per_tb,
+                bytes,
+                row_bytes,
+                tile_rows,
+            ),
             Pattern::Irregular {
                 period,
                 locality,
@@ -145,9 +152,7 @@ impl Pattern {
             },
             // Row-major tiling yields contiguous per-chiplet bands.
             Pattern::Tiled2D { .. } => mcm_sim::StaticHint::Partitioned { period_bytes: 0 },
-            Pattern::SparseStrided { .. } => {
-                mcm_sim::StaticHint::Partitioned { period_bytes: 0 }
-            }
+            Pattern::SparseStrided { .. } => mcm_sim::StaticHint::Partitioned { period_bytes: 0 },
             Pattern::Uniform | Pattern::SharedSweep => mcm_sim::StaticHint::Shared,
             Pattern::Irregular { .. } => mcm_sim::StaticHint::Irregular,
         }
@@ -251,7 +256,8 @@ fn tiled_offset(
     let col = tile_col_idx * tile_w
         + warp.index() as u64 % warps_per_tb as u64 * sub_w
         + (k as u64 % lines_pr) * (sub_w / lines_pr);
-    let off = (tile_row_idx * tile_rows + r) * row_bytes + (col & !(LINE - 1)).min(row_bytes - LINE);
+    let off =
+        (tile_row_idx * tile_rows + r) * row_bytes + (col & !(LINE - 1)).min(row_bytes - LINE);
     off.min(bytes - LINE)
 }
 
@@ -321,16 +327,11 @@ mod tests {
     fn sliced_zero_period_means_whole_structure() {
         let bytes = 8 << 20;
         let mut r = rng();
-        let off = Pattern::Sliced { period: 0, halo: 0.0 }.offset(
-            0,
-            32,
-            TbId::new(3),
-            WarpId::new(0),
-            8,
-            4,
-            bytes,
-            &mut r,
-        );
+        let off = Pattern::Sliced {
+            period: 0,
+            halo: 0.0,
+        }
+        .offset(0, 32, TbId::new(3), WarpId::new(0), 8, 4, bytes, &mut r);
         // TB 3 of 8 owns [3MB, 4MB).
         assert!((3 << 20..4 << 20).contains(&off));
     }
@@ -432,7 +433,16 @@ mod tests {
         let mut r = rng();
         let mut pages = std::collections::HashSet::new();
         for k in 0..32 {
-            let off = p.offset(k, 32, TbId::new(17), WarpId::new(2), 1024, 16, bytes, &mut r);
+            let off = p.offset(
+                k,
+                32,
+                TbId::new(17),
+                WarpId::new(2),
+                1024,
+                16,
+                bytes,
+                &mut r,
+            );
             assert!(off < bytes);
             pages.insert(off / (64 * 1024));
         }
@@ -441,14 +451,30 @@ mod tests {
         // (horizontal neighbours -> same chiplet band).
         let rows17: std::collections::HashSet<u64> = (0..32)
             .map(|k| {
-                p.offset(k, 32, TbId::new(17), WarpId::new(0), 1024, 16, bytes, &mut r)
-                    / (64 * 1024)
+                p.offset(
+                    k,
+                    32,
+                    TbId::new(17),
+                    WarpId::new(0),
+                    1024,
+                    16,
+                    bytes,
+                    &mut r,
+                ) / (64 * 1024)
             })
             .collect();
         let rows18: std::collections::HashSet<u64> = (0..32)
             .map(|k| {
-                p.offset(k, 32, TbId::new(18), WarpId::new(0), 1024, 16, bytes, &mut r)
-                    / (64 * 1024)
+                p.offset(
+                    k,
+                    32,
+                    TbId::new(18),
+                    WarpId::new(0),
+                    1024,
+                    16,
+                    bytes,
+                    &mut r,
+                ) / (64 * 1024)
             })
             .collect();
         assert_eq!(rows17, rows18, "same tile row -> same pages");
@@ -481,7 +507,16 @@ mod tests {
         let mut r = rng();
         let bytes = 8 << 20;
         for k in 0..64 {
-            let base = sliced_offset(k, TbId::new(32), WarpId::new(1), 64, 4, bytes, 1 << 20, false);
+            let base = sliced_offset(
+                k,
+                TbId::new(32),
+                WarpId::new(1),
+                64,
+                4,
+                bytes,
+                1 << 20,
+                false,
+            );
             let got = p.offset(k, 64, TbId::new(32), WarpId::new(1), 64, 4, bytes, &mut r);
             assert!(got <= base, "scatter must trail: {got} > {base}");
             assert!(base - got <= 64 * 1024 + LINE);
@@ -498,8 +533,26 @@ mod tests {
         let mut r1 = rng();
         let mut r2 = rng();
         for k in 0..50 {
-            let a = p.offset(k, 32, TbId::new(5), WarpId::new(2), 64, 4, 32 << 20, &mut r1);
-            let b = p.offset(k, 32, TbId::new(5), WarpId::new(2), 64, 4, 32 << 20, &mut r2);
+            let a = p.offset(
+                k,
+                32,
+                TbId::new(5),
+                WarpId::new(2),
+                64,
+                4,
+                32 << 20,
+                &mut r1,
+            );
+            let b = p.offset(
+                k,
+                32,
+                TbId::new(5),
+                WarpId::new(2),
+                64,
+                4,
+                32 << 20,
+                &mut r2,
+            );
             assert_eq!(a, b);
         }
     }
@@ -508,12 +561,21 @@ mod tests {
     fn static_hints_match_patterns() {
         use mcm_sim::StaticHint;
         assert_eq!(
-            Pattern::Sliced { period: 4096, halo: 0.0 }.static_hint(),
+            Pattern::Sliced {
+                period: 4096,
+                halo: 0.0
+            }
+            .static_hint(),
             StaticHint::Partitioned { period_bytes: 4096 }
         );
         assert_eq!(Pattern::Uniform.static_hint(), StaticHint::Shared);
         assert_eq!(
-            Pattern::Irregular { period: 0, locality: 0.5, spread: 0 }.static_hint(),
+            Pattern::Irregular {
+                period: 0,
+                locality: 0.5,
+                spread: 0
+            }
+            .static_hint(),
             StaticHint::Irregular
         );
         assert_eq!(

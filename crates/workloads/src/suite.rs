@@ -195,8 +195,22 @@ pub fn twodc() -> SyntheticWorkload {
             unique_lines: 32,
             passes: 2,
             parts: vec![
-                part(0, 0.55, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
-                part(1, 0.45, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(
+                    0,
+                    0.55,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
+                part(
+                    1,
+                    0.45,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
             ],
         })
         .build()
@@ -216,9 +230,30 @@ pub fn fdt() -> SyntheticWorkload {
             unique_lines: 36,
             passes: 2,
             parts: vec![
-                part(0, 0.4, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
-                part(1, 0.3, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
-                part(2, 0.3, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(
+                    0,
+                    0.4,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
+                part(
+                    1,
+                    0.3,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
+                part(
+                    2,
+                    0.3,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
             ],
         })
         .build()
@@ -296,8 +331,22 @@ pub fn dwt() -> SyntheticWorkload {
             unique_lines: 32,
             passes: 2,
             parts: vec![
-                part(0, 0.5, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
-                part(1, 0.5, Pattern::Tiled2D { row_bytes: 64 * KB, tile_rows: 8 }),
+                part(
+                    0,
+                    0.5,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
+                part(
+                    1,
+                    0.5,
+                    Pattern::Tiled2D {
+                        row_bytes: 64 * KB,
+                        tile_rows: 8,
+                    },
+                ),
             ],
         })
         .build()
@@ -435,9 +484,7 @@ pub const NAMES: [&str; 15] = [
 
 /// Looks a workload up by its Table 2 abbreviation (case-insensitive).
 pub fn by_name(name: &str) -> Option<SyntheticWorkload> {
-    let idx = NAMES
-        .iter()
-        .position(|n| n.eq_ignore_ascii_case(name))?;
+    let idx = NAMES.iter().position(|n| n.eq_ignore_ascii_case(name))?;
     Some(all().swap_remove(idx))
 }
 

@@ -17,9 +17,7 @@ fn main() {
         std::process::exit(2);
     };
     let h = Harness::quick();
-    println!(
-        "{name} under the nine configurations of the main evaluation (quarter scale):\n"
-    );
+    println!("{name} under the nine configurations of the main evaluation (quarter scale):\n");
     println!(
         "{:<20} {:>9} {:>8} {:>8} {:>10} {:>8} {:>7}",
         "config", "speedup", "remote", "xlat", "L2TLBmpki", "walks", "promo"

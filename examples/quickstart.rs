@@ -39,7 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             unique_lines: 128,
             passes: 2,
             parts: vec![
-                Part::new(0, 0.7, Pattern::Sliced { period: 1 << 20, halo: 0.02 }),
+                Part::new(
+                    0,
+                    0.7,
+                    Pattern::Sliced {
+                        period: 1 << 20,
+                        halo: 0.02,
+                    },
+                ),
                 Part::new(1, 0.3, Pattern::SharedSweep),
             ],
         })
@@ -80,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap_or_else(|| "?".into())
         );
     }
-    assert_eq!(clap.effective_size(clap_repro::sim::Workload::allocs(&workload)[0].id), Some(PageSize::Size256K));
+    assert_eq!(
+        clap.effective_size(clap_repro::sim::Workload::allocs(&workload)[0].id),
+        Some(PageSize::Size256K)
+    );
     Ok(())
 }

@@ -6,6 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export CARGO_NET_OFFLINE=true
 
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "== cargo build --release"
 cargo build --release --workspace
 
@@ -14,5 +17,13 @@ cargo test --workspace -q
 
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+./target/release/figures --quick --jobs 1 --out "$smoke/j1" fig1 > "$smoke/j1.out"
+./target/release/figures --quick --jobs 4 --out "$smoke/j4" fig1 > "$smoke/j4.out"
+cmp "$smoke/j1/fig1.csv" "$smoke/j4/fig1.csv"
+cmp "$smoke/j1.out" "$smoke/j4.out"
 
 echo "== ci: all green"

@@ -29,6 +29,28 @@ fn repeated_runs_are_bit_identical() {
     }
 }
 
+/// The parallel sweep runner must be invisible in the results: the same
+/// experiment run serially and with 4 workers renders and serializes to
+/// byte-identical output (cells are independent and collected in
+/// submission order).
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    use clap_repro::bench::experiments::fig1;
+    use clap_repro::bench::report::{csv_string, render_grid};
+    let serial = fig1(&Harness::quick());
+    let parallel = fig1(&Harness::quick().with_jobs(4));
+    assert_eq!(
+        render_grid(&serial),
+        render_grid(&parallel),
+        "rendered table must not depend on the worker count"
+    );
+    assert_eq!(
+        csv_string(&serial),
+        csv_string(&parallel),
+        "CSV bytes must not depend on the worker count"
+    );
+}
+
 #[test]
 fn workload_streams_are_stable_across_clones() {
     use clap_repro::sim::Workload;

@@ -171,17 +171,12 @@ fn eight_chiplet_margin_over_s2m_widens() {
     let margin4 = clap4.speedup_over(&s2m4);
     let clap8 = clap_repro::bench::experiments::fig22_single(&h, "LPS");
     let w8 = w.clone().with_tb_scale(2, 1);
-    let mut cfg8 = clap_repro::sim::SimConfig::eight_chiplets()
-        .scaled(clap_repro::workloads::FOOTPRINT_SCALE);
+    let mut cfg8 =
+        clap_repro::sim::SimConfig::eight_chiplets().scaled(clap_repro::workloads::FOOTPRINT_SCALE);
     cfg8.translation = clap_repro::sim::TranslationConfig::baseline();
     let mut pol = clap_repro::policies::s2m();
-    let s2m8 = clap_repro::sim::run(
-        &cfg8,
-        &w8.with_tb_scale(1, 4),
-        &mut pol,
-        None,
-    )
-    .expect("8-chiplet run");
+    let s2m8 = clap_repro::sim::run(&cfg8, &w8.with_tb_scale(1, 4), &mut pol, None)
+        .expect("8-chiplet run");
     let margin8 = s2m8.cycles as f64 / clap8.cycles as f64;
     assert!(
         margin8 > margin4 * 0.9,

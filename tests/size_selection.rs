@@ -8,7 +8,8 @@ use clap_repro::types::PageSize;
 use clap_repro::workloads::{suite, SyntheticWorkload};
 
 fn selections(w: &SyntheticWorkload) -> Vec<(String, Option<PageSize>)> {
-    let base = clap_repro::sim::SimConfig::baseline().scaled(clap_repro::workloads::FOOTPRINT_SCALE);
+    let base =
+        clap_repro::sim::SimConfig::baseline().scaled(clap_repro::workloads::FOOTPRINT_SCALE);
     let (_, cfg) = ConfigKind::Clap.build(&base);
     let scaled = w.clone().with_tb_scale(1, 4);
     let mut clap = Clap::new();
@@ -80,7 +81,8 @@ fn lud_reaches_2m_through_olp_despite_failed_analysis() {
     // threshold; MMA fails, but OLP's speculative reservations survive
     // (no foreign touches) and eventually promote (Table 4, §5.1).
     let w = suite::lud();
-    let base = clap_repro::sim::SimConfig::baseline().scaled(clap_repro::workloads::FOOTPRINT_SCALE);
+    let base =
+        clap_repro::sim::SimConfig::baseline().scaled(clap_repro::workloads::FOOTPRINT_SCALE);
     let (_, cfg) = ConfigKind::Clap.build(&base);
     let scaled = w.clone().with_tb_scale(1, 4);
     let mut clap = Clap::new();
