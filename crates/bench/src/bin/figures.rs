@@ -5,6 +5,7 @@
 //!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
 //! figures [--quick] probe <WORKLOAD>
 //! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
+//! figures [--quick] trace [fig1|fig18]      (needs --features trace)
 //! ```
 //!
 //! `probe --chaos` re-runs the workload under every main config with a
@@ -18,6 +19,12 @@
 //! `--jobs N` (or the `MCM_JOBS` environment variable; default: available
 //! parallelism) fans each experiment's independent sweep cells out over N
 //! worker threads. Output is byte-identical for every worker count.
+//!
+//! `trace` re-runs a figure's sweep with stage-boundary tracing and
+//! writes per-stage latency histograms (JSON) plus a flamegraph-style
+//! folded-stack breakdown to `results/trace/`. It is only available when
+//! the binary was built with `--features trace`; the default build keeps
+//! the engine's hot path trace-free.
 
 use std::env;
 use std::path::PathBuf;
@@ -41,7 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures [--quick] [--jobs N] [--out DIR] [--chaos[=SEED]] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
-         table1 table2 table4 ablation | probe <WORKLOAD>"
+         table1 table2 table4 ablation | probe <WORKLOAD> | trace [FIG]"
     );
     std::process::exit(2);
 }
@@ -115,6 +122,16 @@ fn main() {
     }
     .with_jobs(opts.jobs);
 
+    if let Some(pos) = opts.targets.iter().position(|t| t == "trace") {
+        let fig = opts
+            .targets
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("fig1");
+        run_trace(&h, fig, &opts.out_dir);
+        return;
+    }
+
     if let Some(pos) = opts.targets.iter().position(|t| t == "probe") {
         let wname = opts
             .targets
@@ -184,6 +201,48 @@ fn main() {
         t0.elapsed(),
         opts.jobs
     );
+}
+
+/// Traced sweep: re-runs `fig` with stage-boundary tracing, prints the
+/// per-stage breakdown, and writes `trace/<fig>.json` + `.folded` under
+/// the output directory.
+#[cfg(feature = "trace")]
+fn run_trace(h: &Harness, fig: &str, out_dir: &std::path::Path) {
+    if !mcm_bench::experiments::TRACEABLE_FIGURES.contains(&fig) {
+        eprintln!(
+            "unknown traced figure {fig:?}; have {:?}",
+            mcm_bench::experiments::TRACEABLE_FIGURES
+        );
+        std::process::exit(2);
+    }
+    let t0 = Instant::now();
+    let ft = experiments::trace_figure(h, fig);
+    println!("{}", mcm_bench::report::render_trace(&ft));
+    match mcm_bench::report::write_trace(&ft, out_dir) {
+        Ok(()) => eprintln!(
+            "[figures] wrote {} and {} in {:.1?}",
+            out_dir.join("trace").join(format!("{fig}.json")).display(),
+            out_dir
+                .join("trace")
+                .join(format!("{fig}.folded"))
+                .display(),
+            t0.elapsed()
+        ),
+        Err(e) => {
+            eprintln!("failed to write trace output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Feature-off stub: `trace` needs a traced build.
+#[cfg(not(feature = "trace"))]
+fn run_trace(_h: &Harness, _fig: &str, _out_dir: &std::path::Path) {
+    eprintln!(
+        "the `trace` subcommand needs the trace feature;\n\
+         rebuild with: cargo run --release -p mcm-bench --features trace --bin figures -- trace"
+    );
+    std::process::exit(2);
 }
 
 /// Deep-dive: full statistics for one workload under every main config.

@@ -7,6 +7,7 @@
 
 use clap_core::{survey_mean, survey_workload, Clap};
 use mcm_policies::{Nuba, Sac};
+use mcm_sim::RunTrace;
 use mcm_sim::{
     run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome, RunStats,
     SimConfig, SimError, Workload,
@@ -120,6 +121,18 @@ impl Harness {
             .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.name()))
     }
 
+    /// Runs `w` under `kind` and returns the statistics plus the run's
+    /// stage-boundary trace. The simulated machine is identical to
+    /// [`Harness::run`] — tracing only observes.
+    #[cfg(feature = "trace")]
+    pub fn run_traced(&self, w: &SyntheticWorkload, kind: ConfigKind) -> (RunStats, RunTrace) {
+        let (mut policy, cfg) = kind.build(&self.base);
+        let w = self.prep(w);
+        let (outcome, trace) = mcm_sim::run_traced(&cfg, &w, policy.as_mut(), None)
+            .unwrap_or_else(|e| panic!("{} traced run failed: {e}", kind.name()));
+        (outcome.into_stats(), trace)
+    }
+
     /// Runs `w` under `kind` with a remote-cache scheme attached.
     pub fn run_cached(
         &self,
@@ -215,19 +228,25 @@ pub fn size_ladder() -> Vec<ConfigKind> {
         .collect()
 }
 
-/// Figure 1: performance (normalized to 4KB) and remote ratio across
-/// native page sizes, intro subset.
-pub fn fig1(h: &Harness) -> Grid {
+/// Figure 1's sweep: the intro workload subset across native page sizes.
+fn fig1_sweep() -> (Vec<SyntheticWorkload>, Vec<ConfigKind>) {
     let subset = ["STE", "3DC", "LPS", "SC", "SSSP", "DWT", "LUD", "GPT3"];
-    let ws: Vec<_> = subset
+    let ws = subset
         .iter()
         .map(|n| suite::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
         .collect();
-    let configs = [
+    let configs = vec![
         ConfigKind::Static(PageSize::Size4K),
         ConfigKind::Static(PageSize::Size64K),
         ConfigKind::Static(PageSize::Size2M),
     ];
+    (ws, configs)
+}
+
+/// Figure 1: performance (normalized to 4KB) and remote ratio across
+/// native page sizes, intro subset.
+pub fn fig1(h: &Harness) -> Grid {
+    let (ws, configs) = fig1_sweep();
     grid_over(
         "fig1",
         "Performance (norm. to 4KB) and remote ratio vs native page size",
@@ -521,6 +540,61 @@ pub fn ablation(h: &Harness) -> Grid {
         &configs,
         0,
     )
+}
+
+/// Per-configuration merged stage traces of one figure's sweep (what
+/// `figures trace` renders and writes under `results/trace/`).
+///
+/// The type is always compiled so report code and tests need no feature
+/// gates; only the producing sweep ([`trace_figure`]) needs the `trace`
+/// cargo feature.
+#[derive(Clone, Debug)]
+pub struct FigureTrace {
+    /// Figure identifier ("fig1", "fig18").
+    pub id: String,
+    /// Column (configuration) labels, in sweep order.
+    pub cols: Vec<String>,
+    /// Workload row labels folded into every column's trace.
+    pub rows: Vec<String>,
+    /// `traces[col]`: the aggregate trace of all `rows` cells run under
+    /// column `col` ([`RunTrace::merge_aggregates`] across workloads).
+    pub traces: Vec<RunTrace>,
+}
+
+/// The figures `trace_figure` knows how to run.
+pub const TRACEABLE_FIGURES: [&str; 2] = ["fig1", "fig18"];
+
+/// Re-runs figure `fig`'s sweep with tracing on and merges the per-cell
+/// traces by configuration column. Cells fan out over the harness's
+/// workers like any other sweep; merged aggregates are order-independent,
+/// so output is identical at every worker count.
+///
+/// # Panics
+///
+/// Panics if `fig` is not one of [`TRACEABLE_FIGURES`].
+#[cfg(feature = "trace")]
+pub fn trace_figure(h: &Harness, fig: &str) -> FigureTrace {
+    let (ws, configs) = match fig {
+        "fig1" => fig1_sweep(),
+        "fig18" => (suite::all(), ConfigKind::main_eval()),
+        other => panic!("no traced figure {other:?} (have {TRACEABLE_FIGURES:?})"),
+    };
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
+        .collect();
+    let all: Vec<RunTrace> = h
+        .runner()
+        .map(&cells, |_, &(r, c)| h.run_traced(&ws[r], configs[c]).1);
+    let mut traces = vec![RunTrace::new(); configs.len()];
+    for (&(_, c), t) in cells.iter().zip(&all) {
+        traces[c].merge_aggregates(t);
+    }
+    FigureTrace {
+        id: fig.into(),
+        cols: configs.iter().map(|c| c.name()).collect(),
+        rows: ws.iter().map(|w| w.name().to_string()).collect(),
+        traces,
+    }
 }
 
 /// One 8-chiplet cell (used by the criterion bench): `workload` under

@@ -1,11 +1,14 @@
-//! Rendering experiment grids as aligned text tables and CSV files.
+//! Rendering experiment grids as aligned text tables and CSV files, and
+//! figure traces as JSON histograms and flamegraph-style folded stacks.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::experiments::{Grid, Table4Row};
+use mcm_sim::{TraceEventClass, TraceStage};
+
+use crate::experiments::{FigureTrace, Grid, Table4Row};
 
 /// Renders a grid as an aligned text table: one block for normalized
 /// performance, one for remote ratios.
@@ -144,6 +147,148 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     out
 }
 
+/// Renders a figure trace as an aligned text table: per configuration,
+/// each stage's share of traced cycles with latency percentiles.
+pub fn render_trace(ft: &FigureTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== trace:{} — per-stage cycle breakdown over {} workload(s)",
+        ft.id,
+        ft.rows.len()
+    );
+    let col_w = ft.cols.iter().map(String::len).max().unwrap_or(6).max(8);
+    for (c, trace) in ft.cols.iter().zip(&ft.traces) {
+        let total = trace.total_cycles().max(1);
+        let _ = writeln!(
+            out,
+            "{c:col_w$}  total {} cycles, {} events ({} buffered, {} dropped)",
+            trace.total_cycles(),
+            trace.events_seen,
+            trace.events.len(),
+            trace.dropped_events
+        );
+        for stage in TraceStage::ALL {
+            let h = trace.hist(stage);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:col_w$}  {:>9} {:5.1}%  n={:<10} mean={:<8.1} p50<={:<6} p99<={:<6} max={}",
+                "",
+                stage.name(),
+                100.0 * h.sum() as f64 / total as f64,
+                h.count(),
+                h.mean(),
+                h.quantile_upper_bound(0.50).unwrap_or(0),
+                h.quantile_upper_bound(0.99).unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+        }
+    }
+    out
+}
+
+/// The JSON representation of a figure trace (hand-rolled — the workspace
+/// deliberately has no serde dependency): per configuration, per-stage
+/// log2-bucketed latency histograms plus the exact event counters.
+pub fn trace_json(ft: &FigureTrace) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"figure\": \"{}\",", ft.id.replace('"', "\\\""));
+    let _ = writeln!(
+        s,
+        "  \"workloads\": [{}],",
+        ft.rows
+            .iter()
+            .map(|r| format!("\"{}\"", r.replace('"', "\\\"")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"columns\": [");
+    for (ci, (c, trace)) in ft.cols.iter().zip(&ft.traces).enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"config\": \"{}\",", c.replace('"', "\\\""));
+        let _ = writeln!(s, "      \"total_cycles\": {},", trace.total_cycles());
+        let _ = writeln!(s, "      \"events_seen\": {},", trace.events_seen);
+        let _ = writeln!(s, "      \"dropped_events\": {},", trace.dropped_events);
+        let _ = writeln!(s, "      \"events\": {{");
+        for (i, class) in TraceEventClass::ALL.iter().enumerate() {
+            let comma = if i + 1 < TraceEventClass::ALL.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "        \"{}\": {}{comma}",
+                class.name(),
+                trace.event_count(*class)
+            );
+        }
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(s, "      \"stages\": [");
+        for (i, stage) in TraceStage::ALL.iter().enumerate() {
+            let h = trace.hist(*stage);
+            let comma = if i + 1 < TraceStage::ALL.len() {
+                ","
+            } else {
+                ""
+            };
+            let buckets = h
+                .nonzero_buckets()
+                .map(|(lo, hi, n)| format!("{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {n}}}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(s, "        {{");
+            let _ = writeln!(s, "          \"stage\": \"{}\",", stage.name());
+            let _ = writeln!(s, "          \"count\": {},", h.count());
+            let _ = writeln!(s, "          \"sum\": {},", h.sum());
+            let _ = writeln!(s, "          \"min\": {},", h.min().unwrap_or(0));
+            let _ = writeln!(s, "          \"max\": {},", h.max().unwrap_or(0));
+            let _ = writeln!(s, "          \"buckets\": [{buckets}]");
+            let _ = writeln!(s, "        }}{comma}");
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if ci + 1 < ft.cols.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// The flamegraph folded-stack representation of a figure trace: one
+/// `figure;config;stage <cycles>` line per non-empty stage, feedable to
+/// `flamegraph.pl` / `inferno-flamegraph` for a per-figure stage
+/// breakdown.
+pub fn trace_folded(ft: &FigureTrace) -> String {
+    let mut s = String::new();
+    for (c, trace) in ft.cols.iter().zip(&ft.traces) {
+        for stage in TraceStage::ALL {
+            let h = trace.hist(stage);
+            if h.sum() > 0 {
+                let _ = writeln!(s, "{};{};{} {}", ft.id, c, stage.name(), h.sum());
+            }
+        }
+    }
+    s
+}
+
+/// Writes a figure trace to `dir/trace/<id>.json` and
+/// `dir/trace/<id>.folded`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or file write.
+pub fn write_trace(ft: &FigureTrace, dir: &Path) -> io::Result<()> {
+    let tdir = dir.join("trace");
+    fs::create_dir_all(&tdir)?;
+    fs::write(tdir.join(format!("{}.json", ft.id)), trace_json(ft))?;
+    fs::write(tdir.join(format!("{}.folded", ft.id)), trace_folded(ft))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +349,84 @@ mod tests {
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert!(!s.contains(",\n  ]"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn figure_trace() -> FigureTrace {
+        use mcm_sim::{RunTrace, TraceEventKind};
+        use mcm_types::{ChipletId, VirtAddr};
+        let mut a = RunTrace::new();
+        a.record_sample(TraceStage::Translate, 10);
+        a.record_sample(TraceStage::Translate, 300);
+        a.record_sample(TraceStage::Data, 90);
+        a.record_event(TraceEventKind::RingCrossing {
+            src: ChipletId::new(0),
+            dst: ChipletId::new(1),
+            cycle: 5,
+        });
+        a.record_event(TraceEventKind::L2TlbMiss {
+            va: VirtAddr::new(0),
+            chiplet: ChipletId::new(0),
+            cycle: 2,
+        });
+        let mut b = RunTrace::new();
+        b.record_sample(TraceStage::Data, 40);
+        FigureTrace {
+            id: "figT".into(),
+            cols: vec!["S-64KB".into(), "CLAP".into()],
+            rows: vec!["STE".into()],
+            traces: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn trace_render_reports_shares_and_counts() {
+        let s = render_trace(&figure_trace());
+        assert!(s.contains("trace:figT"));
+        assert!(s.contains("S-64KB"));
+        assert!(s.contains("translate"));
+        assert!(s.contains("total 400 cycles"));
+        assert!(s.contains("2 events"));
+        // CLAP column has no translate samples: stage line absent there.
+        assert!(s.contains("total 40 cycles"));
+    }
+
+    #[test]
+    fn trace_json_is_well_formed_and_exact() {
+        let s = trace_json(&figure_trace());
+        assert!(s.contains("\"figure\": \"figT\""));
+        assert!(s.contains("\"config\": \"S-64KB\""));
+        assert!(s.contains("\"total_cycles\": 400"));
+        assert!(s.contains("\"ring_crossing\": 1"));
+        assert!(s.contains("\"l2tlb_miss\": 1"));
+        // 300 lands in the [256, 512) log2 bucket.
+        // Bucket bounds are closed: the 300-cycle sample lands in the
+        // [256, 511] log2 bucket.
+        assert!(s.contains("{\"lo\": 256, \"hi\": 511, \"count\": 1}"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert!(!s.contains(",\n  ]"));
+        assert!(!s.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn trace_folded_has_one_line_per_nonempty_stage() {
+        let s = trace_folded(&figure_trace());
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "translate+data for col 0, data for col 1");
+        assert!(lines.contains(&"figT;S-64KB;translate 310"));
+        assert!(lines.contains(&"figT;S-64KB;data 90"));
+        assert!(lines.contains(&"figT;CLAP;data 40"));
+    }
+
+    #[test]
+    fn trace_files_round_trip() {
+        let dir = std::env::temp_dir().join("clap-repro-test-trace");
+        write_trace(&figure_trace(), &dir).expect("write");
+        let json = std::fs::read_to_string(dir.join("trace/figT.json")).expect("json");
+        assert!(json.contains("\"figure\": \"figT\""));
+        let folded = std::fs::read_to_string(dir.join("trace/figT.folded")).expect("folded");
+        assert!(folded.contains("figT;CLAP;data 40"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

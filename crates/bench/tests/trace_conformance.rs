@@ -1,0 +1,163 @@
+//! Trace-conformance suite: with the `trace` feature on, every histogram
+//! total and event counter must reconcile **exactly** with the
+//! [`RunStats`] counters of the same run — the trace layer observes the
+//! simulation, it must never disagree with it.
+//!
+//! One configuration (S-64KB static paging) crossed with three workloads
+//! of different character (STE: sliced stencil, BFS: irregular graph,
+//! 3DC: 3D stencil) keeps the suite fast while covering faulting,
+//! walking, and ring-heavy behavior.
+
+#![cfg(feature = "trace")]
+
+use mcm_bench::configs::ConfigKind;
+use mcm_bench::experiments::Harness;
+use mcm_sim::{RunStats, RunTrace, TraceEventClass, TraceStage};
+use mcm_types::PageSize;
+use mcm_workloads::suite;
+
+fn traced_cell(name: &str) -> (RunStats, RunTrace) {
+    let h = Harness::quick();
+    let w = suite::by_name(name).unwrap_or_else(|| panic!("no workload {name}"));
+    h.run_traced(&w, ConfigKind::Static(PageSize::Size64K))
+}
+
+/// The per-workload reconciliation: every aggregate the tracer keeps has
+/// an engine-side counter it must match to the cycle.
+fn assert_conformance(name: &str, stats: &RunStats, trace: &RunTrace) {
+    // Stage histograms reconcile with the latency counters.
+    assert_eq!(
+        trace.hist(TraceStage::Translate).sum(),
+        stats.translation_cycles,
+        "{name}: translate histogram vs translation_cycles"
+    );
+    assert_eq!(
+        trace.hist(TraceStage::Data).sum(),
+        stats.data_cycles,
+        "{name}: data histogram vs data_cycles"
+    );
+    // Each completed memory access contributes exactly one translate and
+    // one data sample (`mem_insts` itself is scaled by line reuse, so the
+    // stages are reconciled against each other, not against it).
+    assert_eq!(
+        trace.hist(TraceStage::Translate).count(),
+        trace.hist(TraceStage::Data).count(),
+        "{name}: translate and data sample counts diverge"
+    );
+    assert_eq!(
+        trace.hist(TraceStage::Walk).count(),
+        stats.walks,
+        "{name}: one walk sample per completed page walk"
+    );
+    assert_eq!(
+        trace.hist(TraceStage::Walk).sum(),
+        stats.walk_cycles,
+        "{name}: walk histogram vs walk_cycles"
+    );
+    assert_eq!(
+        trace.hist(TraceStage::Fault).count(),
+        stats.faults,
+        "{name}: one fault sample per resolved demand fault"
+    );
+
+    // Event counters reconcile with the engine's.
+    assert_eq!(
+        trace.event_count(TraceEventClass::L2TlbMiss),
+        stats.l2tlb_misses,
+        "{name}: L2 TLB miss events"
+    );
+    assert_eq!(
+        trace.event_count(TraceEventClass::WalkComplete),
+        stats.walks,
+        "{name}: walk-complete events"
+    );
+    assert_eq!(
+        trace.event_count(TraceEventClass::RingCrossing),
+        stats.ring_transfers,
+        "{name}: ring-crossing events vs ring_transfers"
+    );
+    assert_eq!(
+        trace.event_count(TraceEventClass::FaultResolved),
+        stats.faults,
+        "{name}: every detected fault resolved exactly once"
+    );
+
+    // The buffered stream is an honest bounded prefix: retained +
+    // dropped == seen, and seen == the sum over all event classes.
+    assert_eq!(
+        trace.events.len() as u64 + trace.dropped_events,
+        trace.events_seen,
+        "{name}: buffer accounting"
+    );
+    let by_class: u64 = TraceEventClass::ALL
+        .iter()
+        .map(|&c| trace.event_count(c))
+        .sum();
+    assert_eq!(trace.events_seen, by_class, "{name}: per-class counters");
+
+    // Sequence numbers of the retained prefix are 0..len, strictly
+    // increasing, and every buffered event's cycle is within the run.
+    for (i, ev) in trace.events.iter().enumerate() {
+        assert_eq!(ev.seq, i as u64, "{name}: gap-free retained prefix");
+        assert!(
+            ev.kind.cycle() <= stats.cycles,
+            "{name}: event cycle {} past end of run {}",
+            ev.kind.cycle(),
+            stats.cycles
+        );
+    }
+
+    // A real run exercised the probes at all.
+    assert!(stats.mem_insts > 0, "{name}: workload ran");
+    assert!(trace.total_cycles() > 0, "{name}: trace is non-empty");
+}
+
+#[test]
+fn ste_reconciles_exactly() {
+    let (stats, trace) = traced_cell("STE");
+    assert_conformance("STE", &stats, &trace);
+}
+
+#[test]
+fn bfs_reconciles_exactly() {
+    let (stats, trace) = traced_cell("BFS");
+    assert_conformance("BFS", &stats, &trace);
+}
+
+#[test]
+fn threedc_reconciles_exactly() {
+    let (stats, trace) = traced_cell("3DC");
+    assert_conformance("3DC", &stats, &trace);
+}
+
+/// Tracing must not perturb the simulation: the stats of a traced run are
+/// identical to an untraced run of the same cell, and two traced runs
+/// produce identical event streams (determinism).
+#[test]
+fn tracing_is_an_observer() {
+    let h = Harness::quick();
+    let w = suite::by_name("STE").unwrap();
+    let kind = ConfigKind::Static(PageSize::Size64K);
+    let plain = h.run(&w, kind);
+    let (traced, t1) = h.run_traced(&w, kind);
+    // `RunStats` is not `PartialEq`; compare the counters that summarize
+    // the whole run.
+    let key = |s: &RunStats| {
+        (
+            s.cycles,
+            s.mem_insts,
+            s.remote_insts,
+            s.l2tlb_misses,
+            s.walks,
+            s.walk_cycles,
+            s.translation_cycles,
+            s.data_cycles,
+            s.faults,
+            s.ring_transfers,
+            s.dram_accesses,
+        )
+    };
+    assert_eq!(key(&plain), key(&traced), "tracing changed the simulation");
+    let (_, t2) = h.run_traced(&w, kind);
+    assert_eq!(t1, t2, "traced runs are not deterministic");
+}

@@ -32,7 +32,10 @@ use crate::stage::driver::Driver;
 use crate::stage::sched::KernelSchedule;
 use crate::stage::translate::{TranslateStage, Translation};
 use crate::stats::RunStats;
-use crate::trace::Workload;
+#[cfg(feature = "trace")]
+use crate::trace::RunTrace;
+use crate::trace::{TraceEventKind, TraceStage, Tracer};
+use crate::workload::Workload;
 use crate::SimError;
 
 /// How a completed run ended (see DESIGN.md, "Error handling &
@@ -118,17 +121,50 @@ pub fn run_outcome(
     policy: &mut dyn PagingPolicy,
     remote_cache: Option<&mut dyn RemoteCacheModel>,
 ) -> Result<RunOutcome, SimError> {
+    run_machine(cfg, workload, policy, remote_cache).map(|(outcome, _)| outcome)
+}
+
+/// Like [`run_outcome`], but also returns the run's stage-boundary trace:
+/// per-stage latency histograms and the bounded structured event stream
+/// (see [`trace`](crate::trace)). Only available with the `trace` cargo
+/// feature; tracing does not perturb results — the simulated machine is
+/// byte-identical to an untraced run.
+///
+/// # Errors
+///
+/// Same as [`run`].
+#[cfg(feature = "trace")]
+pub fn run_traced(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    policy: &mut dyn PagingPolicy,
+    remote_cache: Option<&mut dyn RemoteCacheModel>,
+) -> Result<(RunOutcome, RunTrace), SimError> {
+    run_machine(cfg, workload, policy, remote_cache)
+        .map(|(outcome, tracer)| (outcome, tracer.into_trace()))
+}
+
+/// Shared body of [`run_outcome`] / `run_traced`: runs the machine and
+/// hands back the outcome plus the (possibly no-op) tracer.
+fn run_machine(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    policy: &mut dyn PagingPolicy,
+    remote_cache: Option<&mut dyn RemoteCacheModel>,
+) -> Result<(RunOutcome, Tracer), SimError> {
     cfg.validate()?;
     let mut m = Machine::new(cfg, workload, remote_cache);
     policy.begin(workload.allocs(), cfg);
     m.run_all(workload, policy)?;
+    let tracer = std::mem::take(&mut m.tracer);
     let stats = m.finish(policy);
-    if stats.degradation.is_degraded() {
+    let outcome = if stats.degradation.is_degraded() {
         let errors = stats.degradation.errors.clone();
-        Ok(RunOutcome::Degraded { stats, errors })
+        RunOutcome::Degraded { stats, errors }
     } else {
-        Ok(RunOutcome::Completed(stats))
-    }
+        RunOutcome::Completed(stats)
+    };
+    Ok((outcome, tracer))
 }
 
 /// Outcome of simulating one memory instruction.
@@ -157,6 +193,9 @@ struct Machine<'c, 'r> {
     sm_port: Vec<BucketedResource>,
     stats: RunStats,
     next_epoch: u64,
+    /// Stage-boundary trace sink (a zero-sized no-op without the `trace`
+    /// feature).
+    tracer: Tracer,
 }
 
 impl<'c, 'r> Machine<'c, 'r> {
@@ -175,6 +214,7 @@ impl<'c, 'r> Machine<'c, 'r> {
             sm_port: vec![BucketedResource::new(1); cfg.total_sms()],
             stats: RunStats::default(),
             next_epoch: cfg.epoch_cycles,
+            tracer: Tracer::new(),
         }
     }
 
@@ -187,6 +227,10 @@ impl<'c, 'r> Machine<'c, 'r> {
         for k in 0..workload.num_kernels() {
             now = self.run_kernel(workload, k, now, policy)?;
             let dirs = policy.on_kernel_end(k, now);
+            self.tracer.event(TraceEventKind::EpochDirectives {
+                epoch: now,
+                directives: dirs.len() as u32,
+            });
             self.driver.apply_directives(
                 self.cfg,
                 &mut self.page_table,
@@ -195,6 +239,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                 &dirs,
                 policy.ideal_migration(),
                 now,
+                &mut self.tracer,
             );
             if self.cfg.audit_epochs {
                 self.driver
@@ -212,7 +257,7 @@ impl<'c, 'r> Machine<'c, 'r> {
         start: u64,
         policy: &mut dyn PagingPolicy,
     ) -> Result<u64, SimError> {
-        let mut sched = KernelSchedule::new(self.cfg, workload, k, start);
+        let mut sched = KernelSchedule::new(self.cfg, workload, k, start, &mut self.tracer);
         let kd = *sched.kernel();
         self.reuse = kd.line_reuse.max(1) as u64;
         let issue_gap = kd.insts_per_mem as u64;
@@ -223,6 +268,10 @@ impl<'c, 'r> Machine<'c, 'r> {
             while t >= self.next_epoch {
                 let epoch = self.next_epoch;
                 let dirs = policy.on_epoch(epoch);
+                self.tracer.event(TraceEventKind::EpochDirectives {
+                    epoch,
+                    directives: dirs.len() as u32,
+                });
                 self.driver.apply_directives(
                     self.cfg,
                     &mut self.page_table,
@@ -231,6 +280,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                     &dirs,
                     policy.ideal_migration(),
                     epoch,
+                    &mut self.tracer,
                 );
                 if self.cfg.audit_epochs {
                     self.driver
@@ -265,6 +315,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                 }
                 sched.advance(wid, advanced);
                 end = end.max(batch_done);
+                self.tracer.sample(TraceStage::Sched, batch_done - t);
                 if let Some(resume) = fault_resume {
                     sched.reschedule(wid, resume);
                     continue;
@@ -279,7 +330,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                     continue;
                 }
             }
-            sched.retire_warp(workload, k, wid, t);
+            sched.retire_warp(workload, k, wid, t, &mut self.tracer);
         }
         Ok(end)
     }
@@ -308,6 +359,7 @@ impl<'c, 'r> Machine<'c, 'r> {
             va,
             issue,
             gmmu_free,
+            &mut self.tracer,
         )? {
             Translation::Done { pte, done, walked } => (pte, done, walked),
             Translation::Fault { at } => {
@@ -322,7 +374,9 @@ impl<'c, 'r> Machine<'c, 'r> {
                     tb,
                     va,
                     at,
+                    &mut self.tracer,
                 )?;
+                self.tracer.sample(TraceStage::Fault, resume - at);
                 return Ok(AccessResult::Fault(resume));
             }
         };
@@ -336,6 +390,7 @@ impl<'c, 'r> Machine<'c, 'r> {
             });
         }
         self.stats.translation_cycles += tt - issue;
+        self.tracer.sample(TraceStage::Translate, tt - issue);
 
         // --- Data access ---
         let pa = pte.pa + va.offset_in(pte.size.bytes());
@@ -362,10 +417,17 @@ impl<'c, 'r> Machine<'c, 'r> {
             });
         }
 
-        let done = self
-            .data
-            .access(self.cfg, sm, chiplet, data_chiplet, pa, tt);
+        let done = self.data.access(
+            self.cfg,
+            sm,
+            chiplet,
+            data_chiplet,
+            pa,
+            tt,
+            &mut self.tracer,
+        );
         self.stats.data_cycles += done - tt;
+        self.tracer.sample(TraceStage::Data, done - tt);
         Ok(AccessResult::Done(done))
     }
 

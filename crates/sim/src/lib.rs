@@ -45,12 +45,15 @@ mod resources;
 pub mod stage;
 mod stats;
 mod tlb;
-mod trace;
+pub mod trace;
+mod workload;
 
 pub use cache::SetAssocCache;
 pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor};
 pub use config::{PtePlacement, SimConfig, TlbEntries, TranslationConfig};
 pub use dram::Dram;
+#[cfg(feature = "trace")]
+pub use engine::run_traced;
 pub use engine::{run, run_outcome, RunOutcome};
 pub use error::SimError;
 pub use interconnect::{Ring, RingLeg};
@@ -62,4 +65,7 @@ pub use policy::{
 pub use resources::{BucketedResource, Server, BUCKET_CYCLES};
 pub use stats::{AllocAccessStats, DegradationStats, RunStats};
 pub use tlb::Tlb;
-pub use trace::{tb_chiplet, KernelDesc, Workload};
+pub use trace::{
+    LatencyHistogram, RunTrace, TraceEvent, TraceEventClass, TraceEventKind, TraceStage,
+};
+pub use workload::{tb_chiplet, KernelDesc, Workload};

@@ -15,6 +15,7 @@ use crate::interconnect::Ring;
 use crate::page_table::{PageTable, Pte};
 use crate::policy::{RemoteCacheModel, RemoteServe};
 use crate::stats::RunStats;
+use crate::trace::{TraceEventKind, Tracer};
 
 /// Tag bit distinguishing PTE lines from data lines in the L2 cache key
 /// space.
@@ -89,6 +90,7 @@ impl<'r> DataPath<'r> {
     /// `data_chiplet`) at cycle `t`: L1$ → L2$ → local DRAM, or the
     /// remote-cache / ring path when the line is remote. Returns the
     /// completion cycle.
+    #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
         cfg: &SimConfig,
@@ -97,6 +99,7 @@ impl<'r> DataPath<'r> {
         data_chiplet: ChipletId,
         pa: PhysAddr,
         t: u64,
+        tracer: &mut Tracer,
     ) -> u64 {
         let line = pa.raw() / cfg.line_bytes;
         if self.l1d[sm].access(line) {
@@ -130,6 +133,11 @@ impl<'r> DataPath<'r> {
             None => {
                 let arrive = self.ring.request(chiplet, data_chiplet, t_mem);
                 let mem_done = self.dram.access(pa, arrive);
+                tracer.event(TraceEventKind::RingCrossing {
+                    src: data_chiplet,
+                    dst: chiplet,
+                    cycle: mem_done,
+                });
                 self.ring.transfer(data_chiplet, chiplet, mem_done)
             }
         }
@@ -137,12 +145,24 @@ impl<'r> DataPath<'r> {
 
     /// A DRAM line read by `requester` from `owner`'s memory: direct when
     /// local, request/transfer over the ring when remote.
-    fn mem_read(&mut self, requester: ChipletId, owner: ChipletId, pa: PhysAddr, t: u64) -> u64 {
+    fn mem_read(
+        &mut self,
+        requester: ChipletId,
+        owner: ChipletId,
+        pa: PhysAddr,
+        t: u64,
+        tracer: &mut Tracer,
+    ) -> u64 {
         if owner == requester {
             self.dram.access(pa, t)
         } else {
             let arrive = self.ring.request(requester, owner, t);
             let done = self.dram.access(pa, arrive);
+            tracer.event(TraceEventKind::RingCrossing {
+                src: owner,
+                dst: requester,
+                cycle: done,
+            });
             self.ring.transfer(owner, requester, done)
         }
     }
@@ -159,12 +179,13 @@ impl<'r> DataPath<'r> {
         leaf: PageSize,
         levels: u32,
         t: u64,
+        tracer: &mut Tracer,
     ) -> u64 {
         let node_chiplet =
             pt.walk_node_chiplet(va, level, leaf, requester, cfg.pte_placement, levels);
         let key = PageTable::walk_node_key(va, level, leaf, levels);
         let pa = self.synth_pte_pa(cfg, pt, node_chiplet, key);
-        self.mem_read(requester, node_chiplet, pa, t)
+        self.mem_read(requester, node_chiplet, pa, t, tracer)
     }
 
     /// The leaf PTE access: PTE lines are cached in the requester's L2
@@ -179,6 +200,7 @@ impl<'r> DataPath<'r> {
         pte: Pte,
         levels: u32,
         t: u64,
+        tracer: &mut Tracer,
     ) -> u64 {
         let leaf = pte.size;
         let vpn = va.raw() >> leaf.shift();
@@ -192,7 +214,7 @@ impl<'r> DataPath<'r> {
             p => pt.walk_node_chiplet(va, levels, leaf, requester, p, levels),
         };
         let pa = self.synth_pte_pa(cfg, pt, leaf_chiplet, line_key);
-        self.mem_read(requester, leaf_chiplet, pa, t)
+        self.mem_read(requester, leaf_chiplet, pa, t, tracer)
     }
 
     /// Synthesises a physical address on `chiplet` for a page-table node,
@@ -221,7 +243,16 @@ impl<'r> DataPath<'r> {
 
     /// Charges one ring transfer from `src` to `dst` at `now` (migration
     /// data movement).
-    pub fn ring_transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) {
+    pub fn ring_transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64, tracer: &mut Tracer) {
+        if src != dst {
+            // Mirrors `Ring::transfer`: same-chiplet transfers are free and
+            // uncounted, so they must not appear as crossings either.
+            tracer.event(TraceEventKind::RingCrossing {
+                src,
+                dst,
+                cycle: now,
+            });
+        }
         self.ring.transfer(src, dst, now);
     }
 
@@ -258,10 +289,10 @@ mod tests {
         let mut d = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
         let pa = PhysAddr::new(0);
-        let cold = d.access(&c, 0, ch, ch, pa, 0);
+        let cold = d.access(&c, 0, ch, ch, pa, 0, &mut Tracer::new());
         assert!(cold >= c.l1d_latency + c.l2d_latency + c.dram_latency);
         assert_eq!(d.stats.l1d_misses, 1);
-        let warm = d.access(&c, 0, ch, ch, pa, 1_000);
+        let warm = d.access(&c, 0, ch, ch, pa, 1_000, &mut Tracer::new());
         assert_eq!(warm, 1_000 + c.l1d_latency);
         assert_eq!(d.stats.l1d_hits, 1);
     }
@@ -274,10 +305,26 @@ mod tests {
         let requester = ChipletId::new(0);
         // A frame on chiplet 1: remote for chiplet 0.
         let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
-        let remote_done = d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        let remote_done = d.access(
+            &c,
+            0,
+            requester,
+            layout.chiplet_of(pa),
+            pa,
+            0,
+            &mut Tracer::new(),
+        );
         let mut d2 = DataPath::new(&c, None);
         let local_pa = layout.block_base(layout.block_of_chiplet(requester, 0));
-        let local_done = d2.access(&c, 0, requester, layout.chiplet_of(local_pa), local_pa, 0);
+        let local_done = d2.access(
+            &c,
+            0,
+            requester,
+            layout.chiplet_of(local_pa),
+            local_pa,
+            0,
+            &mut Tracer::new(),
+        );
         assert!(
             remote_done > local_done,
             "remote access ({remote_done}) must cost more than local ({local_done})"
@@ -301,7 +348,15 @@ mod tests {
         let mut d = DataPath::new(&c, Some(&mut rc));
         let requester = ChipletId::new(0);
         let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
-        let done = d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        let done = d.access(
+            &c,
+            0,
+            requester,
+            layout.chiplet_of(pa),
+            pa,
+            0,
+            &mut Tracer::new(),
+        );
         assert_eq!(done, c.l1d_latency + c.l2d_latency + c.l2d_latency);
         assert_eq!(d.stats.remote_cache_hits, 1);
     }
@@ -313,7 +368,15 @@ mod tests {
         let mut d = DataPath::new(&c, None);
         let requester = ChipletId::new(0);
         let pa = layout.block_base(layout.block_of_chiplet(ChipletId::new(1), 0));
-        d.access(&c, 0, requester, layout.chiplet_of(pa), pa, 0);
+        d.access(
+            &c,
+            0,
+            requester,
+            layout.chiplet_of(pa),
+            pa,
+            0,
+            &mut Tracer::new(),
+        );
         let mut out = RunStats::default();
         d.flush_into(&c, &mut out);
         assert_eq!(out.dram_accesses, 1);

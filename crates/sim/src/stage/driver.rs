@@ -16,6 +16,7 @@ use crate::resources::Server;
 use crate::stage::datapath::DataPath;
 use crate::stage::translate::TranslateStage;
 use crate::stats::{DegradationStats, RunStats};
+use crate::trace::{TraceEventKind, Tracer};
 use crate::SimError;
 
 /// Counters owned by the driver stage, flushed into
@@ -117,6 +118,7 @@ impl Driver {
         tb: TbId,
         va: VirtAddr,
         at: u64,
+        tracer: &mut Tracer,
     ) -> Result<u64, SimError> {
         let page = va.align_down(BASE_PAGE_BYTES);
         let alloc = self.alloc_of(va).ok_or_else(|| SimError::PolicyViolation {
@@ -139,13 +141,22 @@ impl Driver {
             &dirs,
             policy.ideal_migration(),
             at,
+            tracer,
         );
         if pt.translate(va).is_none() {
             return Err(SimError::PolicyViolation {
                 reason: format!("fault handler did not map {va}"),
             });
         }
-        Ok(at + cfg.fault_latency)
+        let resume = at + cfg.fault_latency;
+        tracer.event(TraceEventKind::FaultResolved {
+            va: page,
+            chiplet,
+            directives: dirs.len() as u32,
+            raised: at,
+            resume,
+        });
+        Ok(resume)
     }
 
     /// Applies a directive batch, skipping (and recording) invalid
@@ -163,9 +174,10 @@ impl Driver {
         dirs: &[Directive],
         ideal: bool,
         now: u64,
+        tracer: &mut Tracer,
     ) {
         for (i, d) in dirs.iter().enumerate() {
-            if let Err(e) = self.apply_directive(cfg, pt, translate, data, *d, ideal, now) {
+            if let Err(e) = self.apply_directive(cfg, pt, translate, data, *d, ideal, now, tracer) {
                 self.stats.degradation.rejected_directives += 1;
                 self.stats.degradation.record(SimError::DirectiveRejected {
                     index: i,
@@ -188,6 +200,7 @@ impl Driver {
         d: Directive,
         ideal: bool,
         now: u64,
+        tracer: &mut Tracer,
     ) -> Result<(), SimError> {
         match d {
             Directive::Map {
@@ -250,7 +263,7 @@ impl Driver {
                     let dst = pt.layout().chiplet_of(to_pa);
                     self.gmmu_ovh[src.index()].acquire(now, cfg.migration_latency);
                     self.gmmu_ovh[dst.index()].acquire(now, cfg.migration_latency);
-                    data.ring_transfer(src, dst, now);
+                    data.ring_transfer(src, dst, now, tracer);
                 }
                 Ok(())
             }
@@ -356,7 +369,16 @@ mod tests {
                 va: VirtAddr::new(1 << 20),
             },
         ];
-        drv.apply_directives(&c, &mut pt, &mut tr, &mut data, &dirs, false, 0);
+        drv.apply_directives(
+            &c,
+            &mut pt,
+            &mut tr,
+            &mut data,
+            &dirs,
+            false,
+            0,
+            &mut Tracer::new(),
+        );
         assert_eq!(drv.stats.degradation.rejected_directives, 2);
         assert!(!drv.stats.degradation.errors.is_empty());
         assert_eq!(drv.stats.promotions, 0);
@@ -384,6 +406,7 @@ mod tests {
             &[Directive::Migrate { va, to_pa: dst_pa }],
             false,
             100,
+            &mut Tracer::new(),
         );
         assert_eq!(drv.stats.migrations, 1);
         assert_eq!(drv.stats.shootdowns, 1);
@@ -430,6 +453,7 @@ mod tests {
                 TbId::new(0),
                 VirtAddr::new(0x1_0040),
                 500,
+                &mut Tracer::new(),
             )
             .expect("fault must resolve");
         assert_eq!(resume, 500 + c.fault_latency);
@@ -465,6 +489,7 @@ mod tests {
                 TbId::new(0),
                 VirtAddr::new(64),
                 0,
+                &mut Tracer::new(),
             )
             .expect_err("unmapped fault must abort");
         assert!(matches!(err, SimError::PolicyViolation { .. }));

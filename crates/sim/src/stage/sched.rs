@@ -13,7 +13,8 @@ use std::collections::{BinaryHeap, VecDeque};
 use mcm_types::{TbId, VirtAddr, WarpId};
 
 use crate::config::SimConfig;
-use crate::trace::{tb_chiplet, KernelDesc, Workload};
+use crate::trace::{TraceEventKind, Tracer};
+use crate::workload::{tb_chiplet, KernelDesc, Workload};
 
 /// One warp's progress through its access stream.
 pub struct WarpCtx {
@@ -45,7 +46,13 @@ impl KernelSchedule {
     /// Distributes kernel `k`'s threadblocks — contiguous across chiplets
     /// (FT scheduling), then round-robin over each chiplet's SMs — and
     /// launches the initial resident threadblocks at cycle `start`.
-    pub fn new(cfg: &SimConfig, workload: &dyn Workload, k: usize, start: u64) -> Self {
+    pub fn new(
+        cfg: &SimConfig,
+        workload: &dyn Workload,
+        k: usize,
+        start: u64,
+        tracer: &mut Tracer,
+    ) -> Self {
         let kd = workload.kernel(k);
         let sms = cfg.total_sms();
         let mut sched = KernelSchedule {
@@ -71,7 +78,7 @@ impl KernelSchedule {
         for sm in 0..sms {
             for _ in 0..concurrent_tbs {
                 if let Some(tb) = sched.sm_queue[sm].pop_front() {
-                    sched.start_tb(workload, k, sm, tb, start);
+                    sched.start_tb(workload, k, sm, tb, start, tracer);
                 }
             }
         }
@@ -84,7 +91,20 @@ impl KernelSchedule {
     }
 
     /// Launches `tb`'s warps on `sm` at cycle `at`.
-    fn start_tb(&mut self, workload: &dyn Workload, k: usize, sm: usize, tb: TbId, at: u64) {
+    fn start_tb(
+        &mut self,
+        workload: &dyn Workload,
+        k: usize,
+        sm: usize,
+        tb: TbId,
+        at: u64,
+        tracer: &mut Tracer,
+    ) {
+        tracer.event(TraceEventKind::TbStart {
+            sm: sm as u32,
+            tb,
+            cycle: at,
+        });
         let slot = self.tb_live_warps.len();
         self.tb_live_warps.push(self.kd.warps_per_tb);
         for w in 0..self.kd.warps_per_tb {
@@ -141,14 +161,21 @@ impl KernelSchedule {
 
     /// Retires warp `wid` at cycle `t`; when it was its threadblock's last
     /// live warp, the SM's next queued threadblock (if any) starts at `t`.
-    pub fn retire_warp(&mut self, workload: &dyn Workload, k: usize, wid: usize, t: u64) {
+    pub fn retire_warp(
+        &mut self,
+        workload: &dyn Workload,
+        k: usize,
+        wid: usize,
+        t: u64,
+        tracer: &mut Tracer,
+    ) {
         let slot = self.warp_tb_slot[wid];
         self.tb_live_warps[slot] -= 1;
         if self.tb_live_warps[slot] == 0 {
             let sm = self.warps[wid].sm;
             self.warps[wid].accesses = Vec::new();
             if let Some(next_tb) = self.sm_queue[sm].pop_front() {
-                self.start_tb(workload, k, sm, next_tb, t);
+                self.start_tb(workload, k, sm, next_tb, t, tracer);
             }
         }
     }
@@ -200,7 +227,7 @@ mod tests {
     fn tbs_spread_over_chiplets_and_warps_drain() {
         let c = cfg();
         let w = TinyWorkload;
-        let mut s = KernelSchedule::new(&c, &w, 0, 0);
+        let mut s = KernelSchedule::new(&c, &w, 0, 0, &mut Tracer::new());
         assert_eq!(s.kernel().num_tbs, 2);
         let mut sms_seen = std::collections::HashSet::new();
         let mut popped = 0usize;
@@ -213,7 +240,7 @@ mod tests {
             if !s.warp_finished(wid) {
                 s.reschedule(wid, t + 1);
             } else {
-                s.retire_warp(&w, 0, wid, t);
+                s.retire_warp(&w, 0, wid, t, &mut Tracer::new());
             }
         }
         assert_eq!(sms_seen.len(), 2, "both chiplets' SMs must host TBs");
@@ -224,8 +251,8 @@ mod tests {
     fn start_jitter_is_deterministic_and_bounded() {
         let c = cfg();
         let w = TinyWorkload;
-        let mut a = KernelSchedule::new(&c, &w, 0, 1_000);
-        let mut b = KernelSchedule::new(&c, &w, 0, 1_000);
+        let mut a = KernelSchedule::new(&c, &w, 0, 1_000, &mut Tracer::new());
+        let mut b = KernelSchedule::new(&c, &w, 0, 1_000, &mut Tracer::new());
         loop {
             let (ea, eb) = (a.pop(), b.pop());
             assert_eq!(ea, eb, "schedule must be deterministic");
@@ -274,7 +301,7 @@ mod tests {
             }
         }
         let c = cfg();
-        let mut s = KernelSchedule::new(&c, &EmptyWorkload, 0, 0);
+        let mut s = KernelSchedule::new(&c, &EmptyWorkload, 0, 0, &mut Tracer::new());
         assert!(s.pop().is_none());
     }
 }

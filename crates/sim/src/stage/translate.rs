@@ -18,6 +18,7 @@ use crate::resources::BucketedResource;
 use crate::stage::datapath::DataPath;
 use crate::stats::{DegradationStats, RunStats};
 use crate::tlb::Tlb;
+use crate::trace::{TraceEventKind, TraceStage, Tracer};
 use crate::SimError;
 
 /// Outcome of translating one virtual address.
@@ -179,6 +180,7 @@ impl TranslateStage {
         va: VirtAddr,
         issue: u64,
         gmmu_free: u64,
+        tracer: &mut Tracer,
     ) -> Result<Translation, SimError> {
         let mut tt = issue + cfg.l1_tlb_latency;
         let mut hit_pte = None;
@@ -226,9 +228,14 @@ impl TranslateStage {
             });
         }
         self.stats.l2tlb_misses += 1;
-        match self.page_walk(cfg, pt, data, chiplet, va, tt, gmmu_free)? {
+        tracer.event(TraceEventKind::L2TlbMiss {
+            va,
+            chiplet,
+            cycle: tt,
+        });
+        match self.page_walk(cfg, pt, data, chiplet, va, tt, gmmu_free, tracer)? {
             Translation::Done { pte, done, .. } => {
-                self.fill_l2(pt, cfg, chiplet, va, pte);
+                self.fill_l2(pt, cfg, chiplet, va, pte, done, tracer);
                 self.fill_l1(pt, cfg, sm, va, pte);
                 Ok(Translation::Done {
                     pte,
@@ -253,6 +260,7 @@ impl TranslateStage {
         va: VirtAddr,
         t: u64,
         gmmu_free: u64,
+        tracer: &mut Tracer,
     ) -> Result<Translation, SimError> {
         let t = t.max(gmmu_free);
         let Some(pte) = pt.translate(va) else {
@@ -284,13 +292,21 @@ impl TranslateStage {
             if self.pwc[chiplet.index()].access(key) {
                 tw += cfg.pwc_latency;
             } else {
-                tw = data.pte_node_access(cfg, pt, chiplet, va, level, pte.size, levels, tw);
+                tw =
+                    data.pte_node_access(cfg, pt, chiplet, va, level, pte.size, levels, tw, tracer);
             }
         }
-        tw = data.leaf_pte_access(cfg, pt, chiplet, va, pte, levels, tw);
+        tw = data.leaf_pte_access(cfg, pt, chiplet, va, pte, levels, tw, tracer);
         self.walk_mshr[chiplet.index()].insert(page_key, tw);
         self.stats.walks += 1;
         self.stats.walk_cycles += tw - t;
+        tracer.sample(TraceStage::Walk, tw - t);
+        tracer.event(TraceEventKind::WalkComplete {
+            va,
+            chiplet,
+            issued: t,
+            done: tw,
+        });
         Ok(Translation::Done {
             pte,
             done: tw,
@@ -408,6 +424,7 @@ impl TranslateStage {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fill_l2(
         &mut self,
         pt: &PageTable,
@@ -415,12 +432,20 @@ impl TranslateStage {
         chiplet: ChipletId,
         va: VirtAddr,
         pte: Pte,
+        cycle: u64,
+        tracer: &mut Tracer,
     ) {
         match self.fill_mask(pt, cfg, va, pte) {
             Some((class, mask)) => {
                 if mask.count_ones() > 1 {
                     self.stats.coalesced_fills += 1;
                 }
+                tracer.event(TraceEventKind::TlbFill {
+                    va,
+                    chiplet,
+                    pages: mask.count_ones(),
+                    cycle,
+                });
                 self.l2_tlb[chiplet.index()][class].fill(va, mask);
             }
             None => self.note_missing_class(pte.size),
@@ -505,7 +530,7 @@ mod tests {
         let ch = ChipletId::new(0);
 
         let first = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 100, 0)
+            .translate(&c, &pt, &mut data, 0, ch, va, 100, 0, &mut Tracer::new())
             .expect("translate");
         match first {
             Translation::Done { done, walked, .. } => {
@@ -519,7 +544,7 @@ mod tests {
         assert_eq!(tr.stats.l2tlb_misses, 1);
 
         let second = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 10_000, 0)
+            .translate(&c, &pt, &mut data, 0, ch, va, 10_000, 0, &mut Tracer::new())
             .expect("translate");
         match second {
             Translation::Done { done, walked, .. } => {
@@ -548,6 +573,7 @@ mod tests {
                 VirtAddr::new(0),
                 50,
                 5_000,
+                &mut Tracer::new(),
             )
             .expect("translate");
         match out {
@@ -565,14 +591,14 @@ mod tests {
         let mut tr = TranslateStage::new(&c);
         let mut data = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0)
+        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0, &mut Tracer::new())
             .expect("warm up");
         // Unmap behind the TLB's back (no shootdown): next lookup hits
         // stale coverage, which is dropped and re-walked.
         pt.unmap(va).expect("unmap");
         assert!(!tr.stale_coverage(&pt).is_empty());
         let out = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 20_000, 0)
+            .translate(&c, &pt, &mut data, 0, ch, va, 20_000, 0, &mut Tracer::new())
             .expect("translate");
         assert!(matches!(out, Translation::Fault { .. }));
         assert!(tr.stats.degradation.stale_tlb_hits >= 1);
@@ -587,10 +613,10 @@ mod tests {
         let mut tr = TranslateStage::new(&c);
         let mut data = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0)
+        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0, &mut Tracer::new())
             .expect("warm up");
         tr.invalidate_page(va);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 50_000, 0)
+        tr.translate(&c, &pt, &mut data, 0, ch, va, 50_000, 0, &mut Tracer::new())
             .expect("translate");
         assert_eq!(tr.stats.walks, 2, "invalidation must force a re-walk");
     }
@@ -624,6 +650,7 @@ mod tests {
                 VirtAddr::new(i * BASE_PAGE_BYTES),
                 10,
                 0,
+                &mut Tracer::new(),
             )
             .expect("translate");
         }

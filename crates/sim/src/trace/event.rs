@@ -1,0 +1,237 @@
+//! Structured trace events recorded at stage boundaries.
+//!
+//! Events are the causal half of the trace layer: where the histograms
+//! aggregate, events preserve *chains* — an L2 TLB miss, the page walk it
+//! issued, and the TLB fill that walk produced share consecutive sequence
+//! numbers, as do a demand fault and the directives that resolved it. The
+//! engine is single-threaded per run, so sequence numbers are assigned in
+//! recording order and traces are deterministic for a deterministic run.
+
+use mcm_types::{ChipletId, TbId, VirtAddr};
+
+/// The kind of one trace event, with its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An L2 TLB miss: a page walk (or walk-MSHR join) is about to issue.
+    L2TlbMiss {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Requesting chiplet.
+        chiplet: ChipletId,
+        /// Cycle the miss was detected.
+        cycle: u64,
+    },
+    /// A page walk completed (walk-MSHR joins are not re-reported).
+    WalkComplete {
+        /// Translated virtual address.
+        va: VirtAddr,
+        /// Walking chiplet.
+        chiplet: ChipletId,
+        /// Cycle the walk issued (after queue back-pressure).
+        issued: u64,
+        /// Cycle the walk completed.
+        done: u64,
+    },
+    /// A completed walk filled the chiplet's L2 TLB.
+    TlbFill {
+        /// Virtual address of the installed translation.
+        va: VirtAddr,
+        /// Filled chiplet.
+        chiplet: ChipletId,
+        /// Pages covered by the installed entry (> 1 when coalesced).
+        pages: u32,
+        /// Fill cycle.
+        cycle: u64,
+    },
+    /// One line transfer crossed the ring (counted exactly like
+    /// [`RunStats::ring_transfers`](crate::RunStats::ring_transfers):
+    /// same-chiplet transfers are not crossings).
+    RingCrossing {
+        /// Sending chiplet.
+        src: ChipletId,
+        /// Receiving chiplet.
+        dst: ChipletId,
+        /// Cycle the transfer entered the ring.
+        cycle: u64,
+    },
+    /// The driver resolved a demand fault through the paging policy.
+    FaultResolved {
+        /// Faulting page (64KB-aligned).
+        va: VirtAddr,
+        /// Faulting chiplet.
+        chiplet: ChipletId,
+        /// Directives the policy returned for this fault.
+        directives: u32,
+        /// Cycle the fault was raised.
+        raised: u64,
+        /// Cycle the faulting warp resumes.
+        resume: u64,
+    },
+    /// The scheduler started a threadblock on an SM.
+    TbStart {
+        /// Hosting SM (global index).
+        sm: u32,
+        /// The started threadblock.
+        tb: TbId,
+        /// Launch cycle.
+        cycle: u64,
+    },
+    /// An epoch (or kernel-end) policy callback returned directives.
+    EpochDirectives {
+        /// The epoch cycle (or kernel-end cycle).
+        epoch: u64,
+        /// Directives the callback returned.
+        directives: u32,
+    },
+}
+
+/// Payload-free classification of [`TraceEventKind`] — the key the
+/// per-kind exact counters and the reports group by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEventClass {
+    /// [`TraceEventKind::L2TlbMiss`].
+    L2TlbMiss,
+    /// [`TraceEventKind::WalkComplete`].
+    WalkComplete,
+    /// [`TraceEventKind::TlbFill`].
+    TlbFill,
+    /// [`TraceEventKind::RingCrossing`].
+    RingCrossing,
+    /// [`TraceEventKind::FaultResolved`].
+    FaultResolved,
+    /// [`TraceEventKind::TbStart`].
+    TbStart,
+    /// [`TraceEventKind::EpochDirectives`].
+    EpochDirectives,
+}
+
+impl TraceEventClass {
+    /// Every event class, in counter order.
+    pub const ALL: [TraceEventClass; 7] = [
+        TraceEventClass::L2TlbMiss,
+        TraceEventClass::WalkComplete,
+        TraceEventClass::TlbFill,
+        TraceEventClass::RingCrossing,
+        TraceEventClass::FaultResolved,
+        TraceEventClass::TbStart,
+        TraceEventClass::EpochDirectives,
+    ];
+
+    /// Stable snake_case name (JSON keys, folded-stack frames).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventClass::L2TlbMiss => "l2tlb_miss",
+            TraceEventClass::WalkComplete => "walk_complete",
+            TraceEventClass::TlbFill => "tlb_fill",
+            TraceEventClass::RingCrossing => "ring_crossing",
+            TraceEventClass::FaultResolved => "fault_resolved",
+            TraceEventClass::TbStart => "tb_start",
+            TraceEventClass::EpochDirectives => "epoch_directives",
+        }
+    }
+
+    /// Index into per-kind counter arrays.
+    pub(crate) fn index(&self) -> usize {
+        TraceEventClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .unwrap_or(0)
+    }
+}
+
+impl TraceEventKind {
+    /// The payload-free class of this event.
+    pub fn class(&self) -> TraceEventClass {
+        match self {
+            TraceEventKind::L2TlbMiss { .. } => TraceEventClass::L2TlbMiss,
+            TraceEventKind::WalkComplete { .. } => TraceEventClass::WalkComplete,
+            TraceEventKind::TlbFill { .. } => TraceEventClass::TlbFill,
+            TraceEventKind::RingCrossing { .. } => TraceEventClass::RingCrossing,
+            TraceEventKind::FaultResolved { .. } => TraceEventClass::FaultResolved,
+            TraceEventKind::TbStart { .. } => TraceEventClass::TbStart,
+            TraceEventKind::EpochDirectives { .. } => TraceEventClass::EpochDirectives,
+        }
+    }
+
+    /// The simulated cycle the event is anchored to (the start cycle for
+    /// span-like events).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEventKind::L2TlbMiss { cycle, .. }
+            | TraceEventKind::TlbFill { cycle, .. }
+            | TraceEventKind::RingCrossing { cycle, .. }
+            | TraceEventKind::TbStart { cycle, .. } => cycle,
+            TraceEventKind::WalkComplete { issued, .. } => issued,
+            TraceEventKind::FaultResolved { raised, .. } => raised,
+            TraceEventKind::EpochDirectives { epoch, .. } => epoch,
+        }
+    }
+}
+
+/// One recorded trace event: a per-run sequence number plus the kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the run's event stream (0-based, gap-free across all
+    /// kinds while the buffer has room; monotone afterwards).
+    pub seq: u64,
+    /// The event and its payload.
+    pub kind: TraceEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_round_trip_and_names_are_unique() {
+        let kinds = [
+            TraceEventKind::L2TlbMiss {
+                va: VirtAddr::new(0),
+                chiplet: ChipletId::new(0),
+                cycle: 1,
+            },
+            TraceEventKind::WalkComplete {
+                va: VirtAddr::new(0),
+                chiplet: ChipletId::new(0),
+                issued: 2,
+                done: 9,
+            },
+            TraceEventKind::TlbFill {
+                va: VirtAddr::new(0),
+                chiplet: ChipletId::new(0),
+                pages: 16,
+                cycle: 3,
+            },
+            TraceEventKind::RingCrossing {
+                src: ChipletId::new(0),
+                dst: ChipletId::new(1),
+                cycle: 4,
+            },
+            TraceEventKind::FaultResolved {
+                va: VirtAddr::new(0),
+                chiplet: ChipletId::new(0),
+                directives: 1,
+                raised: 5,
+                resume: 50,
+            },
+            TraceEventKind::TbStart {
+                sm: 3,
+                tb: TbId::new(7),
+                cycle: 6,
+            },
+            TraceEventKind::EpochDirectives {
+                epoch: 7,
+                directives: 0,
+            },
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.class(), TraceEventClass::ALL[i]);
+            assert_eq!(k.class().index(), i);
+            assert_eq!(k.cycle(), (i + 1) as u64);
+        }
+        let mut names: Vec<_> = TraceEventClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TraceEventClass::ALL.len());
+    }
+}

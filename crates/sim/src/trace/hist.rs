@@ -1,0 +1,230 @@
+//! Log2-bucketed latency histograms.
+//!
+//! A [`LatencyHistogram`] is the aggregate half of the trace layer: each
+//! stage-boundary probe records one latency sample per event, and the
+//! histogram keeps power-of-two buckets plus exact count/sum/min/max
+//! tallies. Histograms are plain data — [`merge`](LatencyHistogram::merge)
+//! is associative and commutative, so per-cell histograms from a parallel
+//! sweep fold into the same histogram a serial run would have produced
+//! (property-tested in `crates/sim/tests/prop_trace.rs`).
+
+/// A latency histogram with log2 buckets and exact summary tallies.
+///
+/// Bucket `0` holds zero-latency samples; bucket `k >= 1` holds samples in
+/// `[2^(k-1), 2^k)`. The summary tallies (`count`, `sum`, `min`, `max`)
+/// are exact, not bucket approximations, which is what lets the
+/// conformance tests reconcile histogram totals against
+/// [`RunStats`](crate::RunStats) counters to the cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: one zero bucket plus one per `u64` bit.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a sample falls into.
+    #[inline]
+    pub fn bucket_of(latency: u64) -> usize {
+        (u64::BITS - latency.leading_zeros()) as usize
+    }
+
+    /// The `[lo, hi]` closed sample range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < Self::BUCKETS, "bucket index out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[Self::bucket_of(latency)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Folds `other` into `self`. Merging is associative and commutative,
+    /// and merging per-cell histograms equals recording every sample into
+    /// one histogram serially.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if the histogram is empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if the histogram is empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (length [`Self::BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` ranges, in ascending
+    /// order — what the JSON emitters serialize.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Bucket-resolution latency at or below which `q` (in `[0, 1]`) of
+    /// the samples fall: the upper bound of the bucket containing the
+    /// q-quantile sample. `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_bounds(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        for i in 0..LatencyHistogram::BUCKETS {
+            let (lo, hi) = LatencyHistogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(LatencyHistogram::bucket_of(lo), i);
+            assert_eq!(LatencyHistogram::bucket_of(hi), i);
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_tallies() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [0, 1, 3, 100, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 22.2).abs() < 1e-12);
+        let nz: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(nz.iter().map(|&(_, _, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        let (mut a, mut b, mut all) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for v in [5u64, 9, 2] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 1024, 9] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        // Commutes.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, merged);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        let p99 = h.quantile_upper_bound(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 <= 999, "clamped to the exact max");
+        assert_eq!(LatencyHistogram::new().quantile_upper_bound(0.5), None);
+    }
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, lint. Run from anywhere; no network needed
-# (the workspace vendors its dev-dependency stubs in crates/).
+# Offline CI gate: build, test, lint — with and without the `trace`
+# feature. Run from anywhere; no network needed (the workspace vendors
+# its dev-dependency stubs in crates/).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,9 +19,39 @@ cargo test --workspace -q
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
+echo "== cargo build --release --features trace"
+cargo build --release --workspace --features trace
+
+echo "== cargo test --features trace (incl. trace conformance)"
+cargo test --workspace -q --features trace
+
+echo "== cargo clippy --features trace (deny warnings)"
+cargo clippy --workspace --all-targets --features trace -- -D warnings
+
 smoke="$(mktemp -d)"
 trap 'rm -rf "$smoke"' EXIT
+
+echo "== traced-build golden smoke (figure CSVs byte-identical with trace compiled in)"
+# The binary at target/release/figures is the traced build right now
+# (last build above); its figure output must still match the goldens —
+# tracing observes, it never perturbs.
+./target/release/figures --quick --jobs 2 --out "$smoke/traced" fig1 fig18
+cmp "$smoke/traced/fig1.csv" tests/goldens/fig1_quick.csv
+cmp "$smoke/traced/fig18.csv" tests/goldens/fig18_quick.csv
+
+echo "== trace subcommand smoke (JSON + folded stacks land in the out dir)"
+./target/release/figures --quick --jobs 2 --out "$smoke/trace-out" trace fig1
+test -s "$smoke/trace-out/trace/fig1.json"
+test -s "$smoke/trace-out/trace/fig1.folded"
+
+# Rebuild default features so the binary left in target/ is the stock one.
+echo "== default-feature golden smoke (figures fig1/fig18 vs tests/goldens)"
+cargo build --release --workspace
+./target/release/figures --quick --jobs 2 --out "$smoke/default" fig1 fig18
+cmp "$smoke/default/fig1.csv" tests/goldens/fig1_quick.csv
+cmp "$smoke/default/fig18.csv" tests/goldens/fig18_quick.csv
+
+echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
 ./target/release/figures --quick --jobs 1 --out "$smoke/j1" fig1 > "$smoke/j1.out"
 ./target/release/figures --quick --jobs 4 --out "$smoke/j4" fig1 > "$smoke/j4.out"
 cmp "$smoke/j1/fig1.csv" "$smoke/j4/fig1.csv"

@@ -1,0 +1,49 @@
+//! Golden-file regression tests: the quick-grid fig1 and fig18 CSVs must
+//! match the checked-in goldens **byte for byte**.
+//!
+//! The simulator is deterministic, the sweep runner collects results in
+//! submission order, and the CSV emitter formats with fixed precision —
+//! so any byte of drift is a behavior change, not noise. If a change is
+//! intentional, regenerate with `scripts/update_goldens.sh` and commit
+//! the new goldens alongside the change that explains them.
+
+use clap_repro::bench::experiments::{fig1, fig18, Harness};
+use clap_repro::bench::report::csv_string;
+
+const FIG1_GOLDEN: &str = include_str!("goldens/fig1_quick.csv");
+const FIG18_GOLDEN: &str = include_str!("goldens/fig18_quick.csv");
+
+fn assert_golden(id: &str, got: &str, want: &str) {
+    if got == want {
+        return;
+    }
+    // Find the first differing line so the failure is actionable without
+    // a byte-level diff.
+    for (n, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "{id}: first divergence at line {} — if intentional, run \
+             scripts/update_goldens.sh and commit tests/goldens/",
+            n + 1
+        );
+    }
+    panic!(
+        "{id}: output differs in length ({} vs {} bytes) — if intentional, \
+         run scripts/update_goldens.sh and commit tests/goldens/",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn fig1_quick_grid_matches_golden() {
+    let g = fig1(&Harness::quick());
+    assert_golden("fig1", &csv_string(&g), FIG1_GOLDEN);
+}
+
+#[test]
+fn fig18_quick_grid_matches_golden() {
+    let g = fig18(&Harness::quick());
+    assert_golden("fig18", &csv_string(&g), FIG18_GOLDEN);
+}
