@@ -1,11 +1,12 @@
 //! Regenerates every table and figure of the CLAP paper's evaluation.
 //!
 //! ```text
-//! figures [--quick] [--jobs N] [--out DIR] \
+//! figures [--quick] [--jobs N] [--out DIR] [--resume] [--progress=on|off|auto] \
 //!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
 //! figures [--quick] probe <WORKLOAD>
 //! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
 //! figures [--quick] trace [fig1|fig18]      (needs --features trace)
+//! figures [--out DIR] status [--check]
 //! ```
 //!
 //! `probe --chaos` re-runs the workload under every main config with a
@@ -25,14 +26,36 @@
 //! folded-stack breakdown to `results/trace/`. It is only available when
 //! the binary was built with `--features trace`; the default build keeps
 //! the engine's hot path trace-free.
+//!
+//! Every experiment sweep is journaled as it runs: one JSONL record per
+//! cell under `<out>/journal/<exp>.jsonl` and the cell's full statistics
+//! under `<out>/shards/<exp>/<cell>.json`, written worker-side at cell
+//! completion. `--resume` restores cells whose shard validates (schema
+//! version + configuration fingerprint) instead of re-running them;
+//! `status` summarizes a journal; `--progress` controls the live stderr
+//! reporter (`auto` = on when stderr is a terminal — so tests and piped
+//! runs stay silent).
 
 use std::env;
-use std::path::PathBuf;
-use std::time::Instant;
+use std::io::IsTerminal;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mcm_bench::experiments::{self, Grid, Harness};
-use mcm_bench::report::{render_grid, render_table4, write_csv, write_timings, ExperimentTiming};
+use mcm_bench::report::{
+    render_grid, render_status, render_table4, write_csv, write_timings, ExperimentTiming,
+};
 use mcm_bench::runner::jobs_from_env;
+use mcm_bench::telemetry::{self, Telemetry};
+
+/// `--progress` setting.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProgressMode {
+    On,
+    Off,
+    Auto,
+}
 
 struct Options {
     quick: bool,
@@ -40,15 +63,22 @@ struct Options {
     out_dir: PathBuf,
     /// Chaos seed for `probe --chaos[=SEED]`.
     chaos_seed: Option<u64>,
+    /// Restore valid shards instead of re-running their cells.
+    resume: bool,
+    /// Live progress reporter setting.
+    progress: ProgressMode,
+    /// `status --check`: validate every journal line and shard.
+    check: bool,
     /// Positional arguments (experiment ids, or `probe <WORKLOAD>`).
     targets: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--quick] [--jobs N] [--out DIR] [--chaos[=SEED]] [TARGET ...]\n\
+        "usage: figures [--quick] [--jobs N] [--out DIR] [--resume] \
+         [--progress[=on|off|auto]] [--chaos[=SEED]] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
-         table1 table2 table4 ablation | probe <WORKLOAD> | trace [FIG]"
+         table1 table2 table4 ablation | probe <WORKLOAD> | trace [FIG] | status [--check]"
     );
     std::process::exit(2);
 }
@@ -59,12 +89,18 @@ fn parse_args() -> Options {
         jobs: jobs_from_env(),
         out_dir: PathBuf::from("results"),
         chaos_seed: None,
+        resume: false,
+        progress: ProgressMode::Auto,
+        check: false,
         targets: Vec::new(),
     };
     let mut args = env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--resume" => opts.resume = true,
+            "--check" => opts.check = true,
+            "--progress" => opts.progress = ProgressMode::On,
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => opts.jobs = n,
                 _ => {
@@ -90,6 +126,16 @@ fn parse_args() -> Options {
                             usage();
                         }
                     }
+                } else if let Some(v) = a.strip_prefix("--progress=") {
+                    opts.progress = match v {
+                        "on" => ProgressMode::On,
+                        "off" => ProgressMode::Off,
+                        "auto" => ProgressMode::Auto,
+                        _ => {
+                            eprintln!("--progress wants on|off|auto, got {v:?}");
+                            usage();
+                        }
+                    };
                 } else if let Some(v) = a.strip_prefix("--chaos=") {
                     match v.parse::<u64>() {
                         Ok(s) => opts.chaos_seed = Some(s),
@@ -122,6 +168,11 @@ fn main() {
     }
     .with_jobs(opts.jobs);
 
+    if opts.targets.iter().any(|t| t == "status") {
+        run_status(&opts.out_dir, opts.check);
+        return;
+    }
+
     if let Some(pos) = opts.targets.iter().position(|t| t == "trace") {
         let fig = opts
             .targets
@@ -145,6 +196,22 @@ fn main() {
         return;
     }
 
+    // Experiment sweeps run with telemetry attached: per-cell journal and
+    // shard writes (and shard restores when resuming), plus the optional
+    // live progress reporter. Telemetry observes only — CSVs stay
+    // byte-identical to the untelemetered path.
+    let progress_on = match opts.progress {
+        ProgressMode::On => true,
+        ProgressMode::Off => false,
+        ProgressMode::Auto => std::io::stderr().is_terminal(),
+    };
+    let mut tele = Telemetry::new(&opts.out_dir).with_resume(opts.resume);
+    if progress_on {
+        tele = tele.with_progress(Duration::from_secs(1));
+    }
+    let tele = Arc::new(tele);
+    let h = h.with_telemetry(Arc::clone(&tele));
+
     let all = opts.targets.iter().any(|t| t == "all");
     let want = |t: &str| all || opts.targets.iter().any(|x| x == t);
     let t0 = Instant::now();
@@ -152,10 +219,7 @@ fn main() {
     let timed = |timings: &mut Vec<ExperimentTiming>, id: &str, f: &dyn Fn()| {
         let t = Instant::now();
         f();
-        timings.push(ExperimentTiming {
-            id: id.into(),
-            seconds: t.elapsed().as_secs_f64(),
-        });
+        timings.push(ExperimentTiming::new(id, t.elapsed().as_secs_f64()));
     };
 
     if want("table1") {
@@ -193,6 +257,17 @@ fn main() {
             println!("{}", render_table4(&rows));
         });
     }
+    // Fold the journaled cell tallies into the coarse wall-clock timings
+    // (an experiment may journal several sweeps only in principle; ids
+    // are unique today, so this is a straight merge by id).
+    for c in tele.experiment_counters() {
+        if let Some(t) = timings.iter_mut().find(|t| t.id == c.exp) {
+            t.cells += c.cells;
+            t.degraded += c.degraded;
+            t.resumed += c.resumed;
+        }
+    }
+    tele.finish();
     if let Err(e) = write_timings(&timings, opts.jobs, opts.quick, &opts.out_dir) {
         eprintln!("warning: failed to write bench_timings.json: {e}");
     }
@@ -201,6 +276,42 @@ fn main() {
         t0.elapsed(),
         opts.jobs
     );
+}
+
+/// `figures status [--check]`: summarize the run journal under the output
+/// directory — per-experiment completion, slowest cells, degraded cells.
+/// With `--check`, additionally validate every journal line and every
+/// shard file, exiting non-zero on malformed (or absent) telemetry.
+fn run_status(out_dir: &Path, check: bool) {
+    let (records, journal_errors) = telemetry::read_journal_dir(&out_dir.join("journal"));
+    print!("{}", render_status(&telemetry::summarize(&records)));
+    for e in &journal_errors {
+        eprintln!("malformed journal line: {e}");
+    }
+    if !check {
+        return;
+    }
+    let (checked, shard_errors) = telemetry::check_shards(&out_dir.join("shards"));
+    for e in &shard_errors {
+        eprintln!("bad shard: {e}");
+    }
+    println!(
+        "checked {} journal record(s) and {} shard(s): {} journal error(s), {} shard error(s)",
+        records.len(),
+        checked,
+        journal_errors.len(),
+        shard_errors.len()
+    );
+    if records.len() + checked == 0 {
+        eprintln!(
+            "status --check: no telemetry found under {}",
+            out_dir.display()
+        );
+        std::process::exit(1);
+    }
+    if !journal_errors.is_empty() || !shard_errors.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 /// Traced sweep: re-runs `fig` with stage-boundary tracing, prints the

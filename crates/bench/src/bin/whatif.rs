@@ -1,6 +1,9 @@
 //! Knob-bisection tool: run one workload under two configs while toggling
 //! machine parameters, to attribute performance differences.
+use std::time::Instant;
+
 use mcm_bench::configs::ConfigKind;
+use mcm_bench::telemetry::fmt_duration_us;
 use mcm_sim::{run, SimConfig};
 use mcm_types::PageSize;
 use mcm_workloads::{suite, FOOTPRINT_SCALE};
@@ -11,7 +14,15 @@ type Variant<'a> = (&'a str, Box<dyn Fn(&mut SimConfig)>);
 fn main() {
     let wname = std::env::args().nth(1).unwrap_or_else(|| "BFS".into());
     let w = suite::by_name(&wname)
-        .expect("workload")
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown workload {wname:?}\n\
+                 usage: whatif [WORKLOAD]   (default: BFS)\n\
+                 workloads: {}",
+                suite::NAMES.join(" ")
+            );
+            std::process::exit(2);
+        })
         .with_tb_scale(1, 4);
     let base = SimConfig::baseline().scaled(FOOTPRINT_SCALE);
 
@@ -82,8 +93,8 @@ fn main() {
         ("dramlat=0", Box::new(|c| c.dram_latency = 0)),
     ];
     println!(
-        "{:<12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>8}",
-        "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "ring1", "ring2"
+        "{:<12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9}",
+        "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "ring1", "ring2", "wall"
     );
     let only = std::env::var("CLAP_ONLY").ok();
     for (name, f) in variants {
@@ -94,12 +105,14 @@ fn main() {
         }
         let mut cfg = base.clone();
         f(&mut cfg);
+        let t0 = Instant::now();
         let (mut p1, c1) = ConfigKind::Static(PageSize::Size2M).build(&cfg);
         let s1 = run(&c1, &w, p1.as_mut(), None).unwrap();
         let (mut p2, c2) = ConfigKind::Ideal.build(&cfg);
         let s2 = run(&c2, &w, p2.as_mut(), None).unwrap();
+        let wall_us = t0.elapsed().as_micros() as u64;
         println!(
-            "{:<12} {:>12} {:>12} {:>8.2} {:>10} {:>10} {:>9.0} {:>9.0}",
+            "{:<12} {:>12} {:>12} {:>8.2} {:>10} {:>10} {:>9.0} {:>9.0} {:>9}",
             name,
             s1.cycles,
             s2.cycles,
@@ -108,6 +121,7 @@ fn main() {
             s2.dram_accesses,
             s1.ring_transfers as f64,
             s2.ring_transfers as f64,
+            fmt_duration_us(wall_us),
         );
         println!(
             "  S-2MB dram/chiplet {:?} dramQ/acc {} ringQ/xfer {}",

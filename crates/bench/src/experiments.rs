@@ -15,8 +15,11 @@ use mcm_sim::{
 use mcm_types::PageSize;
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
 
+use std::sync::Arc;
+
 use crate::configs::ConfigKind;
 use crate::runner::SweepRunner;
+use crate::telemetry::{self, CellSpec, Telemetry};
 
 /// A figure/table's worth of results.
 #[derive(Clone, Debug)]
@@ -70,6 +73,9 @@ pub struct Harness {
     tb_div: u32,
     /// Worker threads independent sweep cells fan out over (1 = serial).
     jobs: usize,
+    /// Sweep telemetry sink (journal/shards/progress); `None` keeps the
+    /// purely in-memory path, byte-identical to before telemetry existed.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Harness {
@@ -79,6 +85,7 @@ impl Harness {
             base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
             tb_div: 1,
             jobs: 1,
+            telemetry: None,
         }
     }
 
@@ -88,6 +95,7 @@ impl Harness {
             base: SimConfig::baseline().scaled(FOOTPRINT_SCALE),
             tb_div: 4,
             jobs: 1,
+            telemetry: None,
         }
     }
 
@@ -99,9 +107,51 @@ impl Harness {
         self
     }
 
+    /// Attaches a sweep telemetry sink: every statistics-producing sweep
+    /// journals its cells and writes per-cell result shards as workers
+    /// complete them (and restores valid shards when resume is on).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// The runner experiments fan their sweep cells over.
     pub fn runner(&self) -> SweepRunner {
         SweepRunner::new(self.jobs)
+    }
+
+    /// Stable fingerprint of everything that determines a cell's result:
+    /// the machine configuration and the threadblock divisor. The worker
+    /// count is deliberately excluded — resume works across `--jobs`
+    /// settings because results don't depend on them.
+    pub fn fingerprint(&self) -> u64 {
+        telemetry::fnv1a(&format!("{:?}|{}", self.base, self.tb_div))
+    }
+
+    /// Runs one sweep of statistics-producing cells: fans `f` over
+    /// `specs` with the harness's workers, and — when telemetry is
+    /// attached — journals each cell and writes/restores its shard from
+    /// the worker thread at cell completion. Without telemetry this is
+    /// exactly `self.runner().map(...)`.
+    pub fn sweep_stats(
+        &self,
+        exp: &str,
+        specs: &[CellSpec],
+        f: impl Fn(usize, &CellSpec) -> RunStats + Sync,
+    ) -> Vec<RunStats> {
+        match &self.telemetry {
+            None => self.runner().map(specs, |i, s| f(i, s)),
+            Some(t) => {
+                let scope = t.sweep(exp, specs.len(), self.fingerprint());
+                let out = self.runner().map_observed(
+                    specs,
+                    |i, s| scope.run_cell(i, s, || f(i, s)),
+                    t.observer(),
+                );
+                scope.finish();
+                out
+            }
+        }
     }
 
     /// The machine configuration used (before per-config adjustments).
@@ -189,12 +239,11 @@ fn grid_over(
     // One sweep cell per (workload × config); cells are independent, so
     // they fan out over the harness's workers in any order and land back
     // in submission order.
-    let cells: Vec<(usize, usize)> = (0..workloads.len())
-        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
-        .collect();
-    let all: Vec<RunStats> = h
-        .runner()
-        .map(&cells, |_, &(r, c)| h.run(&workloads[r], configs[c]));
+    let row_names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+    let cells = CellSpec::grid(&row_names, &col_names);
+    let all: Vec<RunStats> =
+        h.sweep_stats(id, &cells, |_, s| h.run(&workloads[s.row], configs[s.col]));
     let mut perf = Vec::new();
     let mut remote = Vec::new();
     let mut rows = Vec::new();
@@ -267,12 +316,15 @@ pub fn fig2(h: &Harness) -> Grid {
         .collect();
     let s2m = ConfigKind::Static(PageSize::Size2M);
     let s64 = ConfigKind::Static(PageSize::Size64K);
-    let cells: Vec<(usize, usize)> = (0..ws.len())
-        .flat_map(|r| (0..4).map(move |v| (r, v)))
+    let row_names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
+    let variants: Vec<String> = ["2MB_No_RC", "2MB+NUBA", "2MB+SAC", "64KB_No_RC"]
+        .iter()
+        .map(|s| s.to_string())
         .collect();
-    let all: Vec<RunStats> = h.runner().map(&cells, |_, &(r, v)| {
-        let w = &ws[r];
-        match v {
+    let cells = CellSpec::grid(&row_names, &variants);
+    let all: Vec<RunStats> = h.sweep_stats("fig2", &cells, |_, s| {
+        let w = &ws[s.row];
+        match s.col {
             0 => h.run(w, s2m),
             1 => h.run_cached(w, s2m, CacheKind::Nuba),
             2 => h.run_cached(w, s2m, CacheKind::Sac),
@@ -293,12 +345,7 @@ pub fn fig2(h: &Harness) -> Grid {
         id: "fig2".into(),
         title: "2MB paging with remote caching vs 64KB paging (norm. to 2MB No_RC)".into(),
         rows,
-        cols: vec![
-            "2MB_No_RC".into(),
-            "2MB+NUBA".into(),
-            "2MB+SAC".into(),
-            "64KB_No_RC".into(),
-        ],
+        cols: variants,
         perf,
         remote,
     }
@@ -335,12 +382,11 @@ pub fn fig8(h: &Harness) -> Grid {
             suite::by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"))
         })
         .collect();
-    let cells: Vec<(usize, usize)> = (0..ws.len())
-        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
-        .collect();
-    let all: Vec<RunStats> = h
-        .runner()
-        .map(&cells, |_, &(r, c)| h.run(&ws[r], configs[c]));
+    let row_names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
+    let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+    let cells = CellSpec::grid(&row_names, &col_names);
+    let all: Vec<RunStats> =
+        h.sweep_stats("fig8", &cells, |_, s| h.run(&ws[s.row], configs[s.col]));
     let mut rows = Vec::new();
     let mut remote = Vec::new();
     for (r, (wname, picks)) in picks_by_workload.iter().enumerate() {
@@ -450,12 +496,22 @@ pub fn fig20(h: &Harness) -> Grid {
 pub fn fig21(h: &Harness) -> Grid {
     let ws = suite::all();
     let s2m = ConfigKind::Static(PageSize::Size2M);
-    let cells: Vec<(usize, usize)> = (0..ws.len())
-        .flat_map(|r| (0..6).map(move |v| (r, v)))
-        .collect();
-    let all: Vec<RunStats> = h.runner().map(&cells, |_, &(r, v)| {
-        let w = &ws[r];
-        match v {
+    let row_names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
+    let variants: Vec<String> = [
+        "S-2MB",
+        "S-2MB+NUBA",
+        "S-2MB+SAC",
+        "CLAP",
+        "CLAP+NUBA",
+        "CLAP+SAC",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let cells = CellSpec::grid(&row_names, &variants);
+    let all: Vec<RunStats> = h.sweep_stats("fig21", &cells, |_, s| {
+        let w = &ws[s.row];
+        match s.col {
             0 => h.run(w, s2m),
             1 => h.run_cached(w, s2m, CacheKind::Nuba),
             2 => h.run_cached(w, s2m, CacheKind::Sac),
@@ -478,14 +534,7 @@ pub fn fig21(h: &Harness) -> Grid {
         id: "fig21".into(),
         title: "Remote caching under S-2MB vs under CLAP (norm. to S-2MB)".into(),
         rows,
-        cols: vec![
-            "S-2MB".into(),
-            "S-2MB+NUBA".into(),
-            "S-2MB+SAC".into(),
-            "CLAP".into(),
-            "CLAP+NUBA".into(),
-            "CLAP+SAC".into(),
-        ],
+        cols: variants,
         perf,
         remote,
     }
@@ -618,12 +667,11 @@ pub fn table2(h: &Harness) -> Grid {
         ConfigKind::Static(PageSize::Size2M),
     ];
     let ws = suite::all();
-    let cells: Vec<(usize, usize)> = (0..ws.len())
-        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
-        .collect();
-    let all: Vec<RunStats> = h
-        .runner()
-        .map(&cells, |_, &(r, c)| h.run(&ws[r], configs[c]));
+    let row_names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
+    let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
+    let cells = CellSpec::grid(&row_names, &col_names);
+    let all: Vec<RunStats> =
+        h.sweep_stats("table2", &cells, |_, s| h.run(&ws[s.row], configs[s.col]));
     let mut rows = Vec::new();
     let mut perf = Vec::new();
     let mut remote = Vec::new();

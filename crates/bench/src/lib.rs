@@ -12,3 +12,4 @@ pub mod configs;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod telemetry;

@@ -82,13 +82,34 @@ pub fn write_csv(g: &Grid, dir: &Path) -> io::Result<()> {
     fs::write(dir.join(format!("{}.csv", g.id)), csv_string(g))
 }
 
-/// One experiment's wall-clock measurement for `bench_timings.json`.
+/// One experiment's wall-clock measurement for `bench_timings.json`,
+/// enriched with the cell tallies the sweep telemetry journaled.
 #[derive(Clone, Debug)]
 pub struct ExperimentTiming {
     /// Experiment identifier ("fig18", "table4", ...).
     pub id: String,
     /// Wall-clock seconds the experiment took.
     pub seconds: f64,
+    /// Sweep cells the experiment ran or restored (0 when the experiment
+    /// has no journaled sweep — e.g. fig10's locality survey).
+    pub cells: usize,
+    /// Of those, cells whose statistics carried degradation events.
+    pub degraded: usize,
+    /// Cells restored from shards by `--resume` instead of re-run.
+    pub resumed: usize,
+}
+
+impl ExperimentTiming {
+    /// A timing with no journaled cell tallies yet.
+    pub fn new(id: &str, seconds: f64) -> ExperimentTiming {
+        ExperimentTiming {
+            id: id.to_string(),
+            seconds,
+            cells: 0,
+            degraded: 0,
+            resumed: 0,
+        }
+    }
 }
 
 /// Writes per-experiment wall-clock timings to `dir/bench_timings.json`
@@ -116,14 +137,75 @@ pub fn write_timings(
         let comma = if i + 1 < timings.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"id\": \"{}\", \"seconds\": {:.3}}}{comma}",
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"cells\": {}, \
+             \"degraded\": {}, \"resumed\": {}}}{comma}",
             t.id.replace('"', "\\\""),
-            t.seconds
+            t.seconds,
+            t.cells,
+            t.degraded,
+            t.resumed
         );
     }
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     fs::write(dir.join("bench_timings.json"), s)
+}
+
+/// Renders the `figures status` view of a run journal: per-experiment
+/// completion, slowest cells, and degraded cells.
+pub fn render_status(summaries: &[crate::telemetry::ExpSummary]) -> String {
+    use crate::telemetry::fmt_duration_us;
+    let mut out = String::new();
+    if summaries.is_empty() {
+        let _ = writeln!(out, "no journal records found");
+        return out;
+    }
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "== {} — {}/{} cells journaled ({} completed, {} degraded, {} resumed), wall {}",
+            s.exp,
+            s.cells,
+            s.total,
+            s.completed,
+            s.degraded,
+            s.resumed,
+            fmt_duration_us(s.wall_us)
+        );
+        if !s.slowest.is_empty() {
+            let cells: Vec<String> = s
+                .slowest
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}/{} cell {} ({})",
+                        r.workload,
+                        r.config,
+                        r.cell,
+                        fmt_duration_us(r.wall_us)
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "   slowest: {}", cells.join(", "));
+        }
+        for r in &s.degraded_cells {
+            let _ = writeln!(
+                out,
+                "   degraded: {}/{} cell {} — {} event(s) \
+                 (fallback_frames={}, rejected={}, stalls={}, stale_hits={}, audit={})",
+                r.workload,
+                r.config,
+                r.cell,
+                r.degraded_events,
+                r.fallback_remote_frames,
+                r.rejected_directives,
+                r.walk_queue_stalls,
+                r.stale_tlb_hits,
+                r.audit_violations
+            );
+        }
+    }
+    out
 }
 
 /// Renders Table 4 (CLAP's per-structure size selections).
@@ -329,27 +411,75 @@ mod tests {
     #[test]
     fn timings_json_is_well_formed() {
         let dir = std::env::temp_dir().join("clap-repro-test-timings");
-        let timings = vec![
-            ExperimentTiming {
-                id: "fig1".into(),
-                seconds: 1.25,
-            },
-            ExperimentTiming {
-                id: "table2".into(),
-                seconds: 0.5,
-            },
-        ];
+        let mut with_cells = ExperimentTiming::new("fig1", 1.25);
+        with_cells.cells = 24;
+        with_cells.degraded = 2;
+        with_cells.resumed = 8;
+        let timings = vec![with_cells, ExperimentTiming::new("table2", 0.5)];
         write_timings(&timings, 4, true, &dir).expect("write");
         let s = std::fs::read_to_string(dir.join("bench_timings.json")).expect("read");
         assert!(s.contains("\"jobs\": 4"));
         assert!(s.contains("\"quick\": true"));
-        assert!(s.contains("\"id\": \"fig1\", \"seconds\": 1.250"));
+        assert!(s.contains(
+            "\"id\": \"fig1\", \"seconds\": 1.250, \"cells\": 24, \
+             \"degraded\": 2, \"resumed\": 8"
+        ));
+        assert!(
+            s.contains("\"cells\": 0"),
+            "untelemetered experiments tally zero"
+        );
         assert!(s.contains("\"total_seconds\": 1.750"));
         // Balanced braces/brackets and no trailing comma before the close.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert!(!s.contains(",\n  ]"));
+        // The enriched JSON still parses with the telemetry JSON parser.
+        crate::telemetry::Json::parse(&s).expect("bench_timings.json must be valid JSON");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_rendering_summarizes_journals() {
+        use crate::telemetry::{summarize, CellOutcome, CellRecord, CellSpec};
+        use mcm_sim::RunStats;
+        let spec = CellSpec {
+            row: 0,
+            col: 0,
+            workload: "STE".into(),
+            config: "S-64KB".into(),
+            seed: 0,
+        };
+        let mut degraded = RunStats::default();
+        degraded.degradation.fallback_remote_frames = 3;
+        let records = vec![
+            CellRecord::from_stats(
+                "fig1",
+                &spec,
+                0,
+                2,
+                1_250_000,
+                CellOutcome::Degraded,
+                &degraded,
+            ),
+            CellRecord::from_stats(
+                "fig1",
+                &spec,
+                1,
+                2,
+                900,
+                CellOutcome::Completed,
+                &RunStats::default(),
+            ),
+        ];
+        let s = render_status(&summarize(&records));
+        assert!(s.contains("== fig1 — 2/2 cells journaled"), "{s}");
+        assert!(s.contains("1 degraded"), "{s}");
+        assert!(s.contains("slowest: STE/S-64KB cell 0 (1.25s)"), "{s}");
+        assert!(
+            s.contains("degraded: STE/S-64KB cell 0 — 3 event(s)"),
+            "{s}"
+        );
+        assert!(render_status(&[]).contains("no journal records"));
     }
 
     fn figure_trace() -> FigureTrace {

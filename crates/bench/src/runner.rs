@@ -11,6 +11,31 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Lifecycle hooks around every sweep cell, called from the worker thread
+/// that runs the cell (the serial fast path calls them too). The sweep
+/// telemetry's progress reporter hangs off this; the default
+/// implementations are no-ops, so observers pay only for what they use.
+pub trait SweepObserver: Sync {
+    /// A worker is about to run cell `index`.
+    fn cell_started(&self, index: usize) {
+        let _ = index;
+    }
+
+    /// Cell `index` finished and its result slot is filled.
+    fn cell_finished(&self, index: usize) {
+        let _ = index;
+    }
+}
+
+/// The do-nothing observer behind [`SweepRunner::map`].
+#[derive(Clone, Copy, Debug)]
+pub struct NoopObserver;
+
+impl SweepObserver for NoopObserver {}
+
+/// A shared no-op observer instance (avoids allocating one per sweep).
+pub static NOOP_OBSERVER: NoopObserver = NoopObserver;
+
 /// A worker pool for independent sweep cells.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepRunner {
@@ -50,9 +75,35 @@ impl SweepRunner {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_observed(items, f, &NOOP_OBSERVER)
+    }
+
+    /// [`map`](Self::map) with per-cell lifecycle hooks: `obs` is told
+    /// when each cell starts and finishes, from the worker thread running
+    /// it, at every worker count (including the serial fast path). The
+    /// hooks observe only — results are identical to [`map`](Self::map).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic of any cell (as a serial loop would).
+    pub fn map_observed<T, R, F>(&self, items: &[T], f: F, obs: &dyn SweepObserver) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    obs.cell_started(i);
+                    let r = f(i, t);
+                    obs.cell_finished(i);
+                    r
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
@@ -63,11 +114,13 @@ impl SweepRunner {
                     if i >= items.len() {
                         break;
                     }
+                    obs.cell_started(i);
                     let r = f(i, &items[i]);
                     // A slot's lock is only ever taken once per run; a
                     // poisoned lock means another cell panicked, and the
                     // scope is about to propagate that panic anyway.
                     *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                    obs.cell_finished(i);
                 });
             }
         });
@@ -158,5 +211,33 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = SweepRunner::new(8).map(&[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_cell_at_any_worker_count() {
+        struct Counting {
+            started: AtomicUsize,
+            finished: AtomicUsize,
+        }
+        impl SweepObserver for Counting {
+            fn cell_started(&self, _index: usize) {
+                self.started.fetch_add(1, Ordering::SeqCst);
+            }
+            fn cell_finished(&self, _index: usize) {
+                self.finished.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let items: Vec<usize> = (0..24).collect();
+        for jobs in [1, 4] {
+            let obs = Counting {
+                started: AtomicUsize::new(0),
+                finished: AtomicUsize::new(0),
+            };
+            let out = SweepRunner::new(jobs).map_observed(&items, |_, &x| x * 2, &obs);
+            let expect: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(out, expect, "jobs={jobs}: observation must not perturb");
+            assert_eq!(obs.started.load(Ordering::SeqCst), items.len());
+            assert_eq!(obs.finished.load(Ordering::SeqCst), items.len());
+        }
     }
 }

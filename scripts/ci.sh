@@ -57,4 +57,17 @@ echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
 cmp "$smoke/j1/fig1.csv" "$smoke/j4/fig1.csv"
 cmp "$smoke/j1.out" "$smoke/j4.out"
 
+echo "== telemetry smoke (interrupted-then-resumed fig1 vs golden; journal/shard well-formedness)"
+./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/tele" fig1
+test -s "$smoke/tele/journal/fig1.jsonl"
+# Simulate a crash: lose the CSV and a subset of the shards, then resume.
+rm "$smoke/tele/fig1.csv" "$smoke/tele/shards/fig1/00000.json" "$smoke/tele/shards/fig1/00007.json"
+./target/release/figures --quick --jobs 2 --progress=off --resume --out "$smoke/tele" fig1
+cmp "$smoke/tele/fig1.csv" tests/goldens/fig1_quick.csv
+grep -q '"outcome":"resumed"' "$smoke/tele/journal/fig1.jsonl"
+# status must summarize the journal; --check validates every journal line
+# and every shard (non-zero exit on any malformed record).
+./target/release/figures --out "$smoke/tele" status | grep -q "fig1"
+./target/release/figures --out "$smoke/tele" status --check > /dev/null
+
 echo "== ci: all green"
