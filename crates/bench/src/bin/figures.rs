@@ -35,6 +35,17 @@
 //! `status` summarizes a journal; `--progress` controls the live stderr
 //! reporter (`auto` = on when stderr is a terminal — so tests and piped
 //! runs stay silent).
+//!
+//! Sweeps run supervised: a cell that panics or aborts (run budget,
+//! livelock, or any typed engine error) is retried with the same seed
+//! (`--retries N`, default 1) and then quarantined — journaled with its
+//! failure reason, its grid slot zeroed — while every other cell
+//! completes and keeps its shard (`--keep-going`, the default). The run
+//! then exits 1 with a per-class summary; a later `--resume` re-runs
+//! exactly the quarantined cells. `--fail-fast` propagates the first
+//! failure instead (the debugging mode). `--inject exp:cell=panic|budget`
+//! (repeatable) plants deliberate failures so CI can prove all of the
+//! above end to end.
 
 use std::env;
 use std::io::IsTerminal;
@@ -47,7 +58,8 @@ use mcm_bench::report::{
     render_grid, render_status, render_table4, write_csv, write_timings, ExperimentTiming,
 };
 use mcm_bench::runner::jobs_from_env;
-use mcm_bench::telemetry::{self, Telemetry};
+use mcm_bench::supervise::{Injection, Supervisor, SweepMode};
+use mcm_bench::telemetry::{self, CellOutcome, Telemetry};
 
 /// `--progress` setting.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -69,6 +81,12 @@ struct Options {
     progress: ProgressMode,
     /// `status --check`: validate every journal line and shard.
     check: bool,
+    /// Sweep failure policy (`--keep-going` default / `--fail-fast`).
+    mode: SweepMode,
+    /// Per-cell retry bound override (`--retries N`).
+    retries: Option<usize>,
+    /// Deliberate failure injections (`--inject exp:cell=panic|budget`).
+    inject: Vec<Injection>,
     /// Positional arguments (experiment ids, or `probe <WORKLOAD>`).
     targets: Vec<String>,
 }
@@ -76,7 +94,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: figures [--quick] [--jobs N] [--out DIR] [--resume] \
-         [--progress[=on|off|auto]] [--chaos[=SEED]] [TARGET ...]\n\
+         [--progress[=on|off|auto]] [--chaos[=SEED]] \
+         [--keep-going|--fail-fast] [--retries N] \
+         [--inject exp:cell=panic|budget] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
          table1 table2 table4 ablation | probe <WORKLOAD> | trace [FIG] | status [--check]"
     );
@@ -92,6 +112,9 @@ fn parse_args() -> Options {
         resume: false,
         progress: ProgressMode::Auto,
         check: false,
+        mode: SweepMode::KeepGoing,
+        retries: None,
+        inject: Vec::new(),
         targets: Vec::new(),
     };
     let mut args = env::args().skip(1);
@@ -100,7 +123,27 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--resume" => opts.resume = true,
             "--check" => opts.check = true,
+            "--keep-going" => opts.mode = SweepMode::KeepGoing,
+            "--fail-fast" => opts.mode = SweepMode::FailFast,
             "--progress" => opts.progress = ProgressMode::On,
+            "--retries" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => opts.retries = Some(n),
+                _ => {
+                    eprintln!("--retries needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--inject" => match args.next().map(|v| Injection::parse(&v)) {
+                Some(Ok(i)) => opts.inject.push(i),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+                None => {
+                    eprintln!("--inject needs exp:cell=panic|budget");
+                    usage();
+                }
+            },
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => opts.jobs = n,
                 _ => {
@@ -144,6 +187,22 @@ fn parse_args() -> Options {
                             usage();
                         }
                     }
+                } else if let Some(v) = a.strip_prefix("--retries=") {
+                    match v.parse::<usize>() {
+                        Ok(n) => opts.retries = Some(n),
+                        Err(_) => {
+                            eprintln!("--retries needs a non-negative integer, got {v:?}");
+                            usage();
+                        }
+                    }
+                } else if let Some(v) = a.strip_prefix("--inject=") {
+                    match Injection::parse(v) {
+                        Ok(i) => opts.inject.push(i),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            usage();
+                        }
+                    }
                 } else if a.starts_with("--") {
                     eprintln!("unknown flag {a:?}");
                     usage();
@@ -161,12 +220,18 @@ fn parse_args() -> Options {
 
 fn main() {
     let opts = parse_args();
+    let mut supervisor = Supervisor::new(opts.mode).with_injections(opts.inject.clone());
+    if let Some(retries) = opts.retries {
+        supervisor = supervisor.with_retries(retries);
+    }
+    let supervisor = Arc::new(supervisor);
     let h = if opts.quick {
         Harness::quick()
     } else {
         Harness::full()
     }
-    .with_jobs(opts.jobs);
+    .with_jobs(opts.jobs)
+    .with_supervisor(Arc::clone(&supervisor));
 
     if opts.targets.iter().any(|t| t == "status") {
         run_status(&opts.out_dir, opts.check);
@@ -276,16 +341,48 @@ fn main() {
         t0.elapsed(),
         opts.jobs
     );
+    // Quarantined cells mean the grids above contain zeroed slots: every
+    // healthy cell kept its shard, so a later `--resume` re-runs exactly
+    // the quarantined ones — but this run's CSVs are not trustworthy, so
+    // exit nonzero with a per-class summary.
+    let quarantined = supervisor.quarantined();
+    if !quarantined.is_empty() {
+        let aborted = quarantined
+            .iter()
+            .filter(|q| q.outcome == CellOutcome::Aborted)
+            .count();
+        let panicked = quarantined.len() - aborted;
+        eprintln!(
+            "[figures] {} cell(s) quarantined ({aborted} aborted, {panicked} panicked); \
+             healthy cells kept their shards — fix the cause and re-run with --resume",
+            quarantined.len()
+        );
+        for q in &quarantined {
+            eprintln!(
+                "  {} cell {} ({}/{}) — {} after {} attempt(s): {}",
+                q.exp, q.cell, q.workload, q.config, q.outcome, q.attempts, q.reason
+            );
+        }
+        std::process::exit(1);
+    }
 }
 
 /// `figures status [--check]`: summarize the run journal under the output
-/// directory — per-experiment completion, slowest cells, degraded cells.
-/// With `--check`, additionally validate every journal line and every
-/// shard file, exiting non-zero on malformed (or absent) telemetry.
+/// directory — per-experiment completion, slowest cells, degraded and
+/// quarantined cells. Torn journal tails (a crash mid-append) are
+/// salvaged: the valid prefix is summarized and the tail reported as a
+/// warning. With `--check`, additionally validate every journal line and
+/// every shard file and require full cell coverage (every declared cell
+/// has a journal record), exiting non-zero on malformed, incomplete, or
+/// absent telemetry.
 fn run_status(out_dir: &Path, check: bool) {
-    let (records, journal_errors) = telemetry::read_journal_dir(&out_dir.join("journal"));
-    print!("{}", render_status(&telemetry::summarize(&records)));
-    for e in &journal_errors {
+    let journal = telemetry::read_journal_dir(&out_dir.join("journal"));
+    let summaries = telemetry::summarize(&journal.records);
+    print!("{}", render_status(&summaries));
+    for w in &journal.salvaged {
+        eprintln!("salvaged journal tail: {w}");
+    }
+    for e in &journal.errors {
         eprintln!("malformed journal line: {e}");
     }
     if !check {
@@ -295,21 +392,24 @@ fn run_status(out_dir: &Path, check: bool) {
     for e in &shard_errors {
         eprintln!("bad shard: {e}");
     }
+    let missing: usize = summaries.iter().map(|s| s.missing.len()).sum();
     println!(
-        "checked {} journal record(s) and {} shard(s): {} journal error(s), {} shard error(s)",
-        records.len(),
+        "checked {} journal record(s) and {} shard(s): {} journal error(s), \
+         {} shard error(s), {} missing cell(s)",
+        journal.records.len(),
         checked,
-        journal_errors.len(),
-        shard_errors.len()
+        journal.errors.len(),
+        shard_errors.len(),
+        missing
     );
-    if records.len() + checked == 0 {
+    if journal.records.len() + checked == 0 {
         eprintln!(
             "status --check: no telemetry found under {}",
             out_dir.display()
         );
         std::process::exit(1);
     }
-    if !journal_errors.is_empty() || !shard_errors.is_empty() {
+    if !journal.errors.is_empty() || !shard_errors.is_empty() || missing > 0 {
         std::process::exit(1);
     }
 }
@@ -433,9 +533,24 @@ fn probe_chaos(h: &Harness, wname: &str, seed: u64) {
                     if d.is_degraded() { "degraded" } else { "clean" }
                 );
             }
+            Ok(RunOutcome::Aborted { reason, stats }) => {
+                let d = &stats.degradation;
+                println!(
+                    "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  aborted: {reason}",
+                    kind.name(),
+                    chaos.total(),
+                    d.rejected_directives,
+                    d.fallback_remote_frames,
+                    d.walk_queue_stalls,
+                    d.stale_tlb_hits,
+                    d.audit_violations,
+                    d.tlb_class_missing,
+                    stats.cycles
+                );
+            }
             Err(e) => {
                 println!(
-                    "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  aborted: {e}",
+                    "{:<18} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  failed: {e}",
                     kind.name(),
                     chaos.total(),
                     "-",

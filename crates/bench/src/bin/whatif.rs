@@ -1,15 +1,51 @@
 //! Knob-bisection tool: run one workload under two configs while toggling
 //! machine parameters, to attribute performance differences.
+//!
+//! Exit codes follow the sweep convention: 0 when every variant ran
+//! clean, 1 when any run degraded, aborted (run budget / livelock), or
+//! failed, 2 on usage errors.
 use std::time::Instant;
 
 use mcm_bench::configs::ConfigKind;
 use mcm_bench::telemetry::fmt_duration_us;
-use mcm_sim::{run, SimConfig};
+use mcm_sim::{run_outcome, RunOutcome, RunStats, SimConfig, SimError};
 use mcm_types::PageSize;
 use mcm_workloads::{suite, FOOTPRINT_SCALE};
 
 /// A named machine-configuration tweak.
 type Variant<'a> = (&'a str, Box<dyn Fn(&mut SimConfig)>);
+
+/// Unwraps one run's outcome for the comparison row: degraded and
+/// aborted runs keep their (partial) statistics so the row still
+/// prints, fatal errors yield zeros; anything unclean flips `unclean`.
+fn classify(
+    variant: &str,
+    which: &str,
+    out: Result<RunOutcome, SimError>,
+    unclean: &mut bool,
+) -> RunStats {
+    match out {
+        Ok(RunOutcome::Completed(s)) => s,
+        Ok(RunOutcome::Degraded { stats, .. }) => {
+            eprintln!(
+                "[whatif] {variant} {which} degraded ({} degradation event(s))",
+                stats.degradation.events()
+            );
+            *unclean = true;
+            stats
+        }
+        Ok(RunOutcome::Aborted { reason, stats }) => {
+            eprintln!("[whatif] {variant} {which} aborted: {reason} (partial row follows)");
+            *unclean = true;
+            stats
+        }
+        Err(e) => {
+            eprintln!("[whatif] {variant} {which} failed: {e}");
+            *unclean = true;
+            RunStats::default()
+        }
+    }
+}
 
 fn main() {
     let wname = std::env::args().nth(1).unwrap_or_else(|| "BFS".into());
@@ -97,6 +133,7 @@ fn main() {
         "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "ring1", "ring2", "wall"
     );
     let only = std::env::var("CLAP_ONLY").ok();
+    let mut unclean = false;
     for (name, f) in variants {
         if let Some(o) = &only {
             if o != name {
@@ -107,9 +144,19 @@ fn main() {
         f(&mut cfg);
         let t0 = Instant::now();
         let (mut p1, c1) = ConfigKind::Static(PageSize::Size2M).build(&cfg);
-        let s1 = run(&c1, &w, p1.as_mut(), None).unwrap();
+        let s1 = classify(
+            name,
+            "S-2MB",
+            run_outcome(&c1, &w, p1.as_mut(), None),
+            &mut unclean,
+        );
         let (mut p2, c2) = ConfigKind::Ideal.build(&cfg);
-        let s2 = run(&c2, &w, p2.as_mut(), None).unwrap();
+        let s2 = classify(
+            name,
+            "Ideal",
+            run_outcome(&c2, &w, p2.as_mut(), None),
+            &mut unclean,
+        );
         let wall_us = t0.elapsed().as_micros() as u64;
         println!(
             "{:<12} {:>12} {:>12} {:>8.2} {:>10} {:>10} {:>9.0} {:>9.0} {:>9}",
@@ -135,5 +182,9 @@ fn main() {
             s2.dram_queue_cycles / s2.dram_accesses.max(1),
             s2.ring_queue_cycles / s2.ring_transfers.max(1)
         );
+    }
+    if unclean {
+        eprintln!("[whatif] one or more variants degraded, aborted, or failed");
+        std::process::exit(1);
     }
 }

@@ -16,9 +16,11 @@ use mcm_types::PageSize;
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::configs::ConfigKind;
 use crate::runner::SweepRunner;
+use crate::supervise::{CellVerdict, Supervisor};
 use crate::telemetry::{self, CellSpec, Telemetry};
 
 /// A figure/table's worth of results.
@@ -76,6 +78,9 @@ pub struct Harness {
     /// Sweep telemetry sink (journal/shards/progress); `None` keeps the
     /// purely in-memory path, byte-identical to before telemetry existed.
     telemetry: Option<Arc<Telemetry>>,
+    /// Per-cell failure policy: panic isolation, bounded retry, and
+    /// quarantine (default: keep-going, one retry, no injections).
+    supervisor: Arc<Supervisor>,
 }
 
 impl Harness {
@@ -86,6 +91,7 @@ impl Harness {
             tb_div: 1,
             jobs: 1,
             telemetry: None,
+            supervisor: Arc::new(Supervisor::default()),
         }
     }
 
@@ -96,6 +102,7 @@ impl Harness {
             tb_div: 4,
             jobs: 1,
             telemetry: None,
+            supervisor: Arc::new(Supervisor::default()),
         }
     }
 
@@ -115,6 +122,20 @@ impl Harness {
         self
     }
 
+    /// Replaces the sweep failure policy (mode, retry bound,
+    /// injections). The default keeps going: failed cells are retried
+    /// once with the same seed, then quarantined with zeroed statistics
+    /// while the rest of the sweep completes.
+    pub fn with_supervisor(mut self, supervisor: Arc<Supervisor>) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// The sweep failure policy (quarantine list lives here).
+    pub fn supervisor(&self) -> &Arc<Supervisor> {
+        &self.supervisor
+    }
+
     /// The runner experiments fan their sweep cells over.
     pub fn runner(&self) -> SweepRunner {
         SweepRunner::new(self.jobs)
@@ -129,23 +150,55 @@ impl Harness {
     }
 
     /// Runs one sweep of statistics-producing cells: fans `f` over
-    /// `specs` with the harness's workers, and — when telemetry is
-    /// attached — journals each cell and writes/restores its shard from
-    /// the worker thread at cell completion. Without telemetry this is
-    /// exactly `self.runner().map(...)`.
+    /// `specs` with the harness's workers, supervising every cell
+    /// (panic isolation, bounded retry, quarantine — see
+    /// [`Supervisor::supervise`]) and — when telemetry is attached —
+    /// journaling each cell and writing/restoring its shard from the
+    /// worker thread at cell completion.
+    ///
+    /// Quarantined cells yield zeroed [`RunStats`]; their grid slots are
+    /// meaningless, which is why the `figures` binary exits nonzero
+    /// whenever [`Supervisor::quarantined`] is non-empty.
     pub fn sweep_stats(
         &self,
         exp: &str,
         specs: &[CellSpec],
-        f: impl Fn(usize, &CellSpec) -> RunStats + Sync,
+        f: impl Fn(usize, &CellSpec) -> Result<RunOutcome, SimError> + Sync,
     ) -> Vec<RunStats> {
+        let sup = &self.supervisor;
         match &self.telemetry {
-            None => self.runner().map(specs, |i, s| f(i, s)),
+            None => self.runner().map(specs, |i, s| {
+                match sup.supervise(exp, i, &s.workload, &s.config, || f(i, s)) {
+                    CellVerdict::Healthy(stats) => stats,
+                    CellVerdict::Quarantined { .. } => RunStats::default(),
+                }
+            }),
             Some(t) => {
                 let scope = t.sweep(exp, specs.len(), self.fingerprint());
                 let out = self.runner().map_observed(
                     specs,
-                    |i, s| scope.run_cell(i, s, || f(i, s)),
+                    |i, s| {
+                        if let Some(stats) = scope.try_restore(i, s) {
+                            return stats;
+                        }
+                        let t0 = Instant::now();
+                        match sup.supervise(exp, i, &s.workload, &s.config, || f(i, s)) {
+                            CellVerdict::Healthy(stats) => {
+                                let wall_us = t0.elapsed().as_micros() as u64;
+                                scope.record_success(i, s, wall_us, stats)
+                            }
+                            CellVerdict::Quarantined {
+                                outcome,
+                                reason,
+                                stats,
+                                ..
+                            } => {
+                                let wall_us = t0.elapsed().as_micros() as u64;
+                                scope.record_failure(i, s, wall_us, outcome, &reason, &stats);
+                                RunStats::default()
+                            }
+                        }
+                    },
                     t.observer(),
                 );
                 scope.finish();
@@ -163,12 +216,35 @@ impl Harness {
         w.clone().with_tb_scale(1, self.tb_div)
     }
 
-    /// Runs `w` under `kind` and returns the statistics.
-    pub fn run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> RunStats {
+    /// Runs `w` under `kind` and returns the full outcome — completed,
+    /// degraded, or aborted (run budget / livelock) — or a fatal
+    /// simulation error. Sweep closures use this so the supervisor can
+    /// classify every cell without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal [`SimError`]s (aborts are an `Ok` outcome, not
+    /// an error).
+    pub fn try_run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> Result<RunOutcome, SimError> {
         let (mut policy, cfg) = kind.build(&self.base);
         let w = self.prep(w);
-        run(&cfg, &w, policy.as_mut(), None)
-            .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.name()))
+        run_outcome(&cfg, &w, policy.as_mut(), None)
+    }
+
+    /// Runs `w` under `kind` and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal error or an aborted run — the unsupervised
+    /// entry point for callers that need plain statistics.
+    pub fn run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> RunStats {
+        match self.try_run(w, kind) {
+            Ok(RunOutcome::Aborted { reason, .. }) => {
+                panic!("{} run aborted: {reason}", kind.name())
+            }
+            Ok(done) => done.into_stats(),
+            Err(e) => panic!("{} run failed: {e}", kind.name()),
+        }
     }
 
     /// Runs `w` under `kind` and returns the statistics plus the run's
@@ -183,21 +259,45 @@ impl Harness {
         (outcome.into_stats(), trace)
     }
 
-    /// Runs `w` under `kind` with a remote-cache scheme attached.
-    pub fn run_cached(
+    /// Runs `w` under `kind` with a remote-cache scheme attached,
+    /// returning the full outcome (see [`Harness::try_run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal [`SimError`]s.
+    pub fn try_run_cached(
         &self,
         w: &SyntheticWorkload,
         kind: ConfigKind,
         cache: CacheKind,
-    ) -> RunStats {
+    ) -> Result<RunOutcome, SimError> {
         let (mut policy, cfg) = kind.build(&self.base);
         let w = self.prep(w);
         let mut model: Box<dyn RemoteCacheModel> = match cache {
             CacheKind::Nuba => Box::new(Nuba::for_config(&cfg)),
             CacheKind::Sac => Box::new(Sac::for_config(&cfg)),
         };
-        run(&cfg, &w, policy.as_mut(), Some(model.as_mut()))
-            .unwrap_or_else(|e| panic!("{} run failed: {e}", kind.name()))
+        run_outcome(&cfg, &w, policy.as_mut(), Some(model.as_mut()))
+    }
+
+    /// Runs `w` under `kind` with a remote-cache scheme attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal error or an aborted run.
+    pub fn run_cached(
+        &self,
+        w: &SyntheticWorkload,
+        kind: ConfigKind,
+        cache: CacheKind,
+    ) -> RunStats {
+        match self.try_run_cached(w, kind, cache) {
+            Ok(RunOutcome::Aborted { reason, .. }) => {
+                panic!("{} run aborted: {reason}", kind.name())
+            }
+            Ok(done) => done.into_stats(),
+            Err(e) => panic!("{} run failed: {e}", kind.name()),
+        }
     }
 
     /// Runs `w` under `kind` wrapped in a fault-injecting
@@ -242,8 +342,9 @@ fn grid_over(
     let row_names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
     let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
     let cells = CellSpec::grid(&row_names, &col_names);
-    let all: Vec<RunStats> =
-        h.sweep_stats(id, &cells, |_, s| h.run(&workloads[s.row], configs[s.col]));
+    let all: Vec<RunStats> = h.sweep_stats(id, &cells, |_, s| {
+        h.try_run(&workloads[s.row], configs[s.col])
+    });
     let mut perf = Vec::new();
     let mut remote = Vec::new();
     let mut rows = Vec::new();
@@ -325,10 +426,10 @@ pub fn fig2(h: &Harness) -> Grid {
     let all: Vec<RunStats> = h.sweep_stats("fig2", &cells, |_, s| {
         let w = &ws[s.row];
         match s.col {
-            0 => h.run(w, s2m),
-            1 => h.run_cached(w, s2m, CacheKind::Nuba),
-            2 => h.run_cached(w, s2m, CacheKind::Sac),
-            _ => h.run(w, s64),
+            0 => h.try_run(w, s2m),
+            1 => h.try_run_cached(w, s2m, CacheKind::Nuba),
+            2 => h.try_run_cached(w, s2m, CacheKind::Sac),
+            _ => h.try_run(w, s64),
         }
     });
     let mut rows = Vec::new();
@@ -386,7 +487,7 @@ pub fn fig8(h: &Harness) -> Grid {
     let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
     let cells = CellSpec::grid(&row_names, &col_names);
     let all: Vec<RunStats> =
-        h.sweep_stats("fig8", &cells, |_, s| h.run(&ws[s.row], configs[s.col]));
+        h.sweep_stats("fig8", &cells, |_, s| h.try_run(&ws[s.row], configs[s.col]));
     let mut rows = Vec::new();
     let mut remote = Vec::new();
     for (r, (wname, picks)) in picks_by_workload.iter().enumerate() {
@@ -512,12 +613,12 @@ pub fn fig21(h: &Harness) -> Grid {
     let all: Vec<RunStats> = h.sweep_stats("fig21", &cells, |_, s| {
         let w = &ws[s.row];
         match s.col {
-            0 => h.run(w, s2m),
-            1 => h.run_cached(w, s2m, CacheKind::Nuba),
-            2 => h.run_cached(w, s2m, CacheKind::Sac),
-            3 => h.run(w, ConfigKind::Clap),
-            4 => h.run_cached(w, ConfigKind::Clap, CacheKind::Nuba),
-            _ => h.run_cached(w, ConfigKind::Clap, CacheKind::Sac),
+            0 => h.try_run(w, s2m),
+            1 => h.try_run_cached(w, s2m, CacheKind::Nuba),
+            2 => h.try_run_cached(w, s2m, CacheKind::Sac),
+            3 => h.try_run(w, ConfigKind::Clap),
+            4 => h.try_run_cached(w, ConfigKind::Clap, CacheKind::Nuba),
+            _ => h.try_run_cached(w, ConfigKind::Clap, CacheKind::Sac),
         }
     });
     let mut rows = Vec::new();
@@ -670,8 +771,9 @@ pub fn table2(h: &Harness) -> Grid {
     let row_names: Vec<String> = ws.iter().map(|w| w.name().to_string()).collect();
     let col_names: Vec<String> = configs.iter().map(|c| c.name()).collect();
     let cells = CellSpec::grid(&row_names, &col_names);
-    let all: Vec<RunStats> =
-        h.sweep_stats("table2", &cells, |_, s| h.run(&ws[s.row], configs[s.col]));
+    let all: Vec<RunStats> = h.sweep_stats("table2", &cells, |_, s| {
+        h.try_run(&ws[s.row], configs[s.col])
+    });
     let mut rows = Vec::new();
     let mut perf = Vec::new();
     let mut remote = Vec::new();

@@ -12,4 +12,5 @@ pub mod configs;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod supervise;
 pub mod telemetry;

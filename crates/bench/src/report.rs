@@ -161,15 +161,22 @@ pub fn render_status(summaries: &[crate::telemetry::ExpSummary]) -> String {
         return out;
     }
     for s in summaries {
+        let mut classes = format!(
+            "{} completed, {} degraded, {} resumed",
+            s.completed, s.degraded, s.resumed
+        );
+        if s.aborted > 0 {
+            let _ = write!(classes, ", {} aborted", s.aborted);
+        }
+        if s.panicked > 0 {
+            let _ = write!(classes, ", {} panicked", s.panicked);
+        }
         let _ = writeln!(
             out,
-            "== {} — {}/{} cells journaled ({} completed, {} degraded, {} resumed), wall {}",
+            "== {} — {}/{} cells journaled ({classes}), wall {}",
             s.exp,
             s.cells,
             s.total,
-            s.completed,
-            s.degraded,
-            s.resumed,
             fmt_duration_us(s.wall_us)
         );
         if !s.slowest.is_empty() {
@@ -202,6 +209,31 @@ pub fn render_status(summaries: &[crate::telemetry::ExpSummary]) -> String {
                 r.walk_queue_stalls,
                 r.stale_tlb_hits,
                 r.audit_violations
+            );
+        }
+        for r in &s.quarantined_cells {
+            let _ = writeln!(
+                out,
+                "   quarantined: {}/{} cell {} — {}: {}",
+                r.workload,
+                r.config,
+                r.cell,
+                r.outcome,
+                if r.reason.is_empty() {
+                    "(no reason recorded)"
+                } else {
+                    &r.reason
+                }
+            );
+        }
+        if !s.missing.is_empty() {
+            let shown: Vec<String> = s.missing.iter().take(8).map(usize::to_string).collect();
+            let ellipsis = if s.missing.len() > 8 { ", ..." } else { "" };
+            let _ = writeln!(
+                out,
+                "   missing: {} cell(s) never journaled: {}{ellipsis}",
+                s.missing.len(),
+                shown.join(", ")
             );
         }
     }
@@ -480,6 +512,62 @@ mod tests {
             "{s}"
         );
         assert!(render_status(&[]).contains("no journal records"));
+    }
+
+    #[test]
+    fn status_rendering_reports_quarantined_and_missing_cells() {
+        use crate::telemetry::{summarize, CellOutcome, CellRecord, CellSpec};
+        use mcm_sim::RunStats;
+        let spec = CellSpec {
+            row: 0,
+            col: 0,
+            workload: "STE".into(),
+            config: "CLAP".into(),
+            seed: 0,
+        };
+        let ok = CellRecord::from_stats(
+            "fig9",
+            &spec,
+            0,
+            4,
+            100,
+            CellOutcome::Completed,
+            &RunStats::default(),
+        );
+        let aborted = CellRecord::from_stats(
+            "fig9",
+            &spec,
+            1,
+            4,
+            50,
+            CellOutcome::Aborted,
+            &RunStats::default(),
+        )
+        .with_reason("run budget exceeded: cycle 9 past max_cycles 5");
+        let panicked = CellRecord::from_stats(
+            "fig9",
+            &spec,
+            2,
+            4,
+            10,
+            CellOutcome::Panicked,
+            &RunStats::default(),
+        )
+        .with_reason("injected panic");
+        // Cell 3 never journaled.
+        let s = render_status(&summarize(&[ok, aborted, panicked]));
+        assert!(s.contains("3/4 cells journaled"), "{s}");
+        assert!(s.contains("1 aborted"), "{s}");
+        assert!(s.contains("1 panicked"), "{s}");
+        assert!(
+            s.contains("quarantined: STE/CLAP cell 1 — aborted: run budget exceeded"),
+            "{s}"
+        );
+        assert!(
+            s.contains("quarantined: STE/CLAP cell 2 — panicked: injected panic"),
+            "{s}"
+        );
+        assert!(s.contains("missing: 1 cell(s) never journaled: 3"), "{s}");
     }
 
     fn figure_trace() -> FigureTrace {

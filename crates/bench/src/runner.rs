@@ -8,8 +8,53 @@
 //! order**, so output is byte-identical to a serial run regardless of the
 //! worker count or OS scheduling.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Outcome of one sweep cell under panic isolation
+/// ([`SweepRunner::map_caught`]): either the cell's result, or the panic
+/// it died with, rendered as text. An unfilled result slot (a worker died
+/// outside the cell body) also surfaces as [`CellResult::Panicked`] — an
+/// empty slot is a classified state, not a crash.
+#[derive(Debug)]
+pub enum CellResult<R> {
+    /// The cell returned normally.
+    Done(R),
+    /// The cell panicked (or never filled its slot).
+    Panicked {
+        /// The panic payload, rendered (`&str`/`String` payloads verbatim).
+        message: String,
+    },
+}
+
+impl<R> CellResult<R> {
+    /// `true` for [`CellResult::Panicked`].
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CellResult::Panicked { .. })
+    }
+
+    /// The result, if the cell completed.
+    pub fn into_done(self) -> Option<R> {
+        match self {
+            CellResult::Done(r) => Some(r),
+            CellResult::Panicked { .. } => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads verbatim,
+/// anything else a placeholder).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Lifecycle hooks around every sweep cell, called from the worker thread
 /// that runs the cell (the serial fast path calls them too). The sweep
@@ -85,13 +130,79 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Propagates the first panic of any cell (as a serial loop would).
+    /// Propagates the lowest-indexed panic of any cell (as a serial loop
+    /// would see first) — but only after every other cell has finished, so
+    /// a panic no longer aborts in-flight work. Use
+    /// [`map_caught`](Self::map_caught) to classify panics instead of
+    /// propagating them.
     pub fn map_observed<T, R, F>(&self, items: &[T], f: F, obs: &dyn SweepObserver) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for r in self.map_payload(items, f, obs) {
+            match r {
+                Ok(r) => out.push(r),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// [`map_observed`](Self::map_observed), but with every cell's panic
+    /// caught and classified instead of propagated: the result vector
+    /// always has one [`CellResult`] per item, in item order, and no panic
+    /// escapes. Cells are unwind-safe by construction in this crate (each
+    /// builds its own machine and policy); observers must tolerate a cell
+    /// panicking between its `cell_started` and `cell_finished` hooks.
+    pub fn map_caught<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+        obs: &dyn SweepObserver,
+    ) -> Vec<CellResult<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.map_payload(items, f, obs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(r) => CellResult::Done(r),
+                Err(p) => CellResult::Panicked {
+                    message: panic_message(p.as_ref()),
+                },
+            })
+            .collect()
+    }
+
+    /// Shared core of [`map_observed`] / [`map_caught`]: one
+    /// `Result<R, payload>` per item, in item order. Workers catch each
+    /// cell's unwind and keep draining the queue, so one bad cell never
+    /// cancels the rest of the sweep.
+    fn map_payload<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+        obs: &dyn SweepObserver,
+    ) -> Vec<Result<R, Box<dyn Any + Send>>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        type Slot<R> = Mutex<Option<Result<R, Box<dyn Any + Send>>>>;
         let workers = self.jobs.min(items.len());
         if workers <= 1 {
             return items
@@ -99,14 +210,14 @@ impl SweepRunner {
                 .enumerate()
                 .map(|(i, t)| {
                     obs.cell_started(i);
-                    let r = f(i, t);
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i, t)));
                     obs.cell_finished(i);
                     r
                 })
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot<R>> = items.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -115,10 +226,11 @@ impl SweepRunner {
                         break;
                     }
                     obs.cell_started(i);
-                    let r = f(i, &items[i]);
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
                     // A slot's lock is only ever taken once per run; a
-                    // poisoned lock means another cell panicked, and the
-                    // scope is about to propagate that panic anyway.
+                    // poisoned lock could only come from an observer
+                    // panicking mid-store, in which case the stored result
+                    // is still the one we want.
                     *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
                     obs.cell_finished(i);
                 });
@@ -130,7 +242,9 @@ impl SweepRunner {
             .map(|(i, s)| {
                 s.into_inner()
                     .unwrap_or_else(|p| p.into_inner())
-                    .unwrap_or_else(|| panic!("sweep cell {i} produced no result"))
+                    .unwrap_or_else(|| {
+                        Err(Box::new(format!("sweep cell {i} produced no result")) as _)
+                    })
             })
             .collect()
     }
@@ -211,6 +325,55 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = SweepRunner::new(8).map(&[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_caught_isolates_panics_and_finishes_the_rest() {
+        let items: Vec<usize> = (0..16).collect();
+        for jobs in [1, 4] {
+            let out = SweepRunner::new(jobs).map_caught(
+                &items,
+                |i, &x| {
+                    if i == 5 {
+                        panic!("cell five is bad");
+                    }
+                    x * 2
+                },
+                &NOOP_OBSERVER,
+            );
+            assert_eq!(out.len(), items.len(), "jobs={jobs}");
+            for (i, r) in out.into_iter().enumerate() {
+                if i == 5 {
+                    match r {
+                        CellResult::Panicked { message } => {
+                            assert!(message.contains("cell five is bad"))
+                        }
+                        other => panic!("expected Panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(r.into_done(), Some(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_propagates_the_lowest_indexed_panic_after_draining() {
+        static COMPLETED: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SweepRunner::new(4).map(&items, |i, &x| {
+                if i == 3 || i == 9 {
+                    panic!("boom {i}");
+                }
+                COMPLETED.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        let payload = caught.expect_err("map must propagate the panic");
+        assert_eq!(panic_message(payload.as_ref()), "boom 3");
+        // The other cells all ran to completion before the propagation.
+        assert_eq!(COMPLETED.load(Ordering::SeqCst), 14);
     }
 
     #[test]

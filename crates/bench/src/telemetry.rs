@@ -572,16 +572,31 @@ pub enum CellOutcome {
     Degraded,
     /// Not re-run: restored from a valid shard by `--resume`.
     Resumed,
+    /// Quarantined: every attempt ended in a typed abort
+    /// ([`RunOutcome::Aborted`](mcm_sim::RunOutcome::Aborted) or a
+    /// [`SimError`](mcm_sim::SimError)). No shard is written.
+    Aborted,
+    /// Quarantined: every attempt panicked (caught by the sweep
+    /// supervisor). No shard is written.
+    Panicked,
 }
 
 impl CellOutcome {
-    /// Journal spelling ("completed" / "degraded" / "resumed").
+    /// Journal spelling ("completed" / "degraded" / "resumed" /
+    /// "aborted" / "panicked").
     pub fn as_str(self) -> &'static str {
         match self {
             CellOutcome::Completed => "completed",
             CellOutcome::Degraded => "degraded",
             CellOutcome::Resumed => "resumed",
+            CellOutcome::Aborted => "aborted",
+            CellOutcome::Panicked => "panicked",
         }
+    }
+
+    /// Whether this outcome marks a quarantined cell (no usable result).
+    pub fn is_quarantined(self) -> bool {
+        matches!(self, CellOutcome::Aborted | CellOutcome::Panicked)
     }
 
     /// Parses the journal spelling.
@@ -594,6 +609,8 @@ impl CellOutcome {
             "completed" => Ok(CellOutcome::Completed),
             "degraded" => Ok(CellOutcome::Degraded),
             "resumed" => Ok(CellOutcome::Resumed),
+            "aborted" => Ok(CellOutcome::Aborted),
+            "panicked" => Ok(CellOutcome::Panicked),
             other => Err(format!("unknown outcome {other:?}")),
         }
     }
@@ -656,6 +673,9 @@ pub struct CellRecord {
     pub audit_violations: u64,
     /// Translations whose leaf size had no TLB class.
     pub tlb_class_missing: u64,
+    /// Why a quarantined cell failed (abort reason or panic message);
+    /// empty for healthy cells and omitted from their journal lines.
+    pub reason: String,
 }
 
 impl CellRecord {
@@ -693,7 +713,15 @@ impl CellRecord {
             stale_tlb_hits: d.stale_tlb_hits,
             audit_violations: d.audit_violations,
             tlb_class_missing: d.tlb_class_missing,
+            reason: String::new(),
         }
+    }
+
+    /// Attaches a quarantine reason (abort reason / panic message).
+    #[must_use]
+    pub fn with_reason(mut self, reason: &str) -> CellRecord {
+        self.reason = reason.to_string();
+        self
     }
 
     /// Serializes the record as one JSONL line (no trailing newline).
@@ -724,7 +752,13 @@ impl CellRecord {
         let _ = write!(o, ",\"walk_queue_stalls\":{}", self.walk_queue_stalls);
         let _ = write!(o, ",\"stale_tlb_hits\":{}", self.stale_tlb_hits);
         let _ = write!(o, ",\"audit_violations\":{}", self.audit_violations);
-        let _ = write!(o, ",\"tlb_class_missing\":{}}}", self.tlb_class_missing);
+        let _ = write!(o, ",\"tlb_class_missing\":{}", self.tlb_class_missing);
+        // Healthy records omit the reason so pre-supervision journal
+        // lines and new ones stay byte-identical.
+        if !self.reason.is_empty() {
+            let _ = write!(o, ",\"reason\":\"{}\"", json_escape(&self.reason));
+        }
+        o.push('}');
         o
     }
 
@@ -735,32 +769,41 @@ impl CellRecord {
     /// Returns a description of the first missing or malformed field.
     pub fn parse_line(line: &str) -> Result<CellRecord, String> {
         let j = Json::parse(line)?;
-        let schema = u64_field(&j, "schema")? as u32;
-        Ok(CellRecord {
-            schema,
-            exp: str_field(&j, "exp")?,
-            cell: u64_field(&j, "cell")? as usize,
-            total: u64_field(&j, "total")? as usize,
-            config: str_field(&j, "config")?,
-            workload: str_field(&j, "workload")?,
-            seed: u64_field(&j, "seed")?,
-            wall_us: u64_field(&j, "wall_us")?,
-            outcome: CellOutcome::parse(&str_field(&j, "outcome")?)?,
-            cycles: u64_field(&j, "cycles")?,
-            mem_insts: u64_field(&j, "mem_insts")?,
-            remote_insts: u64_field(&j, "remote_insts")?,
-            l2tlb_misses: u64_field(&j, "l2tlb_misses")?,
-            walks: u64_field(&j, "walks")?,
-            faults: u64_field(&j, "faults")?,
-            degraded_events: u64_field(&j, "degraded_events")?,
-            fallback_remote_frames: u64_field(&j, "fallback_remote_frames")?,
-            rejected_directives: u64_field(&j, "rejected_directives")?,
-            walk_queue_stalls: u64_field(&j, "walk_queue_stalls")?,
-            stale_tlb_hits: u64_field(&j, "stale_tlb_hits")?,
-            audit_violations: u64_field(&j, "audit_violations")?,
-            tlb_class_missing: u64_field(&j, "tlb_class_missing")?,
-        })
+        parse_record_json(&j)
     }
+}
+
+fn parse_record_json(j: &Json) -> Result<CellRecord, String> {
+    let schema = u64_field(j, "schema")? as u32;
+    Ok(CellRecord {
+        schema,
+        exp: str_field(j, "exp")?,
+        cell: u64_field(j, "cell")? as usize,
+        total: u64_field(j, "total")? as usize,
+        config: str_field(j, "config")?,
+        workload: str_field(j, "workload")?,
+        seed: u64_field(j, "seed")?,
+        wall_us: u64_field(j, "wall_us")?,
+        outcome: CellOutcome::parse(&str_field(j, "outcome")?)?,
+        cycles: u64_field(j, "cycles")?,
+        mem_insts: u64_field(j, "mem_insts")?,
+        remote_insts: u64_field(j, "remote_insts")?,
+        l2tlb_misses: u64_field(j, "l2tlb_misses")?,
+        walks: u64_field(j, "walks")?,
+        faults: u64_field(j, "faults")?,
+        degraded_events: u64_field(j, "degraded_events")?,
+        fallback_remote_frames: u64_field(j, "fallback_remote_frames")?,
+        rejected_directives: u64_field(j, "rejected_directives")?,
+        walk_queue_stalls: u64_field(j, "walk_queue_stalls")?,
+        stale_tlb_hits: u64_field(j, "stale_tlb_hits")?,
+        audit_violations: u64_field(j, "audit_violations")?,
+        tlb_class_missing: u64_field(j, "tlb_class_missing")?,
+        reason: j
+            .get("reason")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string(),
+    })
 }
 
 /// Serializes one shard file: the cell's journal record plus its full
@@ -803,33 +846,6 @@ pub fn shard_from_json(s: &str, want_fingerprint: u64) -> Result<(CellRecord, Ru
     let record = parse_record_json(rec)?;
     let stats = stats_from_json(j.get("stats").ok_or("missing stats")?)?;
     Ok((record, stats))
-}
-
-fn parse_record_json(j: &Json) -> Result<CellRecord, String> {
-    Ok(CellRecord {
-        schema: u64_field(j, "schema")? as u32,
-        exp: str_field(j, "exp")?,
-        cell: u64_field(j, "cell")? as usize,
-        total: u64_field(j, "total")? as usize,
-        config: str_field(j, "config")?,
-        workload: str_field(j, "workload")?,
-        seed: u64_field(j, "seed")?,
-        wall_us: u64_field(j, "wall_us")?,
-        outcome: CellOutcome::parse(&str_field(j, "outcome")?)?,
-        cycles: u64_field(j, "cycles")?,
-        mem_insts: u64_field(j, "mem_insts")?,
-        remote_insts: u64_field(j, "remote_insts")?,
-        l2tlb_misses: u64_field(j, "l2tlb_misses")?,
-        walks: u64_field(j, "walks")?,
-        faults: u64_field(j, "faults")?,
-        degraded_events: u64_field(j, "degraded_events")?,
-        fallback_remote_frames: u64_field(j, "fallback_remote_frames")?,
-        rejected_directives: u64_field(j, "rejected_directives")?,
-        walk_queue_stalls: u64_field(j, "walk_queue_stalls")?,
-        stale_tlb_hits: u64_field(j, "stale_tlb_hits")?,
-        audit_violations: u64_field(j, "audit_violations")?,
-        tlb_class_missing: u64_field(j, "tlb_class_missing")?,
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1039,12 +1055,27 @@ impl Telemetry {
     pub fn sweep(&self, exp: &str, total: usize, harness_fingerprint: u64) -> SweepScope<'_> {
         let journal_dir = self.root.join("journal");
         let shard_dir = self.root.join("shards").join(exp);
+        let journal_path = journal_dir.join(format!("{exp}.jsonl"));
         let journal = fs::create_dir_all(&journal_dir)
             .and_then(|()| {
+                // A crash mid-append leaves a torn final record (no
+                // trailing newline). Truncate back to the last complete
+                // line before appending, so the journal stays a valid
+                // JSONL prefix and the new records don't concatenate
+                // onto the torn tail.
+                match repair_torn_tail(&journal_path) {
+                    Ok(0) => {}
+                    Ok(dropped) => eprintln!(
+                        "warning: {} journal had a torn final record; \
+                         dropped {dropped} trailing byte(s)",
+                        exp
+                    ),
+                    Err(e) => eprintln!("warning: could not repair {} journal tail: {e}", exp),
+                }
                 fs::OpenOptions::new()
                     .create(true)
                     .append(true)
-                    .open(journal_dir.join(format!("{exp}.jsonl")))
+                    .open(&journal_path)
             })
             .map_err(|e| eprintln!("warning: telemetry journal for {exp} unavailable: {e}"))
             .ok();
@@ -1150,43 +1181,70 @@ impl SweepScope<'_> {
         spec: &CellSpec,
         f: impl FnOnce() -> RunStats,
     ) -> RunStats {
-        let shard_path = self.shard_path(index);
-        let fingerprint = self.cell_fingerprint(index, spec);
-        if self.tele.resume {
-            let t0 = Instant::now();
-            match fs::read_to_string(&shard_path) {
-                Ok(body) => match shard_from_json(&body, fingerprint) {
-                    Ok((_, stats)) => {
-                        let wall_us = t0.elapsed().as_micros() as u64;
-                        let record = CellRecord::from_stats(
-                            &self.exp,
-                            spec,
-                            index,
-                            self.total,
-                            wall_us,
-                            CellOutcome::Resumed,
-                            &stats,
-                        );
-                        self.append_journal(&record);
-                        self.resumed.fetch_add(1, Ordering::Relaxed);
-                        self.note_degradation(&stats);
-                        return stats;
-                    }
-                    Err(e) => eprintln!(
-                        "[telemetry] re-running {} cell {index} ({}/{}): {e}",
-                        self.exp, spec.workload, spec.config
-                    ),
-                },
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => eprintln!(
-                    "[telemetry] re-running {} cell {index}: unreadable shard: {e}",
-                    self.exp
-                ),
-            }
+        if let Some(stats) = self.try_restore(index, spec) {
+            return stats;
         }
         let t0 = Instant::now();
         let stats = f();
         let wall_us = t0.elapsed().as_micros() as u64;
+        self.record_success(index, spec, wall_us, stats)
+    }
+
+    /// Attempts to restore cell `index` from its shard (resume mode
+    /// only). A valid shard is journaled as [`CellOutcome::Resumed`] and
+    /// its decoded statistics returned; a missing, corrupt, or stale
+    /// shard returns `None` — the caller re-runs the cell.
+    pub fn try_restore(&self, index: usize, spec: &CellSpec) -> Option<RunStats> {
+        if !self.tele.resume {
+            return None;
+        }
+        let shard_path = self.shard_path(index);
+        let fingerprint = self.cell_fingerprint(index, spec);
+        let t0 = Instant::now();
+        match fs::read_to_string(&shard_path) {
+            Ok(body) => match shard_from_json(&body, fingerprint) {
+                Ok((_, stats)) => {
+                    let wall_us = t0.elapsed().as_micros() as u64;
+                    let record = CellRecord::from_stats(
+                        &self.exp,
+                        spec,
+                        index,
+                        self.total,
+                        wall_us,
+                        CellOutcome::Resumed,
+                        &stats,
+                    );
+                    self.append_journal(&record);
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    self.note_degradation(&stats);
+                    return Some(stats);
+                }
+                Err(e) => eprintln!(
+                    "[telemetry] re-running {} cell {index} ({}/{}): {e}",
+                    self.exp, spec.workload, spec.config
+                ),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!(
+                "[telemetry] re-running {} cell {index}: unreadable shard: {e}",
+                self.exp
+            ),
+        }
+        None
+    }
+
+    /// Journals a freshly-run cell and writes its shard, returning the
+    /// statistics decoded back from the shard encoding (so the assembled
+    /// grid provably comes from shard data).
+    pub fn record_success(
+        &self,
+        index: usize,
+        spec: &CellSpec,
+        wall_us: u64,
+        stats: RunStats,
+    ) -> RunStats {
+        let shard_path = self.shard_path(index);
+        let fingerprint = self.cell_fingerprint(index, spec);
         let outcome = if stats.degradation.is_degraded() {
             CellOutcome::Degraded
         } else {
@@ -1221,6 +1279,25 @@ impl SweepScope<'_> {
         self.append_journal(&record);
         self.note_degradation(&stats);
         stats
+    }
+
+    /// Journals a quarantined cell: outcome [`CellOutcome::Aborted`] or
+    /// [`CellOutcome::Panicked`] with the failure reason, plus whatever
+    /// partial statistics the aborted run produced. No shard is written,
+    /// so a later `--resume` re-runs the cell once the cause is fixed.
+    pub fn record_failure(
+        &self,
+        index: usize,
+        spec: &CellSpec,
+        wall_us: u64,
+        outcome: CellOutcome,
+        reason: &str,
+        stats: &RunStats,
+    ) {
+        let record =
+            CellRecord::from_stats(&self.exp, spec, index, self.total, wall_us, outcome, stats)
+                .with_reason(reason);
+        self.append_journal(&record);
     }
 
     fn write_shard(&self, path: &Path, body: &str) -> std::io::Result<()> {
@@ -1274,39 +1351,87 @@ impl SweepScope<'_> {
 // Journal reading & summarizing (the `figures status` subcommand)
 // ---------------------------------------------------------------------------
 
+/// Truncates a torn final journal record: a crash mid-append leaves a
+/// partial line with no trailing newline, and every complete record
+/// before it is still valid. Returns the number of bytes dropped (0 when
+/// the file is absent, empty, or ends cleanly).
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the file not existing.
+pub fn repair_torn_tail(path: &Path) -> std::io::Result<u64> {
+    let body = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    if body.is_empty() || body.last() == Some(&b'\n') {
+        return Ok(0);
+    }
+    let keep = body.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep as u64)?;
+    Ok((body.len() - keep) as u64)
+}
+
+/// What [`read_journal_dir`] recovered from a journal directory.
+#[derive(Clone, Debug, Default)]
+pub struct JournalRead {
+    /// Every record that parsed, in file order.
+    pub records: Vec<CellRecord>,
+    /// Malformed interior lines (`file:line: error`) — real corruption
+    /// that `status --check` should fail on.
+    pub errors: Vec<String>,
+    /// Torn final lines (no trailing newline — a crash mid-append).
+    /// The valid prefix above them was salvaged; these are warnings, not
+    /// check failures.
+    pub salvaged: Vec<String>,
+}
+
 /// Reads every `*.jsonl` journal under `dir` (sorted by file name) and
-/// parses its records. Malformed lines become entries in the second
-/// return value (`file:line: error`) instead of aborting the read.
-pub fn read_journal_dir(dir: &Path) -> (Vec<CellRecord>, Vec<String>) {
-    let mut records = Vec::new();
-    let mut errors = Vec::new();
+/// parses its records. Malformed interior lines become [`JournalRead::errors`]
+/// instead of aborting the read; a malformed *final* line with no
+/// trailing newline is a torn tail from a crash mid-append — the valid
+/// prefix is kept and the tail reported in [`JournalRead::salvaged`].
+pub fn read_journal_dir(dir: &Path) -> JournalRead {
+    let mut out = JournalRead::default();
     let mut files: Vec<PathBuf> = match fs::read_dir(dir) {
         Ok(entries) => entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
             .collect(),
-        Err(_) => return (records, errors),
+        Err(_) => return out,
     };
     files.sort();
     for path in files {
         let body = match fs::read_to_string(&path) {
             Ok(b) => b,
             Err(e) => {
-                errors.push(format!("{}: {e}", path.display()));
+                out.errors.push(format!("{}: {e}", path.display()));
                 continue;
             }
         };
+        let torn_tail = !body.is_empty() && !body.ends_with('\n');
+        let last = body.lines().count();
         for (n, line) in body.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             match CellRecord::parse_line(line) {
-                Ok(r) => records.push(r),
-                Err(e) => errors.push(format!("{}:{}: {e}", path.display(), n + 1)),
+                Ok(r) => out.records.push(r),
+                Err(e) if torn_tail && n + 1 == last => out.salvaged.push(format!(
+                    "{}:{}: torn final record ({e}); salvaged the {} line(s) before it",
+                    path.display(),
+                    n + 1,
+                    n
+                )),
+                Err(e) => out
+                    .errors
+                    .push(format!("{}:{}: {e}", path.display(), n + 1)),
             }
         }
     }
-    (records, errors)
+    out
 }
 
 /// Walks every shard under `dir` (`<exp>/<cell>.json`), validating that
@@ -1372,12 +1497,23 @@ pub struct ExpSummary {
     pub degraded: usize,
     /// Cells whose latest record was a resume restore.
     pub resumed: usize,
+    /// Cells whose latest record is a quarantined typed abort.
+    pub aborted: usize,
+    /// Cells whose latest record is a quarantined panic.
+    pub panicked: usize,
     /// Summed wall-clock of the latest record per cell, µs.
     pub wall_us: u64,
     /// Latest record per cell, slowest first (fresh runs only).
     pub slowest: Vec<CellRecord>,
     /// Latest record of every degraded cell, in cell order.
     pub degraded_cells: Vec<CellRecord>,
+    /// Latest record of every quarantined (aborted/panicked) cell, in
+    /// cell order.
+    pub quarantined_cells: Vec<CellRecord>,
+    /// Cell indices in `0..total` with no journal record at all (a
+    /// crash or kill before the cell finished) — what `status --check`
+    /// flags as incomplete coverage.
+    pub missing: Vec<usize>,
 }
 
 /// Groups journal records by experiment (first-seen order) and reduces
@@ -1406,19 +1542,32 @@ pub fn summarize(records: &[CellRecord]) -> Vec<ExpSummary> {
             }
             latest.sort_by_key(|(c, _)| *c);
             let cells = latest.len();
+            let quarantined_cells: Vec<CellRecord> = latest
+                .iter()
+                .filter(|(_, r)| r.outcome.is_quarantined())
+                .map(|(_, r)| (*r).clone())
+                .collect();
             let degraded_cells: Vec<CellRecord> = latest
                 .iter()
-                .filter(|(_, r)| r.degraded_events > 0)
+                .filter(|(_, r)| !r.outcome.is_quarantined() && r.degraded_events > 0)
                 .map(|(_, r)| (*r).clone())
                 .collect();
             let resumed = latest
                 .iter()
                 .filter(|(_, r)| r.outcome == CellOutcome::Resumed)
                 .count();
+            let aborted = quarantined_cells
+                .iter()
+                .filter(|r| r.outcome == CellOutcome::Aborted)
+                .count();
+            let panicked = quarantined_cells.len() - aborted;
+            let missing: Vec<usize> = (0..total)
+                .filter(|i| !latest.iter().any(|(c, _)| c == i))
+                .collect();
             let wall_us = latest.iter().map(|(_, r)| r.wall_us).sum();
             let mut slowest: Vec<CellRecord> = latest
                 .iter()
-                .filter(|(_, r)| r.outcome != CellOutcome::Resumed)
+                .filter(|(_, r)| r.outcome != CellOutcome::Resumed && !r.outcome.is_quarantined())
                 .map(|(_, r)| (*r).clone())
                 .collect();
             slowest.sort_by_key(|r| std::cmp::Reverse(r.wall_us));
@@ -1427,12 +1576,16 @@ pub fn summarize(records: &[CellRecord]) -> Vec<ExpSummary> {
                 exp,
                 total,
                 cells,
-                completed: cells - degraded_cells.len(),
+                completed: cells - degraded_cells.len() - quarantined_cells.len(),
                 degraded: degraded_cells.len(),
                 resumed,
+                aborted,
+                panicked,
                 wall_us,
                 slowest,
                 degraded_cells,
+                quarantined_cells,
+                missing,
             }
         })
         .collect()
@@ -1640,8 +1793,10 @@ mod tests {
         assert_eq!(out.cycles, sample_stats().cycles);
         scope.finish();
         assert!(dir.join("shards/figX/00000.json").is_file());
-        let (records, errors) = read_journal_dir(&dir.join("journal"));
-        assert!(errors.is_empty(), "{errors:?}");
+        let journal = read_journal_dir(&dir.join("journal"));
+        assert!(journal.errors.is_empty(), "{:?}", journal.errors);
+        assert!(journal.salvaged.is_empty(), "{:?}", journal.salvaged);
+        let records = journal.records;
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].outcome, CellOutcome::Degraded);
         let (checked, shard_errors) = check_shards(&dir.join("shards"));
@@ -1669,6 +1824,117 @@ mod tests {
         assert_eq!(fresh.cycles, sample_stats().cycles);
         scope.finish();
         assert_eq!(tele.experiment_counters()[0].resumed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_records_round_trip_with_reason() {
+        let s = sample_stats();
+        let r = CellRecord::from_stats("fig1", &spec(), 3, 24, 99, CellOutcome::Aborted, &s)
+            .with_reason("livelock detected at cycle 77000");
+        let line = r.to_json_line();
+        assert!(line.contains("\"outcome\":\"aborted\""));
+        assert!(line.contains("\"reason\":\"livelock detected at cycle 77000\""));
+        let parsed = CellRecord::parse_line(&line).expect("parse");
+        assert_eq!(parsed, r);
+        assert!(parsed.outcome.is_quarantined());
+        // Healthy records omit the reason field entirely, keeping their
+        // lines byte-identical to the pre-supervision schema.
+        let healthy =
+            CellRecord::from_stats("fig1", &spec(), 3, 24, 99, CellOutcome::Completed, &s);
+        assert!(!healthy.to_json_line().contains("reason"));
+        assert_eq!(
+            CellRecord::parse_line(&healthy.to_json_line())
+                .expect("parse")
+                .reason,
+            ""
+        );
+    }
+
+    #[test]
+    fn summarize_classifies_quarantined_and_missing_cells() {
+        let s = sample_stats();
+        let mut clean = s.clone();
+        clean.degradation = DegradationStats::default();
+        let ok = CellRecord::from_stats("figQ", &spec(), 0, 4, 100, CellOutcome::Completed, &clean);
+        let aborted = CellRecord::from_stats("figQ", &spec(), 1, 4, 50, CellOutcome::Aborted, &s)
+            .with_reason("run budget exceeded");
+        let panicked =
+            CellRecord::from_stats("figQ", &spec(), 2, 4, 10, CellOutcome::Panicked, &clean)
+                .with_reason("boom");
+        // Cell 3 never journaled (crash before completion).
+        let sums = summarize(&[ok, aborted, panicked]);
+        assert_eq!(sums.len(), 1);
+        let sum = &sums[0];
+        assert_eq!((sum.cells, sum.total), (3, 4));
+        assert_eq!((sum.completed, sum.aborted, sum.panicked), (1, 1, 1));
+        assert_eq!(
+            sum.degraded, 0,
+            "the aborted cell's degradation events must not double-count it"
+        );
+        assert_eq!(sum.quarantined_cells.len(), 2);
+        assert_eq!(sum.missing, vec![3]);
+        assert_eq!(sum.slowest.len(), 1, "quarantined cells are not 'slow'");
+    }
+
+    #[test]
+    fn torn_journal_tail_is_salvaged_and_repaired() {
+        let dir = std::env::temp_dir().join("clap-repro-test-telemetry-torn");
+        let _ = fs::remove_dir_all(&dir);
+        let journal_dir = dir.join("journal");
+        fs::create_dir_all(&journal_dir).expect("mkdir");
+        let s = sample_stats();
+        let good = CellRecord::from_stats("figT", &spec(), 0, 2, 10, CellOutcome::Completed, &s);
+        let torn = good.to_json_line();
+        let torn = &torn[..torn.len() / 2]; // record cut mid-write
+        let path = journal_dir.join("figT.jsonl");
+        fs::write(&path, format!("{}\n{torn}", good.to_json_line())).expect("write");
+        // Reading salvages the valid prefix; the torn tail is a warning,
+        // not an error.
+        let read = read_journal_dir(&journal_dir);
+        assert_eq!(read.records.len(), 1);
+        assert!(read.errors.is_empty(), "{:?}", read.errors);
+        assert_eq!(read.salvaged.len(), 1, "{:?}", read.salvaged);
+        assert!(read.salvaged[0].contains("torn final record"));
+        // Re-opening the sweep truncates the torn bytes so appends start
+        // on a fresh line.
+        let tele = Telemetry::new(&dir);
+        let scope = tele.sweep("figT", 2, 42);
+        let _ = scope.run_cell(1, &spec(), sample_stats);
+        scope.finish();
+        let read = read_journal_dir(&journal_dir);
+        assert_eq!(read.records.len(), 2);
+        assert!(read.errors.is_empty(), "{:?}", read.errors);
+        assert!(read.salvaged.is_empty(), "{:?}", read.salvaged);
+        // An interior corrupt line is real corruption, not a torn tail.
+        fs::write(&path, format!("not json\n{}\n", good.to_json_line())).expect("write");
+        let read = read_journal_dir(&journal_dir);
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.errors.len(), 1);
+        assert!(read.salvaged.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_failure_journals_without_a_shard() {
+        let dir = std::env::temp_dir().join("clap-repro-test-telemetry-failure");
+        let _ = fs::remove_dir_all(&dir);
+        let tele = Telemetry::new(&dir);
+        let scope = tele.sweep("figF", 1, 42);
+        scope.record_failure(
+            0,
+            &spec(),
+            25,
+            CellOutcome::Panicked,
+            "injected panic",
+            &RunStats::default(),
+        );
+        scope.finish();
+        assert!(!dir.join("shards/figF/00000.json").exists());
+        let read = read_journal_dir(&dir.join("journal"));
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.records[0].outcome, CellOutcome::Panicked);
+        assert_eq!(read.records[0].reason, "injected panic");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -62,7 +62,7 @@ fn chaos_run(kind: ConfigKind, seed: u64) -> (ChaosStats, Option<RunStats>) {
         Ok(RunOutcome::Completed(stats)) | Ok(RunOutcome::Degraded { stats, .. }) => {
             (chaotic.stats(), Some(stats))
         }
-        Err(_) => (chaotic.stats(), None),
+        Ok(RunOutcome::Aborted { .. }) | Err(_) => (chaotic.stats(), None),
     }
 }
 

@@ -284,6 +284,84 @@ impl<P: PagingPolicy> PagingPolicy for ChaosPolicy<P> {
     }
 }
 
+/// A livelock-inducing wrapper: every epoch it unmaps every page the inner
+/// policy mapped while resolving faults, then forgets them.
+///
+/// Run with `epoch_cycles` shorter than `fault_latency` so the epoch fires
+/// between a fault's resolution and the faulting warp's resume: the warp
+/// retries against an unmapped page, faults again, and the cycle repeats —
+/// the simulated clock advances (one fault round trip per iteration) but
+/// no access ever retires. This is the deterministic trigger for the
+/// engine's stall watchdog
+/// ([`SimConfig::stall_window`](crate::SimConfig::stall_window)); without a
+/// watchdog the run never terminates.
+pub struct Stonewall<P> {
+    inner: P,
+    name: String,
+    /// VAs mapped by fault resolutions since the last epoch, to be torn
+    /// down at the next one.
+    mapped: Vec<VirtAddr>,
+}
+
+impl<P: PagingPolicy> Stonewall<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        let name = format!("stonewall({})", inner.name());
+        Stonewall {
+            inner,
+            name,
+            mapped: Vec::new(),
+        }
+    }
+}
+
+impl<P: PagingPolicy> PagingPolicy for Stonewall<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin(&mut self, allocs: &[AllocInfo], cfg: &SimConfig) {
+        self.inner.begin(allocs, cfg);
+    }
+
+    fn on_fault(&mut self, ctx: &FaultCtx) -> Result<Vec<Directive>, SimError> {
+        let dirs = self.inner.on_fault(ctx)?;
+        for d in &dirs {
+            if let Directive::Map { va, .. } = *d {
+                self.mapped.push(va);
+            }
+        }
+        Ok(dirs)
+    }
+
+    fn on_walk(&mut self, ev: &WalkEvent) {
+        self.inner.on_walk(ev);
+    }
+
+    fn on_epoch(&mut self, _cycle: u64) -> Vec<Directive> {
+        self.mapped
+            .drain(..)
+            .map(|va| Directive::Unmap { va })
+            .collect()
+    }
+
+    fn on_kernel_end(&mut self, kernel: usize, cycle: u64) -> Vec<Directive> {
+        self.inner.on_kernel_end(kernel, cycle)
+    }
+
+    fn ideal_migration(&self) -> bool {
+        self.inner.ideal_migration()
+    }
+
+    fn blocks_consumed(&self) -> Option<usize> {
+        self.inner.blocks_consumed()
+    }
+
+    fn frame_fallbacks(&self) -> u64 {
+        self.inner.frame_fallbacks()
+    }
+}
+
 /// Machine-state coherence checks (page table ↔ TLBs ↔ physical
 /// capacity). The engine runs these at epoch boundaries when
 /// [`SimConfig::audit_epochs`](crate::SimConfig::audit_epochs) is set; the

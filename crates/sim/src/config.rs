@@ -170,6 +170,15 @@ pub struct SimConfig {
     /// [`DegradationStats::audit_violations`](crate::DegradationStats).
     /// Off by default — it is a debugging/chaos-harness aid.
     pub audit_epochs: bool,
+    /// Run budget: abort with [`SimError::BudgetExceeded`] once the
+    /// simulated clock passes this cycle. `None` (the default) runs
+    /// unbounded.
+    pub max_cycles: Option<u64>,
+    /// Livelock watchdog: abort with [`SimError::Livelock`] when no memory
+    /// access retires for this many simulated cycles (and, as a backstop,
+    /// when that many warp wake-ups in a row retire nothing). `None` (the
+    /// default) disables the watchdog.
+    pub stall_window: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -216,6 +225,8 @@ impl Default for SimConfig {
             pf_blocks_per_chiplet: 4096,
             resource_scale: 1,
             audit_epochs: false,
+            max_cycles: None,
+            stall_window: None,
         }
     }
 }
@@ -305,6 +316,12 @@ impl SimConfig {
         }
         if self.pf_blocks_per_chiplet == 0 {
             return fail("pf_blocks_per_chiplet must be non-zero".into());
+        }
+        if self.max_cycles == Some(0) {
+            return fail("max_cycles must be non-zero when set".into());
+        }
+        if self.stall_window == Some(0) {
+            return fail("stall_window must be non-zero when set".into());
         }
         if self.translation.tlb_classes.is_empty() {
             return fail("translation.tlb_classes must name at least one page size".into());
@@ -457,11 +474,21 @@ mod tests {
         rejects(|c| c.resource_scale = 0, "resource_scale");
         rejects(|c| c.epoch_cycles = 0, "epoch_cycles");
         rejects(|c| c.pf_blocks_per_chiplet = 0, "pf_blocks_per_chiplet");
+        rejects(|c| c.max_cycles = Some(0), "max_cycles");
+        rejects(|c| c.stall_window = Some(0), "stall_window");
         rejects(|c| c.translation.tlb_classes.clear(), "tlb_classes");
         rejects(
             |c| c.translation.tlb_classes.push(PageSize::Size64K),
             "twice",
         );
+    }
+
+    #[test]
+    fn budget_fields_validate_when_positive() {
+        let mut c = SimConfig::baseline();
+        c.max_cycles = Some(1_000);
+        c.stall_window = Some(500);
+        c.validate().expect("positive budgets are valid");
     }
 
     #[test]

@@ -53,28 +53,48 @@ pub enum RunOutcome {
         /// counters (a copy of `stats.degradation.errors`).
         errors: Vec<SimError>,
     },
+    /// The run was cut short by a supervision limit — the cycle budget
+    /// ([`SimConfig::max_cycles`]) or the livelock watchdog
+    /// ([`SimConfig::stall_window`]). The statistics cover the partial run
+    /// up to the abort point; counters are flushed but incomplete.
+    Aborted {
+        /// Why the run was stopped ([`SimError::BudgetExceeded`] or
+        /// [`SimError::Livelock`]).
+        reason: SimError,
+        /// Partial statistics up to the abort.
+        stats: RunStats,
+    },
 }
 
 impl RunOutcome {
-    /// The run's statistics, regardless of outcome.
+    /// The run's statistics, regardless of outcome (partial for
+    /// [`RunOutcome::Aborted`]).
     pub fn stats(&self) -> &RunStats {
         match self {
             RunOutcome::Completed(s) => s,
             RunOutcome::Degraded { stats, .. } => stats,
+            RunOutcome::Aborted { stats, .. } => stats,
         }
     }
 
-    /// Consumes the outcome, returning the statistics.
+    /// Consumes the outcome, returning the statistics (partial for
+    /// [`RunOutcome::Aborted`]).
     pub fn into_stats(self) -> RunStats {
         match self {
             RunOutcome::Completed(s) => s,
             RunOutcome::Degraded { stats, .. } => stats,
+            RunOutcome::Aborted { stats, .. } => stats,
         }
     }
 
     /// `true` for [`RunOutcome::Degraded`].
     pub fn is_degraded(&self) -> bool {
         matches!(self, RunOutcome::Degraded { .. })
+    }
+
+    /// `true` for [`RunOutcome::Aborted`].
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RunOutcome::Aborted { .. })
     }
 }
 
@@ -95,6 +115,10 @@ impl RunOutcome {
 ///   it was given.
 /// * Any typed error the policy's fault handler returns (e.g.
 ///   [`SimError::OutOfFrames`] when physical memory is truly exhausted).
+/// * [`SimError::BudgetExceeded`] / [`SimError::Livelock`] when a
+///   supervision limit fires — callers that want the abort's partial
+///   statistics should use [`run_outcome`] and match
+///   [`RunOutcome::Aborted`].
 ///
 /// # Examples
 ///
@@ -105,16 +129,20 @@ pub fn run(
     policy: &mut dyn PagingPolicy,
     remote_cache: Option<&mut dyn RemoteCacheModel>,
 ) -> Result<RunStats, SimError> {
-    Ok(run_outcome(cfg, workload, policy, remote_cache)?.into_stats())
+    match run_outcome(cfg, workload, policy, remote_cache)? {
+        RunOutcome::Aborted { reason, .. } => Err(reason),
+        done => Ok(done.into_stats()),
+    }
 }
 
 /// Like [`run`], but reports whether the completed run degraded and with
-/// which errors.
+/// which errors. Supervision limits ([`SimConfig::max_cycles`],
+/// [`SimConfig::stall_window`]) surface here as `Ok(RunOutcome::Aborted)`
+/// with partial statistics rather than as an `Err`.
 ///
 /// # Errors
 ///
-/// Same as [`run`]: only configuration errors and unresolvable faults abort
-/// the run.
+/// Configuration errors and unresolvable faults abort the run.
 pub fn run_outcome(
     cfg: &SimConfig,
     workload: &dyn Workload,
@@ -155,14 +183,22 @@ fn run_machine(
     cfg.validate()?;
     let mut m = Machine::new(cfg, workload, remote_cache);
     policy.begin(workload.allocs(), cfg);
-    m.run_all(workload, policy)?;
+    // A tripped supervision limit (budget/watchdog) still flushes the
+    // machine's partial statistics — everything else aborts the run.
+    let abort = match m.run_all(workload, policy) {
+        Ok(()) => None,
+        Err(reason @ (SimError::BudgetExceeded { .. } | SimError::Livelock { .. })) => Some(reason),
+        Err(e) => return Err(e),
+    };
     let tracer = std::mem::take(&mut m.tracer);
     let stats = m.finish(policy);
-    let outcome = if stats.degradation.is_degraded() {
-        let errors = stats.degradation.errors.clone();
-        RunOutcome::Degraded { stats, errors }
-    } else {
-        RunOutcome::Completed(stats)
+    let outcome = match abort {
+        Some(reason) => RunOutcome::Aborted { reason, stats },
+        None if stats.degradation.is_degraded() => {
+            let errors = stats.degradation.errors.clone();
+            RunOutcome::Degraded { stats, errors }
+        }
+        None => RunOutcome::Completed(stats),
     };
     Ok((outcome, tracer))
 }
@@ -262,8 +298,29 @@ impl<'c, 'r> Machine<'c, 'r> {
         self.reuse = kd.line_reuse.max(1) as u64;
         let issue_gap = kd.insts_per_mem as u64;
         let mut end = start;
+        // Supervision state: the cycle of the most recent retired access,
+        // and how many warp wake-ups in a row retired nothing (a backstop
+        // for faulting loops that barely advance the clock).
+        let mut last_progress = start;
+        let mut idle_pops = 0u64;
 
         while let Some((t, wid)) = sched.pop() {
+            if let Some(max) = self.cfg.max_cycles {
+                if t > max {
+                    self.stats.cycles = t;
+                    return Err(SimError::BudgetExceeded {
+                        cycles: t,
+                        max_cycles: max,
+                    });
+                }
+            }
+            if let Some(window) = self.cfg.stall_window {
+                if t.saturating_sub(last_progress) > window || idle_pops > window {
+                    self.stats.cycles = t;
+                    return Err(SimError::Livelock { cycles: t, window });
+                }
+            }
+            idle_pops += 1;
             // Epoch callbacks for reactive policies.
             while t >= self.next_epoch {
                 let epoch = self.next_epoch;
@@ -314,6 +371,10 @@ impl<'c, 'r> Machine<'c, 'r> {
                     }
                 }
                 sched.advance(wid, advanced);
+                if advanced > 0 {
+                    last_progress = last_progress.max(batch_done);
+                    idle_pops = 0;
+                }
                 end = end.max(batch_done);
                 self.tracer.sample(TraceStage::Sched, batch_done - t);
                 if let Some(resume) = fault_resume {

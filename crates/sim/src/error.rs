@@ -76,6 +76,25 @@ pub enum SimError {
         /// Why it was rejected (the underlying error, rendered).
         reason: String,
     },
+    /// The run exceeded its configured cycle budget
+    /// ([`SimConfig::max_cycles`](crate::SimConfig::max_cycles)) and was
+    /// aborted with partial statistics.
+    BudgetExceeded {
+        /// Simulated cycle at which the budget check fired.
+        cycles: u64,
+        /// The configured budget.
+        max_cycles: u64,
+    },
+    /// The run made no forward progress (no access retired) for a full
+    /// stall-detection window
+    /// ([`SimConfig::stall_window`](crate::SimConfig::stall_window)) and was
+    /// aborted as livelocked.
+    Livelock {
+        /// Simulated cycle at which the watchdog fired.
+        cycles: u64,
+        /// The configured stall window.
+        window: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -107,6 +126,18 @@ impl fmt::Display for SimError {
             SimError::ConfigInvalid { reason } => write!(f, "invalid configuration: {reason}"),
             SimError::DirectiveRejected { index, reason } => {
                 write!(f, "directive {index} rejected: {reason}")
+            }
+            SimError::BudgetExceeded { cycles, max_cycles } => {
+                write!(
+                    f,
+                    "run budget exceeded: cycle {cycles} past max_cycles {max_cycles}"
+                )
+            }
+            SimError::Livelock { cycles, window } => {
+                write!(
+                    f,
+                    "livelock detected at cycle {cycles}: no access retired within a {window}-cycle stall window"
+                )
             }
         }
     }
@@ -153,5 +184,21 @@ mod tests {
             reason: "no mapping at 0x0".into(),
         };
         assert!(e.to_string().contains("directive 3"));
+    }
+
+    #[test]
+    fn supervision_variants_render_their_context() {
+        let e = SimError::BudgetExceeded {
+            cycles: 1_000_001,
+            max_cycles: 1_000_000,
+        };
+        assert!(e.to_string().contains("1000001"));
+        assert!(e.to_string().contains("1000000"));
+        let e = SimError::Livelock {
+            cycles: 77_000,
+            window: 50_000,
+        };
+        assert!(e.to_string().contains("77000"));
+        assert!(e.to_string().contains("50000"));
     }
 }

@@ -49,7 +49,7 @@ pub mod trace;
 mod workload;
 
 pub use cache::SetAssocCache;
-pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor};
+pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor, Stonewall};
 pub use config::{PtePlacement, SimConfig, TlbEntries, TranslationConfig};
 pub use dram::Dram;
 #[cfg(feature = "trace")]

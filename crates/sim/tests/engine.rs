@@ -4,8 +4,9 @@
 //! validation.
 
 use mcm_sim::{
-    run, AllocInfo, Directive, FaultCtx, KernelDesc, PagingPolicy, RemoteCacheModel, RemoteServe,
-    SimConfig, SimError, StaticHint, TranslationConfig, WalkEvent, Workload,
+    run, run_outcome, AllocInfo, Directive, FaultCtx, KernelDesc, PagingPolicy, RemoteCacheModel,
+    RemoteServe, RunOutcome, SimConfig, SimError, StaticHint, Stonewall, TranslationConfig,
+    WalkEvent, Workload,
 };
 use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, TbId, VirtAddr, WarpId, VA_BLOCK_BYTES};
 
@@ -472,6 +473,78 @@ fn double_mapping_is_rejected() {
         .errors
         .iter()
         .any(|e| e.to_string().contains("overlaps")));
+}
+
+#[test]
+fn cycle_budget_aborts_with_partial_stats() {
+    let w = Stub::new(16 * MB, 64, 32);
+    // Establish how long the run actually takes, then cap well below it.
+    let full = run(&small_cfg(), &w, &mut Ft64::new(), None).expect("runs");
+    let cap = full.cycles / 2;
+    assert!(cap > 0);
+    let mut cfg = small_cfg();
+    cfg.max_cycles = Some(cap);
+    let out = run_outcome(&cfg, &w, &mut Ft64::new(), None).expect("aborts via outcome");
+    assert!(out.is_aborted());
+    match &out {
+        RunOutcome::Aborted { reason, stats } => {
+            assert!(
+                matches!(reason, SimError::BudgetExceeded { max_cycles, .. } if *max_cycles == cap),
+                "unexpected abort reason: {reason}"
+            );
+            // Partial statistics are flushed: some work happened, and the
+            // clock stopped just past the budget.
+            assert!(stats.mem_insts > 0 && stats.mem_insts < full.mem_insts);
+            assert!(stats.cycles > cap);
+        }
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    // A budget below the first retirement still aborts (with empty stats).
+    let mut tight = small_cfg();
+    tight.max_cycles = Some(1);
+    let out = run_outcome(&tight, &w, &mut Ft64::new(), None).expect("aborts via outcome");
+    assert!(out.is_aborted());
+    // The plain `run` entry point surfaces the abort as an error.
+    let err = run(&cfg, &w, &mut Ft64::new(), None).expect_err("run() errors on abort");
+    assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    // A generous budget changes nothing.
+    let mut roomy = small_cfg();
+    roomy.max_cycles = Some(full.cycles * 2);
+    let s = run(&roomy, &w, &mut Ft64::new(), None).expect("runs");
+    assert_eq!(s.cycles, full.cycles);
+}
+
+#[test]
+fn stonewall_livelock_trips_the_stall_watchdog() {
+    let w = Stub::new(8 * MB, 16, 32);
+    let mut cfg = small_cfg();
+    // Epochs shorter than the fault round trip: Stonewall unmaps each
+    // resolved page before its warp resumes, so no access ever retires.
+    cfg.epoch_cycles = 1_000;
+    assert!(cfg.fault_latency > cfg.epoch_cycles);
+    cfg.stall_window = Some(50_000);
+    let mut p = Stonewall::new(Ft64::new());
+    let out = run_outcome(&cfg, &w, &mut p, None).expect("aborts via outcome");
+    match out {
+        RunOutcome::Aborted { reason, stats } => {
+            assert!(
+                matches!(reason, SimError::Livelock { window: 50_000, .. }),
+                "unexpected abort reason: {reason}"
+            );
+            assert_eq!(stats.mem_insts, 0, "livelock means nothing retired");
+            assert!(stats.faults > 0, "the run kept faulting");
+        }
+        other => panic!("expected Aborted, got {other:?}"),
+    }
+    // Determinism: the watchdog fires at the same cycle every time.
+    let a = run_outcome(&cfg, &w, &mut Stonewall::new(Ft64::new()), None).expect("aborts");
+    let b = run_outcome(&cfg, &w, &mut Stonewall::new(Ft64::new()), None).expect("aborts");
+    assert_eq!(a.stats().cycles, b.stats().cycles);
+    // A healthy run under the same watchdog is untouched.
+    let mut healthy = small_cfg();
+    healthy.stall_window = Some(u64::MAX / 2);
+    let s = run(&healthy, &w, &mut Ft64::new(), None).expect("runs");
+    assert!(s.mem_insts > 0);
 }
 
 #[test]

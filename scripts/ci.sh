@@ -70,4 +70,25 @@ grep -q '"outcome":"resumed"' "$smoke/tele/journal/fig1.jsonl"
 ./target/release/figures --out "$smoke/tele" status | grep -q "fig1"
 ./target/release/figures --out "$smoke/tele" status --check > /dev/null
 
+echo "== supervision smoke (injected panic + budget abort quarantine; resume reproduces golden)"
+# One panicking and one budget-exceeding cell: the sweep must finish the
+# other 22 cells, journal the quarantine with per-class reasons, keep
+# the healthy shards, and exit nonzero.
+if ./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/sup" \
+    --inject fig1:2=panic --inject fig1:5=budget fig1 2> "$smoke/sup.err"; then
+  echo "expected nonzero exit when cells are quarantined" >&2
+  exit 1
+fi
+grep -q "quarantined" "$smoke/sup.err"
+grep -q '"outcome":"panicked"' "$smoke/sup/journal/fig1.jsonl"
+grep -q '"outcome":"aborted"' "$smoke/sup/journal/fig1.jsonl"
+test -s "$smoke/sup/shards/fig1/00001.json"   # healthy neighbours kept their shards
+test ! -e "$smoke/sup/shards/fig1/00002.json" # quarantined cells have none...
+test ! -e "$smoke/sup/shards/fig1/00005.json" # ...so --resume re-runs exactly them
+# Injections removed: resume re-runs only the quarantined cells and the
+# assembled CSV is byte-identical to the golden.
+./target/release/figures --quick --jobs 2 --progress=off --resume --out "$smoke/sup" fig1
+cmp "$smoke/sup/fig1.csv" tests/goldens/fig1_quick.csv
+./target/release/figures --out "$smoke/sup" status --check > /dev/null
+
 echo "== ci: all green"

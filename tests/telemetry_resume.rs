@@ -78,8 +78,18 @@ fn resume_after_crash_is_byte_identical_to_fresh_serial_run() {
     );
 
     // The journal records both passes: 24 fresh + (restored + re-run).
-    let (records, errors) = read_journal_dir(&dir.join("journal"));
-    assert!(errors.is_empty(), "malformed journal lines: {errors:?}");
+    let read = read_journal_dir(&dir.join("journal"));
+    assert!(
+        read.errors.is_empty(),
+        "malformed journal lines: {:?}",
+        read.errors
+    );
+    assert!(
+        read.salvaged.is_empty(),
+        "unexpected torn tails: {:?}",
+        read.salvaged
+    );
+    let records = read.records;
     assert_eq!(records.len(), 48);
     let resumed = records
         .iter()
