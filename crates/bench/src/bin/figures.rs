@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--quick] [--jobs N] [--out DIR] [--resume] [--progress=on|off|auto] \
-//!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation]
+//!         [all|fig1|fig2|fig6|fig8|fig10|fig18|fig19|fig20|fig21|fig22|table1|table2|table4|ablation|topo]
 //! figures [--quick] probe <WORKLOAD>
 //! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
 //! figures [--quick] trace [fig1|fig18]      (needs --features trace)
@@ -98,7 +98,7 @@ fn usage() -> ! {
          [--keep-going|--fail-fast] [--retries N] \
          [--inject exp:cell=panic|budget] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
-         table1 table2 table4 ablation | probe <WORKLOAD> | trace [FIG] | status [--check]"
+         table1 table2 table4 ablation topo | probe <WORKLOAD> | trace [FIG] | status [--check]"
     );
     std::process::exit(2);
 }
@@ -310,6 +310,7 @@ fn main() {
         ("fig22", Box::new(experiments::fig22)),
         ("table2", Box::new(experiments::table2)),
         ("ablation", Box::new(experiments::ablation)),
+        ("topo", Box::new(experiments::topo)),
     ];
     for (id, f) in grids {
         if want(id) {
@@ -330,6 +331,7 @@ fn main() {
             t.cells += c.cells;
             t.degraded += c.degraded;
             t.resumed += c.resumed;
+            t.cell_wall_us.extend(c.cell_wall_us);
         }
     }
     tele.finish();
@@ -605,8 +607,10 @@ fn print_table1(h: &Harness) {
         );
     }
     println!(
-        "inter-chip             ring, {}-cycle/hop, {}-cycle/transfer link occupancy",
-        c.ring_hop_latency, c.ring_service
+        "inter-chip             {}, {}-cycle/hop, {}-cycle/transfer link occupancy",
+        c.topology.name(),
+        c.hop_latency,
+        c.link_service
     );
     println!(
         "DRAM                   {} channels/chiplet, {}-cycle latency, {}-cycle/access channel occupancy",

@@ -65,12 +65,12 @@ fn main() {
     let variants: Vec<Variant> = vec![
         ("default", Box::new(|_c: &mut SimConfig| {})),
         ("fault=0", Box::new(|c| c.fault_latency = 0)),
-        ("ring_svc=0", Box::new(|c| c.ring_service = 0)),
+        ("link_svc=0", Box::new(|c| c.link_service = 0)),
         (
-            "ring_lat=0",
+            "link_lat=0",
             Box::new(|c| {
-                c.ring_hop_latency = 0;
-                c.ring_service = 0;
+                c.hop_latency = 0;
+                c.link_service = 0;
             }),
         ),
         ("dram_svc=1", Box::new(|c| c.dram_service = 1)),
@@ -91,7 +91,7 @@ fn main() {
             "svc=0",
             Box::new(|c| {
                 c.dram_service = 0;
-                c.ring_service = 0;
+                c.link_service = 0;
             }),
         ),
         (
@@ -104,25 +104,25 @@ fn main() {
                 c.l2_tlb_latency = 0;
                 c.pwc_latency = 0;
                 c.dram_service = 0;
-                c.ring_service = 0;
-                c.ring_hop_latency = 0;
+                c.link_service = 0;
+                c.hop_latency = 0;
                 c.fault_latency = 0;
             }),
         ),
-        ("hop=0", Box::new(|c| c.ring_hop_latency = 0)),
+        ("hop=0", Box::new(|c| c.hop_latency = 0)),
         (
             "svc+hop=0",
             Box::new(|c| {
                 c.dram_service = 0;
-                c.ring_service = 0;
-                c.ring_hop_latency = 0;
+                c.link_service = 0;
+                c.hop_latency = 0;
             }),
         ),
         (
             "svc=0,f=0",
             Box::new(|c| {
                 c.dram_service = 0;
-                c.ring_service = 0;
+                c.link_service = 0;
                 c.fault_latency = 0;
             }),
         ),
@@ -130,7 +130,7 @@ fn main() {
     ];
     println!(
         "{:<12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9}",
-        "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "ring1", "ring2", "wall"
+        "variant", "S-2MB", "Ideal", "ratio", "dram1", "dram2", "icn1", "icn2", "wall"
     );
     let only = std::env::var("CLAP_ONLY").ok();
     let mut unclean = false;
@@ -166,21 +166,21 @@ fn main() {
             s2.cycles as f64 / s1.cycles.max(1) as f64,
             s1.dram_accesses,
             s2.dram_accesses,
-            s1.ring_transfers as f64,
-            s2.ring_transfers as f64,
+            s1.interconnect_transfers as f64,
+            s2.interconnect_transfers as f64,
             fmt_duration_us(wall_us),
         );
         println!(
-            "  S-2MB dram/chiplet {:?} dramQ/acc {} ringQ/xfer {}",
+            "  S-2MB dram/chiplet {:?} dramQ/acc {} icnQ/xfer {}",
             s1.dram_per_chiplet,
             s1.dram_queue_cycles / s1.dram_accesses.max(1),
-            s1.ring_queue_cycles / s1.ring_transfers.max(1)
+            s1.interconnect_queue_cycles / s1.interconnect_transfers.max(1)
         );
         println!(
-            "  Ideal dram/chiplet {:?} dramQ/acc {} ringQ/xfer {}",
+            "  Ideal dram/chiplet {:?} dramQ/acc {} icnQ/xfer {}",
             s2.dram_per_chiplet,
             s2.dram_queue_cycles / s2.dram_accesses.max(1),
-            s2.ring_queue_cycles / s2.ring_transfers.max(1)
+            s2.interconnect_queue_cycles / s2.interconnect_transfers.max(1)
         );
     }
     if unclean {

@@ -10,7 +10,7 @@ use mcm_policies::{Nuba, Sac};
 use mcm_sim::RunTrace;
 use mcm_sim::{
     run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome, RunStats,
-    SimConfig, SimError, Workload,
+    SimConfig, SimError, TileMapping, TiledGemm, TopologyKind, Workload,
 };
 use mcm_types::PageSize;
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
@@ -690,6 +690,76 @@ pub fn ablation(h: &Harness) -> Grid {
         &configs,
         0,
     )
+}
+
+/// Topology scaling study (DESIGN.md §13): {ring, 2-D mesh,
+/// fully-connected} × {4, 8, 16} chiplets on the tiled-GEMM workload,
+/// contrasting a row-major tile→TB order (`GEMM-row`) with a
+/// locality-aware blocked order (`GEMM-tile`). Every cell runs under
+/// CLAP; performance is normalized per row to the `ring/4` column, so a
+/// column reads as "what this fabric × package size buys the same
+/// mapping policy".
+pub fn topo(h: &Harness) -> Grid {
+    // The tile grid stands in for the threadblock divisor: quick runs
+    // shrink the GEMM the way `tb_div` shrinks the synthetic workloads
+    // (still ≥ 4 TBs per chiplet at 16 chiplets).
+    let (mt, nt, kt, blk) = if h.tb_div > 1 {
+        (8, 8, 4, 2)
+    } else {
+        (16, 16, 8, 4)
+    };
+    let gemms = [
+        TiledGemm::new(mt, nt, kt, TileMapping::RowMajor),
+        TiledGemm::new(
+            mt,
+            nt,
+            kt,
+            TileMapping::Blocked {
+                rows: blk,
+                cols: blk,
+            },
+        ),
+    ];
+    let chiplets = [4usize, 8, 16];
+    let fabrics = ["ring", "mesh", "fc"];
+    fn fabric_kind(fabric: &str, n: usize) -> TopologyKind {
+        match fabric {
+            "ring" => TopologyKind::Ring,
+            "mesh" => TopologyKind::square_mesh(n),
+            _ => TopologyKind::FullyConnected,
+        }
+    }
+    let row_names: Vec<String> = gemms.iter().map(|w| w.name().to_string()).collect();
+    let col_names: Vec<String> = fabrics
+        .iter()
+        .flat_map(|&f| chiplets.iter().map(move |n| format!("{f}/{n}")))
+        .collect();
+    let cells = CellSpec::grid(&row_names, &col_names);
+    let all: Vec<RunStats> = h.sweep_stats("topo", &cells, |_, s| {
+        let n = chiplets[s.col % chiplets.len()];
+        let mut base = h.base.clone();
+        base.num_chiplets = n;
+        base.topology = fabric_kind(fabrics[s.col / chiplets.len()], n);
+        let (mut policy, cfg) = ConfigKind::Clap.build(&base);
+        run_outcome(&cfg, &gemms[s.row], policy.as_mut(), None)
+    });
+    let mut perf = Vec::new();
+    let mut remote = Vec::new();
+    for r in 0..gemms.len() {
+        let stats = &all[r * col_names.len()..(r + 1) * col_names.len()];
+        let b = stats[0].cycles.max(1) as f64;
+        perf.push(stats.iter().map(|s| b / s.cycles.max(1) as f64).collect());
+        remote.push(stats.iter().map(RunStats::remote_ratio).collect());
+    }
+    Grid {
+        id: "topo".into(),
+        title: "Interconnect scaling: topology x chiplet count on tiled GEMM (norm. to ring/4)"
+            .into(),
+        rows: row_names,
+        cols: col_names,
+        perf,
+        remote,
+    }
 }
 
 /// Per-configuration merged stage traces of one figure's sweep (what

@@ -97,6 +97,9 @@ pub struct ExperimentTiming {
     pub degraded: usize,
     /// Cells restored from shards by `--resume` instead of re-run.
     pub resumed: usize,
+    /// Per-cell wall-clock microseconds in cell-index order (empty when
+    /// the experiment has no journaled sweep).
+    pub cell_wall_us: Vec<u64>,
 }
 
 impl ExperimentTiming {
@@ -108,6 +111,7 @@ impl ExperimentTiming {
             cells: 0,
             degraded: 0,
             resumed: 0,
+            cell_wall_us: Vec::new(),
         }
     }
 }
@@ -135,15 +139,17 @@ pub fn write_timings(
     let _ = writeln!(s, "  \"experiments\": [");
     for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
+        let walls: Vec<String> = t.cell_wall_us.iter().map(u64::to_string).collect();
         let _ = writeln!(
             s,
             "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"cells\": {}, \
-             \"degraded\": {}, \"resumed\": {}}}{comma}",
+             \"degraded\": {}, \"resumed\": {}, \"cell_wall_us\": [{}]}}{comma}",
             t.id.replace('"', "\\\""),
             t.seconds,
             t.cells,
             t.degraded,
-            t.resumed
+            t.resumed,
+            walls.join(",")
         );
     }
     let _ = writeln!(s, "  ]");
@@ -447,6 +453,7 @@ mod tests {
         with_cells.cells = 24;
         with_cells.degraded = 2;
         with_cells.resumed = 8;
+        with_cells.cell_wall_us = vec![100, 250, 75];
         let timings = vec![with_cells, ExperimentTiming::new("table2", 0.5)];
         write_timings(&timings, 4, true, &dir).expect("write");
         let s = std::fs::read_to_string(dir.join("bench_timings.json")).expect("read");
@@ -454,8 +461,12 @@ mod tests {
         assert!(s.contains("\"quick\": true"));
         assert!(s.contains(
             "\"id\": \"fig1\", \"seconds\": 1.250, \"cells\": 24, \
-             \"degraded\": 2, \"resumed\": 8"
+             \"degraded\": 2, \"resumed\": 8, \"cell_wall_us\": [100,250,75]"
         ));
+        assert!(
+            s.contains("\"cell_wall_us\": []"),
+            "untelemetered experiments carry an empty wall-time list"
+        );
         assert!(
             s.contains("\"cells\": 0"),
             "untelemetered experiments tally zero"
@@ -577,9 +588,10 @@ mod tests {
         a.record_sample(TraceStage::Translate, 10);
         a.record_sample(TraceStage::Translate, 300);
         a.record_sample(TraceStage::Data, 90);
-        a.record_event(TraceEventKind::RingCrossing {
+        a.record_event(TraceEventKind::Crossing {
             src: ChipletId::new(0),
             dst: ChipletId::new(1),
+            hops: 1,
             cycle: 5,
         });
         a.record_event(TraceEventKind::L2TlbMiss {
@@ -615,7 +627,7 @@ mod tests {
         assert!(s.contains("\"figure\": \"figT\""));
         assert!(s.contains("\"config\": \"S-64KB\""));
         assert!(s.contains("\"total_cycles\": 400"));
-        assert!(s.contains("\"ring_crossing\": 1"));
+        assert!(s.contains("\"crossing\": 1"));
         assert!(s.contains("\"l2tlb_miss\": 1"));
         // 300 lands in the [256, 512) log2 bucket.
         // Bucket bounds are closed: the 300-cycle sample lands in the

@@ -36,8 +36,10 @@ use crate::runner::SweepObserver;
 
 /// Version stamped into every journal record and shard file. Bump it when
 /// the record/shard layout changes; `--resume` treats shards from another
-/// schema as stale and re-runs their cells.
-pub const SCHEMA_VERSION: u32 = 1;
+/// schema as stale and re-runs their cells. v2: the `ring_*` statistics
+/// were renamed `interconnect_*` when the interconnect grew non-ring
+/// topologies.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash — the stable fingerprint behind shard validation
 /// (deliberately not `DefaultHasher`, whose output may change across
@@ -400,9 +402,17 @@ pub fn stats_to_json(s: &RunStats) -> String {
     let _ = write!(o, ",\"dram_accesses\":{}", s.dram_accesses);
     let per_chiplet: Vec<String> = s.dram_per_chiplet.iter().map(u64::to_string).collect();
     let _ = write!(o, ",\"dram_per_chiplet\":[{}]", per_chiplet.join(","));
-    let _ = write!(o, ",\"ring_transfers\":{}", s.ring_transfers);
+    let _ = write!(
+        o,
+        ",\"interconnect_transfers\":{}",
+        s.interconnect_transfers
+    );
     let _ = write!(o, ",\"dram_queue_cycles\":{}", s.dram_queue_cycles);
-    let _ = write!(o, ",\"ring_queue_cycles\":{}", s.ring_queue_cycles);
+    let _ = write!(
+        o,
+        ",\"interconnect_queue_cycles\":{}",
+        s.interconnect_queue_cycles
+    );
     match s.blocks_consumed {
         Some(n) => {
             let _ = write!(o, ",\"blocks_consumed\":{n}");
@@ -499,9 +509,9 @@ pub fn stats_from_json(j: &Json) -> Result<RunStats, String> {
             .iter()
             .map(|v| v.as_u64().ok_or("non-integer dram_per_chiplet entry"))
             .collect::<Result<_, _>>()?,
-        ring_transfers: u64_field(j, "ring_transfers")?,
+        interconnect_transfers: u64_field(j, "interconnect_transfers")?,
         dram_queue_cycles: u64_field(j, "dram_queue_cycles")?,
-        ring_queue_cycles: u64_field(j, "ring_queue_cycles")?,
+        interconnect_queue_cycles: u64_field(j, "interconnect_queue_cycles")?,
         blocks_consumed: match j.get("blocks_consumed") {
             Some(Json::Null) | None => None,
             Some(v) => Some(v.as_usize().ok_or("non-integer blocks_consumed")?),
@@ -950,6 +960,9 @@ pub struct ExpCounters {
     pub degraded: usize,
     /// Cells restored from shards instead of re-run.
     pub resumed: usize,
+    /// Per-cell wall-clock microseconds in cell-index order (what each
+    /// run, restore, or quarantined attempt cost on its worker thread).
+    pub cell_wall_us: Vec<u64>,
 }
 
 /// The sweep-telemetry sink of one `figures` invocation: owns the output
@@ -1094,6 +1107,7 @@ impl Telemetry {
             total,
             degraded: AtomicUsize::new(0),
             resumed: AtomicUsize::new(0),
+            cell_walls: Mutex::new(Vec::new()),
         }
     }
 
@@ -1152,6 +1166,9 @@ pub struct SweepScope<'t> {
     total: usize,
     degraded: AtomicUsize,
     resumed: AtomicUsize,
+    /// `(cell index, wall microseconds)` pairs, pushed from the worker
+    /// threads in completion order and sorted by index at `finish`.
+    cell_walls: Mutex<Vec<(usize, u64)>>,
 }
 
 impl SweepScope<'_> {
@@ -1216,6 +1233,7 @@ impl SweepScope<'_> {
                     );
                     self.append_journal(&record);
                     self.resumed.fetch_add(1, Ordering::Relaxed);
+                    self.note_cell_wall(index, wall_us);
                     self.note_degradation(&stats);
                     return Some(stats);
                 }
@@ -1277,6 +1295,7 @@ impl SweepScope<'_> {
             }
         };
         self.append_journal(&record);
+        self.note_cell_wall(index, wall_us);
         self.note_degradation(&stats);
         stats
     }
@@ -1298,6 +1317,14 @@ impl SweepScope<'_> {
             CellRecord::from_stats(&self.exp, spec, index, self.total, wall_us, outcome, stats)
                 .with_reason(reason);
         self.append_journal(&record);
+        self.note_cell_wall(index, wall_us);
+    }
+
+    fn note_cell_wall(&self, index: usize, wall_us: u64) {
+        self.cell_walls
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((index, wall_us));
     }
 
     fn write_shard(&self, path: &Path, body: &str) -> std::io::Result<()> {
@@ -1333,11 +1360,18 @@ impl SweepScope<'_> {
     /// Folds the sweep's tallies into the telemetry's per-experiment
     /// counters.
     pub fn finish(self) {
+        let mut walls = self
+            .cell_walls
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        walls.sort_unstable_by_key(|&(i, _)| i);
         let counters = ExpCounters {
             exp: self.exp.clone(),
             cells: self.total,
             degraded: self.degraded.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
+            cell_wall_us: walls.into_iter().map(|(_, us)| us).collect(),
         };
         self.tele
             .counters
@@ -1637,9 +1671,9 @@ mod tests {
             shootdowns: 19,
             dram_accesses: 20,
             dram_per_chiplet: vec![5, 5, 5, 5],
-            ring_transfers: 21,
+            interconnect_transfers: 21,
             dram_queue_cycles: 22,
-            ring_queue_cycles: 23,
+            interconnect_queue_cycles: 23,
             blocks_consumed: Some(99),
             per_alloc,
             degradation: DegradationStats {
@@ -1801,14 +1835,21 @@ mod tests {
         assert_eq!(records[0].outcome, CellOutcome::Degraded);
         let (checked, shard_errors) = check_shards(&dir.join("shards"));
         assert_eq!((checked, shard_errors.len()), (1, 0), "{shard_errors:?}");
+        let counters = tele.experiment_counters();
         assert_eq!(
-            tele.experiment_counters(),
+            counters,
             vec![ExpCounters {
                 exp: "figX".into(),
                 cells: 1,
                 degraded: 1,
                 resumed: 0,
+                cell_wall_us: counters[0].cell_wall_us.clone(),
             }]
+        );
+        assert_eq!(
+            counters[0].cell_wall_us.len(),
+            1,
+            "one wall-time entry per cell"
         );
         // Resume: the closure must not run again.
         let tele = Telemetry::new(&dir).with_resume(true);

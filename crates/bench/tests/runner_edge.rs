@@ -53,7 +53,7 @@ fn key(s: &RunStats) -> (u64, u64, u64, u64, u64) {
         s.mem_insts,
         s.remote_insts,
         s.walks,
-        s.ring_transfers,
+        s.interconnect_transfers,
     )
 }
 

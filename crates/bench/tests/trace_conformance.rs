@@ -6,7 +6,7 @@
 //! One configuration (S-64KB static paging) crossed with three workloads
 //! of different character (STE: sliced stencil, BFS: irregular graph,
 //! 3DC: 3D stencil) keeps the suite fast while covering faulting,
-//! walking, and ring-heavy behavior.
+//! walking, and interconnect-heavy behavior.
 
 #![cfg(feature = "trace")]
 
@@ -72,9 +72,9 @@ fn assert_conformance(name: &str, stats: &RunStats, trace: &RunTrace) {
         "{name}: walk-complete events"
     );
     assert_eq!(
-        trace.event_count(TraceEventClass::RingCrossing),
-        stats.ring_transfers,
-        "{name}: ring-crossing events vs ring_transfers"
+        trace.event_count(TraceEventClass::Crossing),
+        stats.interconnect_transfers,
+        "{name}: crossing events vs interconnect_transfers"
     );
     assert_eq!(
         trace.event_count(TraceEventClass::FaultResolved),
@@ -130,6 +130,57 @@ fn threedc_reconciles_exactly() {
     assert_conformance("3DC", &stats, &trace);
 }
 
+/// Crossing events must carry the hop count the topology's routing
+/// assigns to their (src, dst) pair — hand-checked here on a 2×2 mesh,
+/// where chiplets 0 and 3 (and 1 and 2) sit diagonal (2 hops) and every
+/// other distinct pair is adjacent (1 hop).
+#[test]
+fn mesh_crossing_hops_match_topology_routing() {
+    use mcm_sim::{run_traced, RunOutcome, SimConfig, TopologyKind, TraceEventKind};
+    use mcm_workloads::FOOTPRINT_SCALE;
+    let mut base = SimConfig::baseline().scaled(FOOTPRINT_SCALE);
+    base.topology = TopologyKind::Mesh2d { rows: 2, cols: 2 };
+    let w = suite::by_name("STE").unwrap().with_tb_scale(1, 4);
+    let (mut policy, cfg) = ConfigKind::Static(PageSize::Size64K).build(&base);
+    let (outcome, trace) = run_traced(&cfg, &w, policy.as_mut(), None).expect("mesh run completes");
+    let stats = match outcome {
+        RunOutcome::Completed(s) => s,
+        other => panic!("expected a clean run, got {other:?}"),
+    };
+    assert_eq!(
+        trace.event_count(TraceEventClass::Crossing),
+        stats.interconnect_transfers,
+        "crossing events vs interconnect_transfers on a mesh"
+    );
+    let mut crossings = 0usize;
+    let mut diagonal = 0usize;
+    for ev in &trace.events {
+        if let TraceEventKind::Crossing { src, dst, hops, .. } = ev.kind {
+            crossings += 1;
+            assert_ne!(src, dst, "same-chiplet transfers are not crossings");
+            // XY routing on a 2×2 grid: Manhattan distance, no wraparound.
+            let (sr, sc) = (src.index() / 2, src.index() % 2);
+            let (dr, dc) = (dst.index() / 2, dst.index() % 2);
+            let expect = (sr.abs_diff(dr) + sc.abs_diff(dc)) as u32;
+            assert_eq!(
+                hops, expect,
+                "crossing {src}->{dst} carries {hops} hops, routing says {expect}"
+            );
+            if hops == 2 {
+                diagonal += 1;
+            }
+        }
+    }
+    assert!(
+        crossings > 0,
+        "STE under static 64KB paging crosses chiplets"
+    );
+    assert!(
+        diagonal > 0,
+        "a 4-chiplet run must see diagonal (2-hop) traffic"
+    );
+}
+
 /// Tracing must not perturb the simulation: the stats of a traced run are
 /// identical to an untraced run of the same cell, and two traced runs
 /// produce identical event streams (determinism).
@@ -153,7 +204,7 @@ fn tracing_is_an_observer() {
             s.translation_cycles,
             s.data_cycles,
             s.faults,
-            s.ring_transfers,
+            s.interconnect_transfers,
             s.dram_accesses,
         )
     };

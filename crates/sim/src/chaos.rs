@@ -114,7 +114,7 @@ pub struct ChaosPolicy<P> {
     rng: u64,
     name: String,
     stats: ChaosStats,
-    /// Ring of recently mapped (va, pa) pairs, targets for cross-chiplet
+    /// Circular buffer of recently mapped (va, pa) pairs, targets for cross-chiplet
     /// redirects.
     recent: Vec<(VirtAddr, PhysAddr)>,
     recent_next: usize,

@@ -68,6 +68,55 @@ impl TranslationConfig {
     }
 }
 
+/// Interconnect shape joining the chiplets (see
+/// [`Topology`](crate::interconnect::Topology)). All shapes share the
+/// [`hop_latency`](SimConfig::hop_latency) and
+/// [`link_service`](SimConfig::link_service) link parameters; the shape
+/// decides routes and which transfers contend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Bidirectional ring, shortest-direction routing (the paper's
+    /// Table 1 machine).
+    Ring,
+    /// `rows × cols` 2D mesh with dimension-ordered (XY) routing and no
+    /// wraparound; `rows * cols` must equal
+    /// [`num_chiplets`](SimConfig::num_chiplets).
+    Mesh2d {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A dedicated link per ordered chiplet pair; every transfer is one
+    /// hop.
+    FullyConnected,
+}
+
+impl TopologyKind {
+    /// Short name used in tables, CSV labels and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyKind::Ring => "ring",
+            TopologyKind::Mesh2d { .. } => "mesh2d",
+            TopologyKind::FullyConnected => "fully-connected",
+        }
+    }
+
+    /// A near-square `rows × cols` mesh over `n` chiplets (rows ≤ cols),
+    /// e.g. 4 → 2×2, 8 → 2×4, 16 → 4×4. `n` must be a power of two, as
+    /// [`SimConfig::validate`] already requires.
+    pub fn square_mesh(n: usize) -> Self {
+        let mut rows = 1;
+        while rows * rows * 4 <= n {
+            rows *= 2;
+        }
+        TopologyKind::Mesh2d {
+            rows,
+            cols: n / rows.max(1),
+        }
+    }
+}
+
 /// Per-page-size TLB entry counts (paper Table 1; hypothetical sizes get 16
 /// L1 / 512 L2 entries, §3.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,11 +187,15 @@ pub struct SimConfig {
     /// bandwidth.
     pub dram_service: u64,
 
-    /// One-way ring-hop latency in cycles (32ns at 1132MHz ≈ 36).
-    pub ring_hop_latency: u64,
-    /// Ring link occupancy per 128B transfer (cycles) — sets link
-    /// bandwidth (768GB/s per GPU over the ring).
-    pub ring_service: u64,
+    /// Interconnect shape joining the chiplets (ring is the Table 1
+    /// machine; mesh and fully-connected support the scale-out studies).
+    pub topology: TopologyKind,
+    /// One-way hop latency in cycles on every interconnect link (32ns at
+    /// 1132MHz ≈ 36).
+    pub hop_latency: u64,
+    /// Interconnect link occupancy per 128B transfer (cycles) — sets
+    /// per-link bandwidth (768GB/s per GPU over the baseline ring).
+    pub link_service: u64,
 
     /// Far-fault service latency (cycles): host driver resolves the fault
     /// and migrates one 64KB page over PCIe/NVLink. Identical across paging
@@ -213,8 +266,9 @@ impl Default for SimConfig {
             dram_latency: 100,
             dram_service: 5,
 
-            ring_hop_latency: 36,
-            ring_service: 1,
+            topology: TopologyKind::Ring,
+            hop_latency: 36,
+            link_service: 1,
 
             fault_latency: 3_000,
             tlb_shootdown_latency: 400,
@@ -275,11 +329,27 @@ impl SimConfig {
         fn fail(reason: String) -> Result<(), SimError> {
             Err(SimError::ConfigInvalid { reason })
         }
-        if self.num_chiplets == 0 || !self.num_chiplets.is_power_of_two() {
+        if self.num_chiplets < 2 || !self.num_chiplets.is_power_of_two() {
             return fail(format!(
-                "num_chiplets must be a non-zero power of two, got {}",
+                "num_chiplets must be a power of two and at least 2 \
+                 (every topology needs two chiplets to join), got {}",
                 self.num_chiplets
             ));
+        }
+        if let TopologyKind::Mesh2d { rows, cols } = self.topology {
+            if rows == 0 || cols == 0 {
+                return fail(format!(
+                    "mesh2d topology needs non-zero grid dimensions, got {rows}x{cols}"
+                ));
+            }
+            if rows * cols != self.num_chiplets {
+                return fail(format!(
+                    "mesh2d topology grid {rows}x{cols} covers {} chiplets \
+                     but num_chiplets is {}",
+                    rows * cols,
+                    self.num_chiplets
+                ));
+            }
         }
         if self.sms_per_chiplet == 0 {
             return fail("sms_per_chiplet must be non-zero".into());
@@ -463,6 +533,7 @@ mod tests {
     #[test]
     fn validate_rejects_each_bad_field() {
         rejects(|c| c.num_chiplets = 0, "num_chiplets");
+        rejects(|c| c.num_chiplets = 1, "num_chiplets");
         rejects(|c| c.num_chiplets = 3, "num_chiplets");
         rejects(|c| c.sms_per_chiplet = 0, "sms_per_chiplet");
         rejects(|c| c.max_warps_per_sm = 0, "max_warps_per_sm");
@@ -481,6 +552,46 @@ mod tests {
             |c| c.translation.tlb_classes.push(PageSize::Size64K),
             "twice",
         );
+    }
+
+    #[test]
+    fn validate_checks_topology_shape() {
+        rejects(
+            |c| c.topology = TopologyKind::Mesh2d { rows: 0, cols: 4 },
+            "non-zero grid",
+        );
+        rejects(
+            |c| c.topology = TopologyKind::Mesh2d { rows: 3, cols: 3 },
+            "num_chiplets",
+        );
+        let mut c = SimConfig::baseline();
+        c.topology = TopologyKind::Mesh2d { rows: 2, cols: 2 };
+        c.validate().expect("a 2x2 mesh covers 4 chiplets");
+        c.topology = TopologyKind::FullyConnected;
+        c.validate()
+            .expect("fully-connected has no shape precondition");
+        c.num_chiplets = 16;
+        c.topology = TopologyKind::square_mesh(16);
+        c.validate().expect("square_mesh matches its chiplet count");
+    }
+
+    #[test]
+    fn square_mesh_picks_near_square_grids() {
+        assert_eq!(
+            TopologyKind::square_mesh(4),
+            TopologyKind::Mesh2d { rows: 2, cols: 2 }
+        );
+        assert_eq!(
+            TopologyKind::square_mesh(8),
+            TopologyKind::Mesh2d { rows: 2, cols: 4 }
+        );
+        assert_eq!(
+            TopologyKind::square_mesh(16),
+            TopologyKind::Mesh2d { rows: 4, cols: 4 }
+        );
+        assert_eq!(TopologyKind::square_mesh(4).name(), "mesh2d");
+        assert_eq!(TopologyKind::Ring.name(), "ring");
+        assert_eq!(TopologyKind::FullyConnected.name(), "fully-connected");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! mapping decided by a [`PagingPolicy`](crate::PagingPolicy). Warps are
 //! interleaved through a time-ordered event heap; throughput limits come
 //! from busy-until resources (SM load/store ports, page walkers, DRAM
-//! channels, ring links), so warp-level parallelism hides latency exactly
+//! channels, interconnect links), so warp-level parallelism hides latency exactly
 //! until a resource saturates.
 //!
 //! The heavy lifting lives in the [`stage`](crate::stage) modules; the
@@ -15,7 +15,7 @@
 //! * [`TranslateStage`](crate::stage::translate::TranslateStage) — TLBs,
 //!   page-walk caches, walkers, walk-queue MSHRs;
 //! * [`DataPath`](crate::stage::datapath::DataPath) — data caches, DRAM,
-//!   the ring, the optional remote cache;
+//!   the interconnect, the optional remote cache;
 //! * [`Driver`](crate::stage::driver::Driver) — fault resolution,
 //!   directive application, shootdowns, audits;
 //! * [`KernelSchedule`](crate::stage::sched::KernelSchedule) — TB
@@ -101,7 +101,7 @@ impl RunOutcome {
 /// Runs `workload` to completion under `policy` and returns the statistics.
 ///
 /// `remote_cache` optionally interposes a NUBA/SAC-style remote-data cache
-/// between local L2 misses and the ring.
+/// between local L2 misses and the interconnect.
 ///
 /// Degradation events (rejected directives, capacity fallbacks, stale TLB
 /// coverage, walk-queue stalls) do **not** fail the run; they are counted

@@ -1,13 +1,90 @@
-//! On-package ring interconnect (paper Table 1: 768GB/s per GPU, ring
-//! topology, 32ns hop latency).
+//! On-package interconnect topologies.
+//!
+//! The paper's machine (Table 1: 768GB/s per GPU, 32ns hop latency) is a
+//! bidirectional ring, but nothing downstream of the link model cares
+//! about the shape: the datapath asks for a request latency, a transfer
+//! completion time, and aggregate counters. [`Topology`] captures that
+//! contract, and [`Ring`], [`Mesh2d`] and [`FullyConnected`] implement it
+//! with per-link [`BucketedResource`] occupancy. The shape is selected by
+//! [`TopologyKind`](crate::config::TopologyKind) and instantiated with
+//! [`build_topology`].
 
 use mcm_types::ChipletId;
 
+use crate::config::{SimConfig, TopologyKind};
 use crate::resources::BucketedResource;
 
+/// The interconnect contract the datapath routes through.
+///
+/// Implementations model a fixed set of directed links, each a
+/// [`BucketedResource`]: a transfer walks its route link by link, queueing
+/// behind earlier traffic (`service` cycles of occupancy per link) and
+/// paying `hop_latency` per hop. Control messages ([`Topology::request`])
+/// pay latency only — 16B flits are negligible against 128B link slots.
+/// Same-chiplet traffic is free and uncounted.
+///
+/// Shape preconditions (chiplet count, grid dimensions) are enforced by
+/// [`SimConfig::validate`], not here: constructors accept whatever the
+/// validated configuration describes.
+pub trait Topology: Send {
+    /// Topology name for tables and traces.
+    fn name(&self) -> &'static str;
+
+    /// Number of chiplets this interconnect joins.
+    fn num_chiplets(&self) -> usize;
+
+    /// Hop count along the route a transfer from `src` to `dst` takes
+    /// (0 when they are the same chiplet). Pure: no occupancy, no
+    /// counters — this is what trace crossing events record.
+    fn hops(&self, src: ChipletId, dst: ChipletId) -> u32;
+
+    /// Routes a control message (read request) from `src` to `dst`:
+    /// latency only.
+    fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64;
+
+    /// Transfers one line from `src` to `dst` starting at `now`; returns
+    /// arrival time. Same-chiplet transfers are free and uncounted.
+    fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64;
+
+    /// Total transfers routed.
+    fn transfers(&self) -> u64;
+
+    /// Total cycles transfers spent queueing for busy links.
+    fn queue_cycles(&self) -> u64;
+
+    /// Average hops per transfer.
+    fn avg_hops(&self) -> f64;
+}
+
+/// Builds the interconnect described by `cfg` (shape from
+/// [`SimConfig::topology`], link parameters from
+/// [`SimConfig::hop_latency`] / [`SimConfig::link_service`]).
+///
+/// `cfg` is expected to have passed [`SimConfig::validate`], which checks
+/// the shape preconditions (≥ 2 chiplets; mesh grid matching the chiplet
+/// count).
+pub fn build_topology(cfg: &SimConfig) -> Box<dyn Topology> {
+    match cfg.topology {
+        TopologyKind::Ring => Box::new(Ring::new(
+            cfg.num_chiplets,
+            cfg.hop_latency,
+            cfg.link_service,
+        )),
+        TopologyKind::Mesh2d { rows, cols } => {
+            Box::new(Mesh2d::new(rows, cols, cfg.hop_latency, cfg.link_service))
+        }
+        TopologyKind::FullyConnected => Box::new(FullyConnected::new(
+            cfg.num_chiplets,
+            cfg.hop_latency,
+            cfg.link_service,
+        )),
+    }
+}
+
 /// A bidirectional ring of chiplets. Each direction of each adjacent-pair
-/// link is a [`BucketedResource`]; a transfer takes the shortest path, occupying each
-/// link on the way for `service` cycles and adding `hop_latency` per hop.
+/// link is a [`BucketedResource`]; a transfer takes the shortest path,
+/// occupying each link on the way for `service` cycles and adding
+/// `hop_latency` per hop.
 #[derive(Clone, Debug)]
 pub struct Ring {
     n: usize,
@@ -22,13 +99,10 @@ pub struct Ring {
 }
 
 impl Ring {
-    /// Creates a ring over `n` chiplets.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
+    /// Creates a ring over `n` chiplets. A ring needs at least two; the
+    /// shape is checked by [`SimConfig::validate`].
     pub fn new(n: usize, hop_latency: u64, service: u64) -> Self {
-        assert!(n >= 2, "a ring needs at least two chiplets");
+        debug_assert!(n >= 2, "a ring needs at least two chiplets");
         Ring {
             n,
             links: vec![vec![BucketedResource::new(1); n]; 2],
@@ -40,23 +114,34 @@ impl Ring {
         }
     }
 
-    /// Total cycles transfers spent queueing for busy links.
-    pub fn queue_cycles(&self) -> u64 {
-        self.queue_cycles
+    /// Shortest-direction hop count between two positions on the ring.
+    fn ring_hops(&self, a: usize, b: usize) -> usize {
+        let fwd = (b + self.n - a) % self.n;
+        fwd.min(self.n - fwd)
+    }
+}
+
+impl Topology for Ring {
+    fn name(&self) -> &'static str {
+        "ring"
     }
 
-    /// Routes a control message (read request) from `src` to `dst`:
-    /// latency only — 16B flits are negligible against 128B link slots.
-    pub fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+    fn num_chiplets(&self) -> usize {
+        self.n
+    }
+
+    fn hops(&self, src: ChipletId, dst: ChipletId) -> u32 {
+        self.ring_hops(src.index(), dst.index()) as u32
+    }
+
+    fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
         if src == dst {
             return now;
         }
-        now + self.hop_latency * src.ring_hops(dst, self.n) as u64
+        now + self.hop_latency * self.ring_hops(src.index(), dst.index()) as u64
     }
 
-    /// Transfers one line from `src` to `dst` starting at `now`; returns
-    /// arrival time. Same-chiplet transfers are free.
-    pub fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+    fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
         if src == dst {
             return now;
         }
@@ -85,27 +170,15 @@ impl Ring {
         t
     }
 
-    /// Round trip: request to `dst` and response back. Returns response
-    /// arrival time given the remote service completes at `remote_done`.
-    pub fn round_trip(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> (u64, RingLeg<'_>) {
-        let arrive = self.transfer(src, dst, now);
-        (
-            arrive,
-            RingLeg {
-                ring: self,
-                dst,
-                src,
-            },
-        )
-    }
-
-    /// Total transfers routed.
-    pub fn transfers(&self) -> u64 {
+    fn transfers(&self) -> u64 {
         self.transfers
     }
 
-    /// Average hops per transfer.
-    pub fn avg_hops(&self) -> f64 {
+    fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    fn avg_hops(&self) -> f64 {
         if self.transfers == 0 {
             0.0
         } else {
@@ -114,20 +187,192 @@ impl Ring {
     }
 }
 
-/// The return leg of a [`Ring::round_trip`], completed with
-/// [`RingLeg::finish`] once the remote access is done.
-#[derive(Debug)]
-pub struct RingLeg<'a> {
-    ring: &'a mut Ring,
-    dst: ChipletId,
-    src: ChipletId,
+/// A 2D mesh of `rows × cols` chiplets with dimension-ordered (XY)
+/// routing: a transfer first walks along its row to the destination
+/// column, then along that column to the destination row. No wraparound
+/// links. Chiplet `i` sits at grid position `(i / cols, i % cols)`.
+#[derive(Clone, Debug)]
+pub struct Mesh2d {
+    rows: usize,
+    cols: usize,
+    /// `links[node * 4 + dir]`: the directed link leaving `node` towards
+    /// dir 0 = east (`col + 1`), 1 = west, 2 = south (`row + 1`),
+    /// 3 = north. Edge nodes simply never use their missing directions.
+    links: Vec<BucketedResource>,
+    hop_latency: u64,
+    service: u64,
+    transfers: u64,
+    hop_count: u64,
+    queue_cycles: u64,
 }
 
-impl RingLeg<'_> {
-    /// Routes the response from the remote chiplet back to the requester;
-    /// `remote_done` is when the remote access finished.
-    pub fn finish(self, remote_done: u64) -> u64 {
-        self.ring.transfer(self.dst, self.src, remote_done)
+/// Directed-link indices for [`Mesh2d::links`].
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+impl Mesh2d {
+    /// Creates a `rows × cols` mesh. The grid must cover at least two
+    /// chiplets; the shape is checked by [`SimConfig::validate`].
+    pub fn new(rows: usize, cols: usize, hop_latency: u64, service: u64) -> Self {
+        debug_assert!(rows * cols >= 2, "a mesh needs at least two chiplets");
+        Mesh2d {
+            rows,
+            cols,
+            links: vec![BucketedResource::new(1); rows * cols * 4],
+            hop_latency,
+            service,
+            transfers: 0,
+            hop_count: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Walks one hop from `(r, c)` in `dir`, charging link occupancy and
+    /// hop latency; returns the updated clock.
+    fn step(&mut self, r: usize, c: usize, dir: usize, t: u64) -> u64 {
+        let start = self.links[(r * self.cols + c) * 4 + dir].acquire(t, self.service);
+        self.queue_cycles += start - t;
+        start + self.hop_latency
+    }
+}
+
+impl Topology for Mesh2d {
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+
+    fn num_chiplets(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn hops(&self, src: ChipletId, dst: ChipletId) -> u32 {
+        let (sr, sc) = (src.index() / self.cols, src.index() % self.cols);
+        let (dr, dc) = (dst.index() / self.cols, dst.index() % self.cols);
+        (sr.abs_diff(dr) + sc.abs_diff(dc)) as u32
+    }
+
+    fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        now + self.hop_latency * self.hops(src, dst) as u64
+    }
+
+    fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        let (mut r, mut c) = (src.index() / self.cols, src.index() % self.cols);
+        let (dr, dc) = (dst.index() / self.cols, dst.index() % self.cols);
+        self.transfers += 1;
+        self.hop_count += (r.abs_diff(dr) + c.abs_diff(dc)) as u64;
+        let mut t = now;
+        while c != dc {
+            let dir = if dc > c { EAST } else { WEST };
+            t = self.step(r, c, dir, t);
+            c = if dc > c { c + 1 } else { c - 1 };
+        }
+        while r != dr {
+            let dir = if dr > r { SOUTH } else { NORTH };
+            t = self.step(r, c, dir, t);
+            r = if dr > r { r + 1 } else { r - 1 };
+        }
+        t
+    }
+
+    fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    fn avg_hops(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.hop_count as f64 / self.transfers as f64
+        }
+    }
+}
+
+/// A fully-connected (all-to-all) package: every ordered chiplet pair has
+/// its own directed link, so every transfer is exactly one hop and only
+/// contends with traffic on the same pair.
+#[derive(Clone, Debug)]
+pub struct FullyConnected {
+    n: usize,
+    /// `links[src * n + dst]`: the directed link from `src` to `dst`.
+    links: Vec<BucketedResource>,
+    hop_latency: u64,
+    service: u64,
+    transfers: u64,
+    queue_cycles: u64,
+}
+
+impl FullyConnected {
+    /// Creates an all-to-all interconnect over `n` chiplets (at least
+    /// two; the shape is checked by [`SimConfig::validate`]).
+    pub fn new(n: usize, hop_latency: u64, service: u64) -> Self {
+        debug_assert!(n >= 2, "an interconnect needs at least two chiplets");
+        FullyConnected {
+            n,
+            links: vec![BucketedResource::new(1); n * n],
+            hop_latency,
+            service,
+            transfers: 0,
+            queue_cycles: 0,
+        }
+    }
+}
+
+impl Topology for FullyConnected {
+    fn name(&self) -> &'static str {
+        "fully-connected"
+    }
+
+    fn num_chiplets(&self) -> usize {
+        self.n
+    }
+
+    fn hops(&self, src: ChipletId, dst: ChipletId) -> u32 {
+        u32::from(src != dst)
+    }
+
+    fn request(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        now + self.hop_latency
+    }
+
+    fn transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64) -> u64 {
+        if src == dst {
+            return now;
+        }
+        self.transfers += 1;
+        let start = self.links[src.index() * self.n + dst.index()].acquire(now, self.service);
+        self.queue_cycles += start - now;
+        start + self.hop_latency
+    }
+
+    fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+
+    fn avg_hops(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            1.0
+        }
     }
 }
 
@@ -167,11 +412,106 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_charges_both_ways() {
-        let mut r = Ring::new(4, 36, 1);
-        let (arrive, leg) = r.round_trip(ChipletId::new(0), ChipletId::new(2), 0);
-        assert_eq!(arrive, 72);
-        let done = leg.finish(arrive + 100);
-        assert_eq!(done, 244); // 72 + 100 + 72
+    fn ring_hops_symmetry_and_bounds() {
+        for n in [2usize, 4, 8] {
+            let r = Ring::new(n, 36, 1);
+            for a in 0..n {
+                for b in 0..n {
+                    let ca = ChipletId::new(a as u8);
+                    let cb = ChipletId::new(b as u8);
+                    assert_eq!(r.hops(ca, cb), r.hops(cb, ca));
+                    assert!(r.hops(ca, cb) as usize <= n / 2);
+                    if a == b {
+                        assert_eq!(r.hops(ca, cb), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_hops_examples() {
+        let h = |a: u8, b: u8, n| {
+            Ring::new(n, 36, 1).hops(ChipletId::new(a), ChipletId::new(b)) as usize
+        };
+        assert_eq!(h(0, 1, 4), 1);
+        assert_eq!(h(0, 2, 4), 2);
+        assert_eq!(h(0, 3, 4), 1);
+        assert_eq!(h(1, 5, 8), 4);
+        assert_eq!(h(7, 0, 8), 1);
+    }
+
+    #[test]
+    fn ring_request_is_latency_only() {
+        let mut r = Ring::new(4, 36, 10);
+        assert_eq!(r.request(ChipletId::new(0), ChipletId::new(2), 5), 77);
+        assert_eq!(r.request(ChipletId::new(1), ChipletId::new(1), 5), 5);
+        // Requests occupy no links: a transfer right after starts clean.
+        assert_eq!(r.transfer(ChipletId::new(0), ChipletId::new(1), 0), 36);
+    }
+
+    #[test]
+    fn mesh_hops_follow_manhattan_distance() {
+        // 2×2 grid: 0 1
+        //           2 3
+        let m = Mesh2d::new(2, 2, 36, 1);
+        let h = |a: u8, b: u8| m.hops(ChipletId::new(a), ChipletId::new(b));
+        assert_eq!(h(0, 0), 0);
+        assert_eq!(h(0, 1), 1);
+        assert_eq!(h(0, 2), 1);
+        assert_eq!(h(0, 3), 2);
+        assert_eq!(h(3, 0), 2);
+        // 2×4 grid: corner-to-corner is 1 + 3 = 4 (no wraparound).
+        let m = Mesh2d::new(2, 4, 36, 1);
+        assert_eq!(m.hops(ChipletId::new(0), ChipletId::new(7)), 4);
+        assert_eq!(m.hops(ChipletId::new(3), ChipletId::new(4)), 4);
+    }
+
+    #[test]
+    fn mesh_transfer_pays_per_hop_and_counts() {
+        let mut m = Mesh2d::new(2, 2, 36, 1);
+        assert_eq!(m.transfer(ChipletId::new(0), ChipletId::new(3), 0), 72);
+        assert_eq!(m.transfer(ChipletId::new(1), ChipletId::new(1), 50), 50);
+        assert_eq!(m.transfers(), 1);
+        assert!((m.avg_hops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_xy_routing_contends_on_shared_links() {
+        // Both 0→3 and 0→1 leave node 0 eastward first (XY order), so the
+        // second transfer queues behind the first on link 0→1.
+        let mut m = Mesh2d::new(2, 2, 36, 10);
+        assert_eq!(m.transfer(ChipletId::new(0), ChipletId::new(3), 0), 72);
+        assert_eq!(m.transfer(ChipletId::new(0), ChipletId::new(1), 0), 46);
+        assert_eq!(m.queue_cycles(), 10);
+        // The north/south links are independent of east/west traffic.
+        assert_eq!(m.transfer(ChipletId::new(0), ChipletId::new(2), 0), 36);
+    }
+
+    #[test]
+    fn fully_connected_is_single_hop() {
+        let mut f = FullyConnected::new(4, 36, 10);
+        assert_eq!(f.transfer(ChipletId::new(0), ChipletId::new(3), 0), 36);
+        assert_eq!(f.transfer(ChipletId::new(0), ChipletId::new(3), 0), 46);
+        // A different pair never contends.
+        assert_eq!(f.transfer(ChipletId::new(3), ChipletId::new(0), 0), 36);
+        assert_eq!(f.transfer(ChipletId::new(2), ChipletId::new(2), 9), 9);
+        assert_eq!(f.transfers(), 3);
+        assert_eq!(f.queue_cycles(), 10);
+        assert!((f.avg_hops() - 1.0).abs() < 1e-9);
+        assert_eq!(f.hops(ChipletId::new(1), ChipletId::new(2)), 1);
+        assert_eq!(f.hops(ChipletId::new(1), ChipletId::new(1)), 0);
+    }
+
+    #[test]
+    fn build_topology_matches_config() {
+        let mut cfg = SimConfig::baseline();
+        assert_eq!(build_topology(&cfg).name(), "ring");
+        cfg.topology = TopologyKind::Mesh2d { rows: 2, cols: 2 };
+        let t = build_topology(&cfg);
+        assert_eq!(t.name(), "mesh2d");
+        assert_eq!(t.num_chiplets(), 4);
+        cfg.topology = TopologyKind::FullyConnected;
+        assert_eq!(build_topology(&cfg).name(), "fully-connected");
     }
 }

@@ -10,8 +10,9 @@
 //!   cache, walking a 4-level page table whose PTE pages are distributed
 //!   across chiplets or pinned requester-local;
 //! * per-SM L1 and per-chiplet L2 data caches;
-//! * HBM channels with busy-until queueing and a bidirectional ring
-//!   interconnect with per-link occupancy;
+//! * HBM channels with busy-until queueing and a pluggable inter-chiplet
+//!   interconnect ([`Topology`]: bidirectional ring, 2D mesh, or
+//!   fully-connected) with per-link occupancy;
 //! * demand paging with 64KB granularity driven by a pluggable
 //!   [`PagingPolicy`] — the interface CLAP and all baselines implement.
 //!
@@ -50,13 +51,13 @@ mod workload;
 
 pub use cache::SetAssocCache;
 pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor, Stonewall};
-pub use config::{PtePlacement, SimConfig, TlbEntries, TranslationConfig};
+pub use config::{PtePlacement, SimConfig, TlbEntries, TopologyKind, TranslationConfig};
 pub use dram::Dram;
 #[cfg(feature = "trace")]
 pub use engine::run_traced;
 pub use engine::{run, run_outcome, RunOutcome};
 pub use error::SimError;
-pub use interconnect::{Ring, RingLeg};
+pub use interconnect::{build_topology, FullyConnected, Mesh2d, Ring, Topology};
 pub use page_table::{PageTable, Pte, PTES_PER_LINE};
 pub use policy::{
     AllocInfo, Directive, FaultCtx, PagingPolicy, RemoteCacheModel, RemoteServe, StaticHint,
@@ -68,4 +69,4 @@ pub use tlb::Tlb;
 pub use trace::{
     LatencyHistogram, RunTrace, TraceEvent, TraceEventClass, TraceEventKind, TraceStage,
 };
-pub use workload::{tb_chiplet, KernelDesc, Workload};
+pub use workload::{tb_chiplet, KernelDesc, TileMapping, TiledGemm, Workload};

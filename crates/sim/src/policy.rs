@@ -1,6 +1,6 @@
 //! The driver-side paging-policy interface and the remote-cache hook.
 //!
-//! The engine owns the machine (TLBs, caches, page table, DRAM, ring); a
+//! The engine owns the machine (TLBs, caches, page table, DRAM, interconnect); a
 //! [`PagingPolicy`] owns *placement*: it decides, on each demand fault,
 //! which physical frame backs which virtual page — and may unmap/migrate/
 //! promote between faults. CLAP and every baseline of §5 implement this

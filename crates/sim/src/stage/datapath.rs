@@ -1,5 +1,5 @@
-//! The data-path stage: L1/L2 data caches, DRAM channels, the ring
-//! interconnect and the optional remote-data cache.
+//! The data-path stage: L1/L2 data caches, DRAM channels, the
+//! inter-chiplet interconnect and the optional remote-data cache.
 //!
 //! Owns everything between a physical address and its data, including the
 //! memory traffic of page walks (upper-level PTE nodes and leaf PTE
@@ -11,7 +11,7 @@ use mcm_types::{ChipletId, PageSize, PhysAddr, VirtAddr, BASE_PAGE_BYTES, VA_BLO
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::dram::Dram;
-use crate::interconnect::Ring;
+use crate::interconnect::{build_topology, Topology};
 use crate::page_table::{PageTable, Pte};
 use crate::policy::{RemoteCacheModel, RemoteServe};
 use crate::stats::RunStats;
@@ -40,19 +40,20 @@ pub struct DataPathStats {
 /// The data path of one machine.
 ///
 /// The lifetime `'r` borrows the run's optional remote-cache scheme
-/// (NUBA/SAC), which interposes between local L2 misses and the ring.
+/// (NUBA/SAC), which interposes between local L2 misses and the
+/// interconnect.
 pub struct DataPath<'r> {
     l1d: Vec<SetAssocCache>,
     l2d: Vec<SetAssocCache>,
     dram: Dram,
-    ring: Ring,
+    interconnect: Box<dyn Topology>,
     remote_cache: Option<&'r mut dyn RemoteCacheModel>,
     /// This stage's statistics slice.
     pub stats: DataPathStats,
 }
 
 impl<'r> DataPath<'r> {
-    /// Builds the cache/DRAM/ring hierarchy for `cfg`.
+    /// Builds the cache/DRAM/interconnect hierarchy for `cfg`.
     pub fn new(cfg: &SimConfig, remote_cache: Option<&'r mut dyn RemoteCacheModel>) -> Self {
         let layout = cfg.layout();
         DataPath {
@@ -80,7 +81,7 @@ impl<'r> DataPath<'r> {
                 cfg.dram_latency,
                 cfg.dram_service,
             ),
-            ring: Ring::new(cfg.num_chiplets, cfg.ring_hop_latency, cfg.ring_service),
+            interconnect: build_topology(cfg),
             remote_cache,
             stats: DataPathStats::default(),
         }
@@ -88,8 +89,8 @@ impl<'r> DataPath<'r> {
 
     /// One data access from `sm` on `chiplet` to `pa` (owned by
     /// `data_chiplet`) at cycle `t`: L1$ → L2$ → local DRAM, or the
-    /// remote-cache / ring path when the line is remote. Returns the
-    /// completion cycle.
+    /// remote-cache / interconnect path when the line is remote. Returns
+    /// the completion cycle.
     #[allow(clippy::too_many_arguments)]
     pub fn access(
         &mut self,
@@ -131,20 +132,21 @@ impl<'r> DataPath<'r> {
                 self.dram.access_at(chiplet, pa, t_mem)
             }
             None => {
-                let arrive = self.ring.request(chiplet, data_chiplet, t_mem);
+                let arrive = self.interconnect.request(chiplet, data_chiplet, t_mem);
                 let mem_done = self.dram.access(pa, arrive);
-                tracer.event(TraceEventKind::RingCrossing {
+                tracer.event(TraceEventKind::Crossing {
                     src: data_chiplet,
                     dst: chiplet,
+                    hops: self.interconnect.hops(data_chiplet, chiplet),
                     cycle: mem_done,
                 });
-                self.ring.transfer(data_chiplet, chiplet, mem_done)
+                self.interconnect.transfer(data_chiplet, chiplet, mem_done)
             }
         }
     }
 
     /// A DRAM line read by `requester` from `owner`'s memory: direct when
-    /// local, request/transfer over the ring when remote.
+    /// local, request/transfer over the interconnect when remote.
     fn mem_read(
         &mut self,
         requester: ChipletId,
@@ -156,14 +158,15 @@ impl<'r> DataPath<'r> {
         if owner == requester {
             self.dram.access(pa, t)
         } else {
-            let arrive = self.ring.request(requester, owner, t);
+            let arrive = self.interconnect.request(requester, owner, t);
             let done = self.dram.access(pa, arrive);
-            tracer.event(TraceEventKind::RingCrossing {
+            tracer.event(TraceEventKind::Crossing {
                 src: owner,
                 dst: requester,
+                hops: self.interconnect.hops(owner, requester),
                 cycle: done,
             });
-            self.ring.transfer(owner, requester, done)
+            self.interconnect.transfer(owner, requester, done)
         }
     }
 
@@ -241,23 +244,30 @@ impl<'r> DataPath<'r> {
         }
     }
 
-    /// Charges one ring transfer from `src` to `dst` at `now` (migration
-    /// data movement).
-    pub fn ring_transfer(&mut self, src: ChipletId, dst: ChipletId, now: u64, tracer: &mut Tracer) {
+    /// Charges one interconnect transfer from `src` to `dst` at `now`
+    /// (migration data movement).
+    pub fn interconnect_transfer(
+        &mut self,
+        src: ChipletId,
+        dst: ChipletId,
+        now: u64,
+        tracer: &mut Tracer,
+    ) {
         if src != dst {
-            // Mirrors `Ring::transfer`: same-chiplet transfers are free and
-            // uncounted, so they must not appear as crossings either.
-            tracer.event(TraceEventKind::RingCrossing {
+            // Mirrors `Topology::transfer`: same-chiplet transfers are free
+            // and uncounted, so they must not appear as crossings either.
+            tracer.event(TraceEventKind::Crossing {
                 src,
                 dst,
+                hops: self.interconnect.hops(src, dst),
                 cycle: now,
             });
         }
-        self.ring.transfer(src, dst, now);
+        self.interconnect.transfer(src, dst, now);
     }
 
-    /// Flushes this stage's slice — cache counters plus the DRAM/ring
-    /// tallies — into the run-level statistics.
+    /// Flushes this stage's slice — cache counters plus the
+    /// DRAM/interconnect tallies — into the run-level statistics.
     pub(crate) fn flush_into(&mut self, cfg: &SimConfig, out: &mut RunStats) {
         out.l1d_hits += self.stats.l1d_hits;
         out.l1d_misses += self.stats.l1d_misses;
@@ -268,9 +278,9 @@ impl<'r> DataPath<'r> {
             .map(|c| self.dram.accesses(ChipletId::new(c as u8)))
             .collect();
         out.dram_accesses = out.dram_per_chiplet.iter().sum();
-        out.ring_transfers = self.ring.transfers();
+        out.interconnect_transfers = self.interconnect.transfers();
         out.dram_queue_cycles = self.dram.queue_cycles();
-        out.ring_queue_cycles = self.ring.queue_cycles();
+        out.interconnect_queue_cycles = self.interconnect.queue_cycles();
         self.stats = DataPathStats::default();
     }
 }
@@ -298,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn remote_access_pays_the_ring() {
+    fn remote_access_pays_the_interconnect() {
         let c = cfg();
         let layout = c.layout();
         let mut d = DataPath::new(&c, None);
@@ -332,7 +342,7 @@ mod tests {
     }
 
     #[test]
-    fn remote_cache_short_circuits_the_ring() {
+    fn remote_cache_short_circuits_the_interconnect() {
         struct AlwaysSram;
         impl RemoteCacheModel for AlwaysSram {
             fn name(&self) -> &str {
@@ -362,7 +372,7 @@ mod tests {
     }
 
     #[test]
-    fn flush_reports_dram_and_ring_tallies() {
+    fn flush_reports_dram_and_interconnect_tallies() {
         let c = cfg();
         let layout = c.layout();
         let mut d = DataPath::new(&c, None);
@@ -381,7 +391,10 @@ mod tests {
         d.flush_into(&c, &mut out);
         assert_eq!(out.dram_accesses, 1);
         assert_eq!(out.dram_per_chiplet.len(), c.num_chiplets);
-        assert!(out.ring_transfers >= 1, "remote miss must cross the ring");
+        assert!(
+            out.interconnect_transfers >= 1,
+            "remote miss must cross the interconnect"
+        );
         assert_eq!(out.l2d_misses, 1);
     }
 }

@@ -263,7 +263,7 @@ impl Driver {
                     let dst = pt.layout().chiplet_of(to_pa);
                     self.gmmu_ovh[src.index()].acquire(now, cfg.migration_latency);
                     self.gmmu_ovh[dst.index()].acquire(now, cfg.migration_latency);
-                    data.ring_transfer(src, dst, now, tracer);
+                    data.interconnect_transfer(src, dst, now, tracer);
                 }
                 Ok(())
             }

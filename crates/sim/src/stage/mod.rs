@@ -7,7 +7,7 @@
 //! * [`translate`] — per-SM L1 TLBs, chiplet-private L2 TLBs, page-walk
 //!   caches, walker pools and walk-queue MSHRs: everything between a
 //!   virtual address and its PTE.
-//! * [`datapath`] — L1/L2 data caches, DRAM channels, the ring
+//! * [`datapath`] — L1/L2 data caches, DRAM channels, the interconnect
 //!   interconnect and the optional remote-data cache: everything between
 //!   a physical address and its data.
 //! * [`driver`] — the GMMU/driver side: demand-fault resolution through

@@ -5,7 +5,7 @@
 //! *reads* happen here (translation, walk-node keys); page-table *writes*
 //! are the [driver stage's](crate::stage::driver) job. Walk memory traffic
 //! (PTE node and leaf-line accesses) is charged through the
-//! [data path](crate::stage::datapath), which owns DRAM and the ring.
+//! [data path](crate::stage::datapath), which owns DRAM and the interconnect.
 
 use std::collections::HashMap;
 

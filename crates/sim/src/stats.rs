@@ -85,12 +85,12 @@ pub struct RunStats {
     pub dram_accesses: u64,
     /// DRAM line accesses per chiplet (load-balance diagnostics).
     pub dram_per_chiplet: Vec<u64>,
-    /// Total ring transfers routed.
-    pub ring_transfers: u64,
+    /// Total inter-chiplet interconnect transfers routed (any topology).
+    pub interconnect_transfers: u64,
     /// Total cycles spent queueing for DRAM channels.
     pub dram_queue_cycles: u64,
-    /// Total cycles spent queueing for ring links.
-    pub ring_queue_cycles: u64,
+    /// Total cycles spent queueing for interconnect links.
+    pub interconnect_queue_cycles: u64,
 
     /// PF blocks consumed by the policy's allocator (fragmentation study),
     /// if reported.

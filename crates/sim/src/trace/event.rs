@@ -43,15 +43,19 @@ pub enum TraceEventKind {
         /// Fill cycle.
         cycle: u64,
     },
-    /// One line transfer crossed the ring (counted exactly like
-    /// [`RunStats::ring_transfers`](crate::RunStats::ring_transfers):
+    /// One line transfer crossed the inter-chiplet interconnect (counted
+    /// exactly like
+    /// [`RunStats::interconnect_transfers`](crate::RunStats::interconnect_transfers):
     /// same-chiplet transfers are not crossings).
-    RingCrossing {
+    Crossing {
         /// Sending chiplet.
         src: ChipletId,
         /// Receiving chiplet.
         dst: ChipletId,
-        /// Cycle the transfer entered the ring.
+        /// Hops along the topology's route from `src` to `dst`
+        /// ([`Topology::hops`](crate::interconnect::Topology::hops)).
+        hops: u32,
+        /// Cycle the transfer entered the interconnect.
         cycle: u64,
     },
     /// The driver resolved a demand fault through the paging policy.
@@ -95,8 +99,8 @@ pub enum TraceEventClass {
     WalkComplete,
     /// [`TraceEventKind::TlbFill`].
     TlbFill,
-    /// [`TraceEventKind::RingCrossing`].
-    RingCrossing,
+    /// [`TraceEventKind::Crossing`].
+    Crossing,
     /// [`TraceEventKind::FaultResolved`].
     FaultResolved,
     /// [`TraceEventKind::TbStart`].
@@ -111,7 +115,7 @@ impl TraceEventClass {
         TraceEventClass::L2TlbMiss,
         TraceEventClass::WalkComplete,
         TraceEventClass::TlbFill,
-        TraceEventClass::RingCrossing,
+        TraceEventClass::Crossing,
         TraceEventClass::FaultResolved,
         TraceEventClass::TbStart,
         TraceEventClass::EpochDirectives,
@@ -123,7 +127,7 @@ impl TraceEventClass {
             TraceEventClass::L2TlbMiss => "l2tlb_miss",
             TraceEventClass::WalkComplete => "walk_complete",
             TraceEventClass::TlbFill => "tlb_fill",
-            TraceEventClass::RingCrossing => "ring_crossing",
+            TraceEventClass::Crossing => "crossing",
             TraceEventClass::FaultResolved => "fault_resolved",
             TraceEventClass::TbStart => "tb_start",
             TraceEventClass::EpochDirectives => "epoch_directives",
@@ -146,7 +150,7 @@ impl TraceEventKind {
             TraceEventKind::L2TlbMiss { .. } => TraceEventClass::L2TlbMiss,
             TraceEventKind::WalkComplete { .. } => TraceEventClass::WalkComplete,
             TraceEventKind::TlbFill { .. } => TraceEventClass::TlbFill,
-            TraceEventKind::RingCrossing { .. } => TraceEventClass::RingCrossing,
+            TraceEventKind::Crossing { .. } => TraceEventClass::Crossing,
             TraceEventKind::FaultResolved { .. } => TraceEventClass::FaultResolved,
             TraceEventKind::TbStart { .. } => TraceEventClass::TbStart,
             TraceEventKind::EpochDirectives { .. } => TraceEventClass::EpochDirectives,
@@ -159,7 +163,7 @@ impl TraceEventKind {
         match *self {
             TraceEventKind::L2TlbMiss { cycle, .. }
             | TraceEventKind::TlbFill { cycle, .. }
-            | TraceEventKind::RingCrossing { cycle, .. }
+            | TraceEventKind::Crossing { cycle, .. }
             | TraceEventKind::TbStart { cycle, .. } => cycle,
             TraceEventKind::WalkComplete { issued, .. } => issued,
             TraceEventKind::FaultResolved { raised, .. } => raised,
@@ -202,9 +206,10 @@ mod tests {
                 pages: 16,
                 cycle: 3,
             },
-            TraceEventKind::RingCrossing {
+            TraceEventKind::Crossing {
                 src: ChipletId::new(0),
                 dst: ChipletId::new(1),
+                hops: 1,
                 cycle: 4,
             },
             TraceEventKind::FaultResolved {

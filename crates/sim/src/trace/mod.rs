@@ -16,7 +16,7 @@
 //!
 //! Every histogram total reconciles exactly with a
 //! [`RunStats`](crate::RunStats) counter (walk samples == page walks,
-//! ring-crossing events == ring transfers, ...); the trace-conformance
+//! crossing events == interconnect transfers, ...); the trace-conformance
 //! tests in `crates/bench/tests/trace_conformance.rs` assert this.
 
 mod event;
@@ -219,10 +219,11 @@ mod tests {
     use super::*;
     use mcm_types::ChipletId;
 
-    fn ring_event(cycle: u64) -> TraceEventKind {
-        TraceEventKind::RingCrossing {
+    fn crossing_event(cycle: u64) -> TraceEventKind {
+        TraceEventKind::Crossing {
             src: ChipletId::new(0),
             dst: ChipletId::new(1),
+            hops: 1,
             cycle,
         }
     }
@@ -244,12 +245,12 @@ mod tests {
     fn event_stream_is_bounded_but_counters_are_exact() {
         let mut t = RunTrace::with_event_cap(2);
         for i in 0..5 {
-            t.record_event(ring_event(i));
+            t.record_event(crossing_event(i));
         }
         assert_eq!(t.events.len(), 2);
         assert_eq!(t.events_seen, 5);
         assert_eq!(t.dropped_events, 3);
-        assert_eq!(t.event_count(TraceEventClass::RingCrossing), 5);
+        assert_eq!(t.event_count(TraceEventClass::Crossing), 5);
         // Sequence numbers are gap-free for the retained prefix.
         assert_eq!(t.events[0].seq, 0);
         assert_eq!(t.events[1].seq, 1);
@@ -261,11 +262,11 @@ mod tests {
         let mut b = RunTrace::new();
         a.record_sample(TraceStage::Translate, 10);
         b.record_sample(TraceStage::Translate, 20);
-        b.record_event(ring_event(1));
+        b.record_event(crossing_event(1));
         a.merge_aggregates(&b);
         assert_eq!(a.hist(TraceStage::Translate).count(), 2);
         assert_eq!(a.hist(TraceStage::Translate).sum(), 30);
-        assert_eq!(a.event_count(TraceEventClass::RingCrossing), 1);
+        assert_eq!(a.event_count(TraceEventClass::Crossing), 1);
         assert_eq!(a.events_seen, 1);
         // b's buffered event is not spliced in, only accounted.
         assert!(a.events.is_empty());

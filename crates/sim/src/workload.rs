@@ -1,8 +1,8 @@
 //! The workload interface: kernels, threadblocks, and warp access streams.
 
-use mcm_types::{TbId, VirtAddr, WarpId};
+use mcm_types::{AllocId, TbId, VirtAddr, WarpId, VA_BLOCK_BYTES};
 
-use crate::policy::AllocInfo;
+use crate::policy::{AllocInfo, StaticHint};
 
 /// Shape of one kernel launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +63,174 @@ pub fn tb_chiplet(tb: TbId, num_tbs: u32, num_chiplets: usize) -> usize {
     (tb.index() * num_chiplets) / num_tbs as usize
 }
 
+/// How [`TiledGemm`] assigns C-matrix tiles to threadblocks — and thus,
+/// under contiguous scheduling ([`tb_chiplet`]), to chiplets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileMapping {
+    /// Threadblock `t` computes C tile `(t / nt, t % nt)`: rows of C land
+    /// on chiplet bands, but every chiplet streams all of B.
+    RowMajor,
+    /// Locality-scheduled mapping: consecutive threadblocks cover one
+    /// `rows × cols` super-tile of C before moving to the next, so each
+    /// chiplet works a 2D block of C and reuses a narrow band of A and B
+    /// (per "Making Locality-aware GEMM Compatible with Page-Granularity
+    /// Placement on Chiplet GPUs").
+    Blocked {
+        /// C-tile rows per super-tile (must divide the tile-grid rows).
+        rows: usize,
+        /// C-tile columns per super-tile (must divide the tile-grid
+        /// columns).
+        cols: usize,
+    },
+}
+
+/// Bytes of one square matrix tile (256×256 f32 = 64KB, one demand page).
+const TILE_BYTES: u64 = 64 * 1024;
+/// Cache-line granularity of generated addresses.
+const LINE_BYTES: u64 = 128;
+/// Warps per threadblock issuing memory traffic.
+const GEMM_WARPS_PER_TB: u32 = 4;
+
+/// A tiled dense GEMM `C = A × B` over a `mt × nt` grid of C tiles with
+/// depth `kt`: threadblock `t` computes one C tile `(i, j)` by streaming
+/// the A panel `(i, 0..kt)` and the B panel `(0..kt, j)`, then writing
+/// `C(i, j)`. [`TileMapping`] decides which tile each threadblock gets,
+/// which under contiguous scheduling decides how the working set folds
+/// onto chiplets — the stress test for page-granularity placement against
+/// a workload that is itself locality-scheduled.
+#[derive(Clone, Debug)]
+pub struct TiledGemm {
+    name: String,
+    mt: usize,
+    nt: usize,
+    kt: usize,
+    mapping: TileMapping,
+    allocs: Vec<AllocInfo>,
+}
+
+impl TiledGemm {
+    /// Builds a GEMM over a `mt × nt` C-tile grid with depth `kt` tiles.
+    /// For [`TileMapping::Blocked`], the super-tile must evenly divide
+    /// the grid.
+    pub fn new(mt: usize, nt: usize, kt: usize, mapping: TileMapping) -> Self {
+        debug_assert!(mt > 0 && nt > 0 && kt > 0, "empty tile grid");
+        if let TileMapping::Blocked { rows, cols } = mapping {
+            debug_assert!(
+                rows > 0 && cols > 0 && mt.is_multiple_of(rows) && nt.is_multiple_of(cols),
+                "super-tile {rows}x{cols} must divide the {mt}x{nt} grid"
+            );
+        }
+        let name = match mapping {
+            TileMapping::RowMajor => "GEMM-row".to_string(),
+            TileMapping::Blocked { .. } => "GEMM-tile".to_string(),
+        };
+        // Lay the three matrices out the way the driver would: 2MB-aligned
+        // bases with a 2MB guard gap between allocations.
+        let mut base = VA_BLOCK_BYTES;
+        let mut place = |id: u16, n: &str, bytes: u64, hint: StaticHint| {
+            let a = AllocInfo {
+                id: AllocId::new(id),
+                base: VirtAddr::new(base),
+                bytes,
+                name: n.to_string(),
+                hint,
+            };
+            base += bytes.div_ceil(VA_BLOCK_BYTES) * VA_BLOCK_BYTES + VA_BLOCK_BYTES;
+            a
+        };
+        let allocs = vec![
+            place(
+                0,
+                "matrix-A",
+                (mt * kt) as u64 * TILE_BYTES,
+                StaticHint::Partitioned { period_bytes: 0 },
+            ),
+            place(
+                1,
+                "matrix-B",
+                (kt * nt) as u64 * TILE_BYTES,
+                StaticHint::Shared,
+            ),
+            place(
+                2,
+                "matrix-C",
+                (mt * nt) as u64 * TILE_BYTES,
+                StaticHint::Partitioned { period_bytes: 0 },
+            ),
+        ];
+        TiledGemm {
+            name,
+            mt,
+            nt,
+            kt,
+            mapping,
+            allocs,
+        }
+    }
+
+    /// The C tile `(row, col)` threadblock `tb` computes under this
+    /// workload's [`TileMapping`].
+    pub fn tile_of(&self, tb: TbId) -> (usize, usize) {
+        let t = tb.index();
+        match self.mapping {
+            TileMapping::RowMajor => (t / self.nt, t % self.nt),
+            TileMapping::Blocked { rows, cols } => {
+                let per_super = rows * cols;
+                let super_cols = self.nt / cols;
+                let (s, w) = (t / per_super, t % per_super);
+                let (si, sj) = (s / super_cols, s % super_cols);
+                (si * rows + w / cols, sj * cols + w % cols)
+            }
+        }
+    }
+
+    /// Line-granular VA of line `l` of tile `(r, c)` in the matrix at
+    /// `alloc` whose tile grid is `cols` wide.
+    fn tile_line(&self, alloc: usize, r: usize, c: usize, cols: usize, l: u64) -> VirtAddr {
+        self.allocs[alloc].base + ((r * cols + c) as u64 * TILE_BYTES + l * LINE_BYTES)
+    }
+}
+
+impl Workload for TiledGemm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn allocs(&self) -> &[AllocInfo] {
+        &self.allocs
+    }
+
+    fn kernel(&self, k: usize) -> KernelDesc {
+        assert_eq!(k, 0, "TiledGemm launches a single kernel");
+        KernelDesc {
+            num_tbs: (self.mt * self.nt) as u32,
+            warps_per_tb: GEMM_WARPS_PER_TB,
+            insts_per_mem: 2,
+            line_reuse: 8,
+        }
+    }
+
+    fn warp_accesses(&self, k: usize, tb: TbId, warp: WarpId) -> Vec<VirtAddr> {
+        assert_eq!(k, 0, "TiledGemm launches a single kernel");
+        let (i, j) = self.tile_of(tb);
+        // Each warp owns a contiguous slice of every tile's lines.
+        let lines = TILE_BYTES / LINE_BYTES;
+        let per_warp = lines / GEMM_WARPS_PER_TB as u64;
+        let first = warp.index() as u64 * per_warp;
+        let mut out = Vec::with_capacity((self.kt as u64 * 2 * per_warp + per_warp) as usize);
+        for kk in 0..self.kt {
+            for l in first..first + per_warp {
+                out.push(self.tile_line(0, i, kk, self.kt, l));
+                out.push(self.tile_line(1, kk, j, self.nt, l));
+            }
+        }
+        for l in first..first + per_warp {
+            out.push(self.tile_line(2, i, j, self.nt, l));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +243,77 @@ mod tests {
         // Non-divisible counts stay monotone and bounded.
         let c: Vec<usize> = (0..6).map(|t| tb_chiplet(TbId::new(t), 6, 4)).collect();
         assert_eq!(c, vec![0, 0, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn gemm_layout_is_guarded_and_aligned() {
+        let g = TiledGemm::new(8, 8, 4, TileMapping::RowMajor);
+        assert_eq!(g.name(), "GEMM-row");
+        let a = g.allocs();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].bytes, 8 * 4 * TILE_BYTES);
+        assert_eq!(a[1].bytes, 4 * 8 * TILE_BYTES);
+        assert_eq!(a[2].bytes, 8 * 8 * TILE_BYTES);
+        for w in a.windows(2) {
+            assert_eq!(w[1].base.raw() % VA_BLOCK_BYTES, 0);
+            assert!(
+                w[1].base.raw() >= w[0].base.raw() + w[0].bytes + VA_BLOCK_BYTES,
+                "allocations must keep a guard gap"
+            );
+        }
+        assert_eq!(a[1].hint, StaticHint::Shared);
+        assert_eq!(a[0].hint, StaticHint::Partitioned { period_bytes: 0 });
+    }
+
+    #[test]
+    fn gemm_mappings_cover_every_tile_once() {
+        for mapping in [
+            TileMapping::RowMajor,
+            TileMapping::Blocked { rows: 2, cols: 2 },
+            TileMapping::Blocked { rows: 4, cols: 2 },
+        ] {
+            let g = TiledGemm::new(8, 4, 2, mapping);
+            let mut seen = [false; 8 * 4];
+            for t in 0..32 {
+                let (i, j) = g.tile_of(TbId::new(t));
+                assert!(i < 8 && j < 4, "{mapping:?} tile ({i},{j}) out of grid");
+                assert!(!seen[i * 4 + j], "{mapping:?} assigns ({i},{j}) twice");
+                seen[i * 4 + j] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{mapping:?} misses tiles");
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_mapping_keeps_neighbours_together() {
+        // 2×2 super-tiles: the first four TBs cover tiles (0..2, 0..2).
+        let g = TiledGemm::new(4, 4, 2, TileMapping::Blocked { rows: 2, cols: 2 });
+        let tiles: Vec<_> = (0..4).map(|t| g.tile_of(TbId::new(t))).collect();
+        assert_eq!(tiles, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // Row-major instead walks the full first row.
+        let g = TiledGemm::new(4, 4, 2, TileMapping::RowMajor);
+        let tiles: Vec<_> = (0..4).map(|t| g.tile_of(TbId::new(t))).collect();
+        assert_eq!(tiles, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn gemm_streams_are_deterministic_and_in_bounds() {
+        let g = TiledGemm::new(4, 4, 2, TileMapping::Blocked { rows: 2, cols: 2 });
+        let k = g.kernel(0);
+        assert_eq!(k.num_tbs, 16);
+        let s1 = g.warp_accesses(0, TbId::new(5), WarpId::new(1));
+        let s2 = g.warp_accesses(0, TbId::new(5), WarpId::new(1));
+        assert_eq!(s1, s2, "streams must be deterministic");
+        let lines_per_warp = TILE_BYTES / LINE_BYTES / GEMM_WARPS_PER_TB as u64;
+        assert_eq!(s1.len() as u64, 2 * lines_per_warp * 2 + lines_per_warp);
+        for va in &s1 {
+            assert!(
+                g.allocs().iter().any(|a| a.contains(*va)),
+                "{va:?} outside every allocation"
+            );
+        }
+        // Different warps touch disjoint line sets of the same tiles.
+        let s0 = g.warp_accesses(0, TbId::new(5), WarpId::new(0));
+        assert!(s0.iter().all(|va| !s1.contains(va)));
     }
 }

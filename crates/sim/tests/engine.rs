@@ -367,12 +367,13 @@ fn remote_cache_intercepts_remote_misses() {
     let mut cache = AlwaysHit(0);
     let cached = run(&cfg, &w, &mut AllRemote(0), Some(&mut cache)).expect("runs");
     assert!(cached.remote_cache_hits > 0);
-    // The meaningful invariant: intercepted misses never cross the ring.
+    // The meaningful invariant: intercepted misses never cross the
+    // interconnect.
     assert!(
-        cached.ring_transfers < plain.ring_transfers / 4,
-        "hits must keep traffic off the ring: {} vs {}",
-        cached.ring_transfers,
-        plain.ring_transfers
+        cached.interconnect_transfers < plain.interconnect_transfers / 4,
+        "hits must keep traffic off the interconnect: {} vs {}",
+        cached.interconnect_transfers,
+        plain.interconnect_transfers
     );
     // Timing is not strictly monotone under local path changes (scheduling
     // butterflies), but it must stay in the same neighbourhood.

@@ -4,8 +4,10 @@ use core::fmt;
 
 /// Identifies one GPU chiplet in the MCM package.
 ///
-/// The baseline configuration has 4 chiplets; the scaling study (Figure 22)
-/// uses 8. Stored as `u8` — MCM packages are small.
+/// The baseline configuration has 4 chiplets; the scaling studies go up
+/// to 16. Stored as `u8` — MCM packages are small. Inter-chiplet routing
+/// (hop counts, link occupancy) is topology-specific and lives with the
+/// interconnect implementations, not here.
 ///
 /// # Examples
 ///
@@ -32,24 +34,6 @@ impl ChipletId {
     /// Iterates over all chiplets `0..count`.
     pub fn all(count: usize) -> impl Iterator<Item = ChipletId> {
         (0..count).map(|i| ChipletId::new(i as u8))
-    }
-
-    /// Number of ring hops between two chiplets on a bidirectional ring of
-    /// `count` chiplets (shortest direction).
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use mcm_types::ChipletId;
-    /// let a = ChipletId::new(0);
-    /// let b = ChipletId::new(3);
-    /// assert_eq!(a.ring_hops(b, 4), 1); // 0 -> 3 going the short way
-    /// ```
-    pub fn ring_hops(self, other: ChipletId, count: usize) -> usize {
-        let a = self.index();
-        let b = other.index();
-        let fwd = (b + count - a) % count;
-        fwd.min(count - fwd)
     }
 }
 
@@ -174,33 +158,6 @@ impl fmt::Display for WarpId {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn ring_hops_symmetry_and_bounds() {
-        for n in [2usize, 4, 8] {
-            for a in 0..n {
-                for b in 0..n {
-                    let ca = ChipletId::new(a as u8);
-                    let cb = ChipletId::new(b as u8);
-                    assert_eq!(ca.ring_hops(cb, n), cb.ring_hops(ca, n));
-                    assert!(ca.ring_hops(cb, n) <= n / 2);
-                    if a == b {
-                        assert_eq!(ca.ring_hops(cb, n), 0);
-                    }
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn ring_hops_examples() {
-        let h = |a: u8, b: u8, n| ChipletId::new(a).ring_hops(ChipletId::new(b), n);
-        assert_eq!(h(0, 1, 4), 1);
-        assert_eq!(h(0, 2, 4), 2);
-        assert_eq!(h(0, 3, 4), 1);
-        assert_eq!(h(1, 5, 8), 4);
-        assert_eq!(h(7, 0, 8), 1);
-    }
 
     #[test]
     fn sm_to_chiplet_mapping() {

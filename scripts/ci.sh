@@ -51,6 +51,11 @@ cargo build --release --workspace
 cmp "$smoke/default/fig1.csv" tests/goldens/fig1_quick.csv
 cmp "$smoke/default/fig18.csv" tests/goldens/fig18_quick.csv
 
+echo "== topology sweep smoke (figures topo vs golden; journal validates)"
+./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/topo" topo
+cmp "$smoke/topo/topo.csv" tests/goldens/topo_quick.csv
+./target/release/figures --out "$smoke/topo" status --check > /dev/null
+
 echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
 ./target/release/figures --quick --jobs 1 --out "$smoke/j1" fig1 > "$smoke/j1.out"
 ./target/release/figures --quick --jobs 4 --out "$smoke/j4" fig1 > "$smoke/j4.out"

@@ -51,6 +51,22 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     );
 }
 
+/// The topology sweep builds per-cell machine configurations (chiplet
+/// count + fabric) inside the sweep closure; that must be as
+/// worker-count-invisible as the fixed-machine figures.
+#[test]
+fn topo_sweep_is_byte_identical_to_serial() {
+    use clap_repro::bench::experiments::topo;
+    use clap_repro::bench::report::csv_string;
+    let serial = topo(&Harness::quick());
+    let parallel = topo(&Harness::quick().with_jobs(4));
+    assert_eq!(
+        csv_string(&serial),
+        csv_string(&parallel),
+        "topo CSV bytes must not depend on the worker count"
+    );
+}
+
 #[test]
 fn workload_streams_are_stable_across_clones() {
     use clap_repro::sim::Workload;

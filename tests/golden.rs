@@ -7,11 +7,12 @@
 //! intentional, regenerate with `scripts/update_goldens.sh` and commit
 //! the new goldens alongside the change that explains them.
 
-use clap_repro::bench::experiments::{fig1, fig18, Harness};
+use clap_repro::bench::experiments::{fig1, fig18, topo, Harness};
 use clap_repro::bench::report::csv_string;
 
 const FIG1_GOLDEN: &str = include_str!("goldens/fig1_quick.csv");
 const FIG18_GOLDEN: &str = include_str!("goldens/fig18_quick.csv");
+const TOPO_GOLDEN: &str = include_str!("goldens/topo_quick.csv");
 
 fn assert_golden(id: &str, got: &str, want: &str) {
     if got == want {
@@ -46,4 +47,19 @@ fn fig1_quick_grid_matches_golden() {
 fn fig18_quick_grid_matches_golden() {
     let g = fig18(&Harness::quick());
     assert_golden("fig18", &csv_string(&g), FIG18_GOLDEN);
+}
+
+/// The topology sweep is golden-pinned like the figures: the whole-grid
+/// byte compare covers the 8- and 16-chiplet ring/mesh/fully-connected
+/// columns the scaling study is about.
+#[test]
+fn topo_quick_grid_matches_golden() {
+    let g = topo(&Harness::quick());
+    assert_golden("topo", &csv_string(&g), TOPO_GOLDEN);
+    // Spot-pin the scaled columns by name so a column reorder can't
+    // silently repoint the golden: 8- and 16-chiplet cells exist for
+    // every fabric.
+    for col in ["ring/8", "ring/16", "mesh/8", "mesh/16", "fc/8", "fc/16"] {
+        assert!(g.perf.iter().all(|r| r[g.col(col)] > 0.0), "{col} ran");
+    }
 }
