@@ -21,6 +21,14 @@
 //! parallelism) fans each experiment's independent sweep cells out over N
 //! worker threads. Output is byte-identical for every worker count.
 //!
+//! `--engine cycle|analytic|hybrid` picks the prediction backend:
+//! `cycle` (default) is the cycle-approximate simulator, `analytic`
+//! replaces each cell with the closed-form fast path where a model
+//! exists (migration-dominated configs always fall back to the
+//! simulator), and `hybrid` runs analytic first and escalates cells
+//! whose predicted footprints sit near a capacity cliff back to the
+//! full simulation. The engine is tagged in every telemetry record.
+//!
 //! `trace` re-runs a figure's sweep with stage-boundary tracing and
 //! writes per-stage latency histograms (JSON) plus a flamegraph-style
 //! folded-stack breakdown to `results/trace/`. It is only available when
@@ -53,7 +61,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mcm_bench::experiments::{self, Grid, Harness};
+use mcm_bench::experiments::{self, EngineKind, Grid, Harness};
 use mcm_bench::report::{
     render_grid, render_status, render_table4, write_csv, write_timings, ExperimentTiming,
 };
@@ -87,6 +95,8 @@ struct Options {
     retries: Option<usize>,
     /// Deliberate failure injections (`--inject exp:cell=panic|budget`).
     inject: Vec<Injection>,
+    /// Prediction engine (`--engine cycle|analytic|hybrid`).
+    engine: EngineKind,
     /// Positional arguments (experiment ids, or `probe <WORKLOAD>`).
     targets: Vec<String>,
 }
@@ -96,6 +106,7 @@ fn usage() -> ! {
         "usage: figures [--quick] [--jobs N] [--out DIR] [--resume] \
          [--progress[=on|off|auto]] [--chaos[=SEED]] \
          [--keep-going|--fail-fast] [--retries N] \
+         [--engine cycle|analytic|hybrid] \
          [--inject exp:cell=panic|budget] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
          table1 table2 table4 ablation topo | probe <WORKLOAD> | trace [FIG] | status [--check]"
@@ -115,6 +126,7 @@ fn parse_args() -> Options {
         mode: SweepMode::KeepGoing,
         retries: None,
         inject: Vec::new(),
+        engine: EngineKind::Cycle,
         targets: Vec::new(),
     };
     let mut args = env::args().skip(1);
@@ -130,6 +142,13 @@ fn parse_args() -> Options {
                 Some(Ok(n)) => opts.retries = Some(n),
                 _ => {
                     eprintln!("--retries needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--engine" => match args.next().as_deref().and_then(EngineKind::parse) {
+                Some(e) => opts.engine = e,
+                None => {
+                    eprintln!("--engine wants cycle|analytic|hybrid");
                     usage();
                 }
             },
@@ -187,6 +206,14 @@ fn parse_args() -> Options {
                             usage();
                         }
                     }
+                } else if let Some(v) = a.strip_prefix("--engine=") {
+                    match EngineKind::parse(v) {
+                        Some(e) => opts.engine = e,
+                        None => {
+                            eprintln!("--engine wants cycle|analytic|hybrid, got {v:?}");
+                            usage();
+                        }
+                    }
                 } else if let Some(v) = a.strip_prefix("--retries=") {
                     match v.parse::<usize>() {
                         Ok(n) => opts.retries = Some(n),
@@ -231,6 +258,7 @@ fn main() {
         Harness::full()
     }
     .with_jobs(opts.jobs)
+    .with_engine(opts.engine)
     .with_supervisor(Arc::clone(&supervisor));
 
     if opts.targets.iter().any(|t| t == "status") {
@@ -335,7 +363,13 @@ fn main() {
         }
     }
     tele.finish();
-    if let Err(e) = write_timings(&timings, opts.jobs, opts.quick, &opts.out_dir) {
+    if let Err(e) = write_timings(
+        &timings,
+        opts.jobs,
+        opts.quick,
+        opts.engine.name(),
+        &opts.out_dir,
+    ) {
         eprintln!("warning: failed to write bench_timings.json: {e}");
     }
     eprintln!(

@@ -9,7 +9,9 @@ use clap_core::Clap;
 use mcm_policies::{
     fbarre, ideal, mgvm, s2m, s4k, s64k, sa_2m, sa_64k, static_paging, CNuma, Grit, Placement,
 };
-use mcm_sim::{PagingPolicy, PtePlacement, SimConfig, TranslationConfig};
+use mcm_sim::{
+    AllocInfo, PagingPolicy, PlacementModel, PtePlacement, SimConfig, TranslationConfig,
+};
 use mcm_types::PageSize;
 
 /// One named configuration of the evaluation.
@@ -91,6 +93,39 @@ impl ConfigKind {
             ConfigKind::Clap,
             ConfigKind::Ideal,
         ]
+    }
+
+    /// Closed-form placement model of this configuration for the
+    /// analytic engine — `None` when the configuration's behaviour is
+    /// dominated by reactive migration (C-NUMA, GRIT, the real-cost
+    /// migration variants), which has no closed form; those cells fall
+    /// back to the cycle engine under `--engine analytic|hybrid`.
+    ///
+    /// The CLAP family shares one first-order approximation (per-structure
+    /// OLP-style size selection + first touch); ablation knobs like the
+    /// PMM threshold are below the model's resolution.
+    pub fn placement_model(self, allocs: &[AllocInfo], chiplets: usize) -> Option<PlacementModel> {
+        match self {
+            ConfigKind::Static(s) => Some(PlacementModel::FirstTouch { page: s }),
+            ConfigKind::StaticAnalysis(s) => Some(PlacementModel::StaticAnalysis { page: s }),
+            ConfigKind::Mgvm | ConfigKind::FBarre | ConfigKind::Ideal => {
+                Some(PlacementModel::FirstTouch {
+                    page: PageSize::Size64K,
+                })
+            }
+            ConfigKind::Clap
+            | ConfigKind::ClapSa
+            | ConfigKind::ClapSaPlusPlus
+            | ConfigKind::ClapPmm(_)
+            | ConfigKind::ClapNoOlp
+            | ConfigKind::ClapNoRt => Some(PlacementModel::clap(allocs, chiplets)),
+            ConfigKind::CNuma
+            | ConfigKind::CNumaInter
+            | ConfigKind::Grit
+            | ConfigKind::ClapMigration
+            | ConfigKind::CNumaReal
+            | ConfigKind::GritReal => None,
+        }
     }
 
     /// Builds the policy and the machine configuration for a run.

@@ -9,13 +9,13 @@ use clap_core::{survey_mean, survey_workload, Clap};
 use mcm_policies::{Nuba, Sac};
 use mcm_sim::RunTrace;
 use mcm_sim::{
-    run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome, RunStats,
-    SimConfig, SimError, TileMapping, TiledGemm, TopologyKind, Workload,
+    analytic, run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome,
+    RunStats, SimConfig, SimError, TileMapping, TiledGemm, TopologyKind, Workload,
 };
-use mcm_types::PageSize;
+use mcm_types::{PageSize, TbId, WarpId};
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::configs::ConfigKind;
@@ -66,6 +66,44 @@ impl Grid {
     }
 }
 
+/// Which backend evaluates sweep cells.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The cycle-approximate simulator (the default; every statistic).
+    #[default]
+    Cycle,
+    /// The closed-form model ([`mcm_sim::analytic`]): figure-of-merit
+    /// statistics only, orders of magnitude faster. Configurations with
+    /// no closed form (reactive migration) fall back to the simulator.
+    Analytic,
+    /// Analytic first, escalating to the simulator any cell whose
+    /// prediction sits near a capacity cliff
+    /// ([`AnalyticStats::needs_escalation`](mcm_sim::AnalyticStats::needs_escalation))
+    /// or whose configuration has no closed form.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// CLI / telemetry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Cycle => "cycle",
+            EngineKind::Analytic => "analytic",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "cycle" => Some(EngineKind::Cycle),
+            "analytic" => Some(EngineKind::Analytic),
+            "hybrid" => Some(EngineKind::Hybrid),
+            _ => None,
+        }
+    }
+}
+
 /// Run-scale knobs shared by all experiments.
 #[derive(Clone, Debug)]
 pub struct Harness {
@@ -81,6 +119,49 @@ pub struct Harness {
     /// Per-cell failure policy: panic isolation, bounded retry, and
     /// quarantine (default: keep-going, one retry, no injections).
     supervisor: Arc<Supervisor>,
+    /// Backend evaluating sweep cells (default: the cycle simulator).
+    engine: EngineKind,
+    /// Most recent captured access-stream replay, keyed by workload
+    /// identity ([`replay_key`]). Stream generation dominates analytic
+    /// cost and is configuration-independent, so sweeps evaluating one
+    /// workload under several configurations capture once. Size-1 —
+    /// sweeps iterate configurations inside workloads.
+    replay_cache: ReplayCache,
+}
+
+/// Size-1 keyed cache of the most recently captured replay.
+type ReplayCache = Arc<Mutex<Option<(u64, Arc<analytic::Replay>)>>>;
+
+/// Identity of a workload's access streams for the harness's replay
+/// cache: the name, every structure, every kernel's shape, and two probe
+/// streams per kernel (first and middle threadblock, warp 0). Probes
+/// discriminate same-named workloads whose streams differ (e.g. GEMM
+/// tile mappings over different geometries) without the cost of hashing
+/// every stream.
+fn replay_key<W: Workload + ?Sized>(w: &W) -> u64 {
+    use std::fmt::Write as _;
+    let mut key = String::new();
+    key.push_str(w.name());
+    for a in w.allocs() {
+        let _ = write!(key, "|{a:?}");
+    }
+    for k in 0..w.num_kernels() {
+        let kd = w.kernel(k);
+        let _ = write!(key, "|k{k}:{}x{}", kd.num_tbs, kd.warps_per_tb);
+        if kd.warps_per_tb == 0 {
+            continue;
+        }
+        for t in [0, kd.num_tbs / 2] {
+            if t >= kd.num_tbs {
+                continue;
+            }
+            let _ = write!(key, "|p");
+            for va in w.warp_accesses(k, TbId::new(t), WarpId::new(0)) {
+                let _ = write!(key, ",{:x}", va.raw());
+            }
+        }
+    }
+    telemetry::fnv1a(&key)
 }
 
 impl Harness {
@@ -92,6 +173,8 @@ impl Harness {
             jobs: 1,
             telemetry: None,
             supervisor: Arc::new(Supervisor::default()),
+            engine: EngineKind::Cycle,
+            replay_cache: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -103,6 +186,8 @@ impl Harness {
             jobs: 1,
             telemetry: None,
             supervisor: Arc::new(Supervisor::default()),
+            engine: EngineKind::Cycle,
+            replay_cache: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -131,6 +216,19 @@ impl Harness {
         self
     }
 
+    /// Selects the backend evaluating sweep cells (`--engine` on the
+    /// `figures` binary). The default cycle engine is byte-identical to
+    /// before engines existed.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The backend evaluating sweep cells.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
     /// The sweep failure policy (quarantine list lives here).
     pub fn supervisor(&self) -> &Arc<Supervisor> {
         &self.supervisor
@@ -142,11 +240,17 @@ impl Harness {
     }
 
     /// Stable fingerprint of everything that determines a cell's result:
-    /// the machine configuration and the threadblock divisor. The worker
-    /// count is deliberately excluded — resume works across `--jobs`
-    /// settings because results don't depend on them.
+    /// the machine configuration, the threadblock divisor and (when not
+    /// the default cycle simulator) the engine. The worker count is
+    /// deliberately excluded — resume works across `--jobs` settings
+    /// because results don't depend on them. Cycle-engine fingerprints
+    /// are unchanged from before engines existed, so old shards stay
+    /// valid.
     pub fn fingerprint(&self) -> u64 {
-        telemetry::fnv1a(&format!("{:?}|{}", self.base, self.tb_div))
+        match self.engine {
+            EngineKind::Cycle => telemetry::fnv1a(&format!("{:?}|{}", self.base, self.tb_div)),
+            e => telemetry::fnv1a(&format!("{:?}|{}|{}", self.base, self.tb_div, e.name())),
+        }
     }
 
     /// Runs one sweep of statistics-producing cells: fans `f` over
@@ -174,7 +278,9 @@ impl Harness {
                 }
             }),
             Some(t) => {
-                let scope = t.sweep(exp, specs.len(), self.fingerprint());
+                let scope = t
+                    .sweep(exp, specs.len(), self.fingerprint())
+                    .with_engine(self.engine.name());
                 let out = self.runner().map_observed(
                     specs,
                     |i, s| {
@@ -216,6 +322,26 @@ impl Harness {
         w.clone().with_tb_scale(1, self.tb_div)
     }
 
+    /// The captured access-stream replay for `w`, reusing the cached one
+    /// when the workload's identity matches. A poisoned lock is
+    /// recovered: the cache holds at worst a stale entry, and a key
+    /// mismatch just re-captures.
+    fn replay_for<W: Workload + ?Sized>(&self, w: &W) -> Arc<analytic::Replay> {
+        let key = replay_key(w);
+        let mut slot = match self.replay_cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some((k, replay)) = slot.as_ref() {
+            if *k == key {
+                return Arc::clone(replay);
+            }
+        }
+        let replay = Arc::new(analytic::Replay::capture(w));
+        *slot = Some((key, Arc::clone(&replay)));
+        replay
+    }
+
     /// Runs `w` under `kind` and returns the full outcome — completed,
     /// degraded, or aborted (run budget / livelock) — or a fatal
     /// simulation error. Sweep closures use this so the supervisor can
@@ -226,9 +352,54 @@ impl Harness {
     /// Propagates fatal [`SimError`]s (aborts are an `Ok` outcome, not
     /// an error).
     pub fn try_run(&self, w: &SyntheticWorkload, kind: ConfigKind) -> Result<RunOutcome, SimError> {
-        let (mut policy, cfg) = kind.build(&self.base);
         let w = self.prep(w);
-        run_outcome(&cfg, &w, policy.as_mut(), None)
+        self.try_run_workload(&self.base, &w, kind)
+    }
+
+    /// Runs any [`Workload`] under `kind` on an explicit base machine
+    /// configuration, dispatching to the harness's engine. Sweeps with
+    /// per-cell machines (the topology study) use this directly; the
+    /// synthetic-workload entry points wrap it after threadblock scaling.
+    ///
+    /// Under [`EngineKind::Analytic`]/[`EngineKind::Hybrid`], cells whose
+    /// configuration has no closed-form placement model — and, for
+    /// hybrid, cells whose prediction sits near a capacity cliff — run
+    /// on the cycle simulator instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal [`SimError`]s (aborts are an `Ok` outcome, not
+    /// an error).
+    pub fn try_run_workload<W: Workload>(
+        &self,
+        base: &SimConfig,
+        w: &W,
+        kind: ConfigKind,
+    ) -> Result<RunOutcome, SimError> {
+        let cycle = |base: &SimConfig| {
+            let (mut policy, cfg) = kind.build(base);
+            run_outcome(&cfg, w, policy.as_mut(), None)
+        };
+        let model = match self.engine {
+            EngineKind::Cycle => None,
+            EngineKind::Analytic | EngineKind::Hybrid => {
+                kind.placement_model(w.allocs(), base.num_chiplets)
+            }
+        };
+        match model {
+            None => cycle(base),
+            Some(pm) => {
+                // Predict against the per-config machine (translation
+                // flags, TLB classes), exactly what the simulator runs.
+                let (_, cfg) = kind.build(base);
+                let stats = self.replay_for(w).predict(&cfg, &pm)?;
+                if self.engine == EngineKind::Hybrid && stats.needs_escalation() {
+                    cycle(base)
+                } else {
+                    Ok(RunOutcome::Completed(stats.into_run_stats()))
+                }
+            }
+        }
     }
 
     /// Runs `w` under `kind` and returns the statistics.
@@ -740,8 +911,7 @@ pub fn topo(h: &Harness) -> Grid {
         let mut base = h.base.clone();
         base.num_chiplets = n;
         base.topology = fabric_kind(fabrics[s.col / chiplets.len()], n);
-        let (mut policy, cfg) = ConfigKind::Clap.build(&base);
-        run_outcome(&cfg, &gemms[s.row], policy.as_mut(), None)
+        h.try_run_workload(&base, &gemms[s.row], ConfigKind::Clap)
     });
     let mut perf = Vec::new();
     let mut remote = Vec::new();

@@ -127,6 +127,7 @@ pub fn write_timings(
     timings: &[ExperimentTiming],
     jobs: usize,
     quick: bool,
+    engine: &str,
     dir: &Path,
 ) -> io::Result<()> {
     fs::create_dir_all(dir)?;
@@ -134,6 +135,7 @@ pub fn write_timings(
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"jobs\": {jobs},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"engine\": \"{}\",", engine.replace('"', "\\\""));
     let total: f64 = timings.iter().map(|t| t.seconds).sum();
     let _ = writeln!(s, "  \"total_seconds\": {total:.3},");
     let _ = writeln!(s, "  \"experiments\": [");
@@ -455,10 +457,11 @@ mod tests {
         with_cells.resumed = 8;
         with_cells.cell_wall_us = vec![100, 250, 75];
         let timings = vec![with_cells, ExperimentTiming::new("table2", 0.5)];
-        write_timings(&timings, 4, true, &dir).expect("write");
+        write_timings(&timings, 4, true, "analytic", &dir).expect("write");
         let s = std::fs::read_to_string(dir.join("bench_timings.json")).expect("read");
         assert!(s.contains("\"jobs\": 4"));
         assert!(s.contains("\"quick\": true"));
+        assert!(s.contains("\"engine\": \"analytic\""));
         assert!(s.contains(
             "\"id\": \"fig1\", \"seconds\": 1.250, \"cells\": 24, \
              \"degraded\": 2, \"resumed\": 8, \"cell_wall_us\": [100,250,75]"

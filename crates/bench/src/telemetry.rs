@@ -686,6 +686,10 @@ pub struct CellRecord {
     /// Why a quarantined cell failed (abort reason or panic message);
     /// empty for healthy cells and omitted from their journal lines.
     pub reason: String,
+    /// Engine that produced the cell ("cycle", "analytic", "hybrid");
+    /// the default "cycle" is omitted from the journal line so
+    /// pre-engine journals and new ones stay byte-identical.
+    pub engine: String,
 }
 
 impl CellRecord {
@@ -724,6 +728,7 @@ impl CellRecord {
             audit_violations: d.audit_violations,
             tlb_class_missing: d.tlb_class_missing,
             reason: String::new(),
+            engine: "cycle".to_string(),
         }
     }
 
@@ -731,6 +736,13 @@ impl CellRecord {
     #[must_use]
     pub fn with_reason(mut self, reason: &str) -> CellRecord {
         self.reason = reason.to_string();
+        self
+    }
+
+    /// Tags the record with the engine that produced the cell.
+    #[must_use]
+    pub fn with_engine(mut self, engine: &str) -> CellRecord {
+        self.engine = engine.to_string();
         self
     }
 
@@ -746,6 +758,11 @@ impl CellRecord {
         let _ = write!(o, ",\"seed\":{}", self.seed);
         let _ = write!(o, ",\"wall_us\":{}", self.wall_us);
         let _ = write!(o, ",\"outcome\":\"{}\"", self.outcome);
+        // The default cycle engine is omitted so pre-engine journal
+        // lines and new ones stay byte-identical.
+        if !self.engine.is_empty() && self.engine != "cycle" {
+            let _ = write!(o, ",\"engine\":\"{}\"", json_escape(&self.engine));
+        }
         let _ = write!(o, ",\"cycles\":{}", self.cycles);
         let _ = write!(o, ",\"mem_insts\":{}", self.mem_insts);
         let _ = write!(o, ",\"remote_insts\":{}", self.remote_insts);
@@ -812,6 +829,11 @@ fn parse_record_json(j: &Json) -> Result<CellRecord, String> {
             .get("reason")
             .and_then(Json::as_str)
             .unwrap_or("")
+            .to_string(),
+        engine: j
+            .get("engine")
+            .and_then(Json::as_str)
+            .unwrap_or("cycle")
             .to_string(),
     })
 }
@@ -1108,6 +1130,7 @@ impl Telemetry {
             degraded: AtomicUsize::new(0),
             resumed: AtomicUsize::new(0),
             cell_walls: Mutex::new(Vec::new()),
+            engine: "cycle".to_string(),
         }
     }
 
@@ -1169,9 +1192,19 @@ pub struct SweepScope<'t> {
     /// `(cell index, wall microseconds)` pairs, pushed from the worker
     /// threads in completion order and sorted by index at `finish`.
     cell_walls: Mutex<Vec<(usize, u64)>>,
+    /// Engine tag stamped on every journal record of this sweep.
+    engine: String,
 }
 
 impl SweepScope<'_> {
+    /// Tags every record this sweep journals with the producing engine
+    /// (the default "cycle" is omitted from journal lines).
+    #[must_use]
+    pub fn with_engine(mut self, engine: &str) -> Self {
+        self.engine = engine.to_string();
+        self
+    }
+
     /// The shard path of cell `index`.
     pub fn shard_path(&self, index: usize) -> PathBuf {
         self.shard_dir.join(format!("{index:05}.json"))
@@ -1230,7 +1263,8 @@ impl SweepScope<'_> {
                         wall_us,
                         CellOutcome::Resumed,
                         &stats,
-                    );
+                    )
+                    .with_engine(&self.engine);
                     self.append_journal(&record);
                     self.resumed.fetch_add(1, Ordering::Relaxed);
                     self.note_cell_wall(index, wall_us);
@@ -1269,7 +1303,8 @@ impl SweepScope<'_> {
             CellOutcome::Completed
         };
         let record =
-            CellRecord::from_stats(&self.exp, spec, index, self.total, wall_us, outcome, &stats);
+            CellRecord::from_stats(&self.exp, spec, index, self.total, wall_us, outcome, &stats)
+                .with_engine(&self.engine);
         let body = shard_to_json(fingerprint, &record, &stats);
         // Temp-file + rename: a crash mid-write leaves no half-shard that
         // could masquerade as a completed cell.
@@ -1315,7 +1350,8 @@ impl SweepScope<'_> {
     ) {
         let record =
             CellRecord::from_stats(&self.exp, spec, index, self.total, wall_us, outcome, stats)
-                .with_reason(reason);
+                .with_reason(reason)
+                .with_engine(&self.engine);
         self.append_journal(&record);
         self.note_cell_wall(index, wall_us);
     }

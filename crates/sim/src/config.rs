@@ -393,6 +393,14 @@ impl SimConfig {
         if self.stall_window == Some(0) {
             return fail("stall_window must be non-zero when set".into());
         }
+        if let (Some(mc), Some(sw)) = (self.max_cycles, self.stall_window) {
+            if sw > mc {
+                return fail(format!(
+                    "stall_window ({sw}) larger than max_cycles ({mc}): the \
+                     livelock watchdog could never fire before the run budget"
+                ));
+            }
+        }
         if self.translation.tlb_classes.is_empty() {
             return fail("translation.tlb_classes must name at least one page size".into());
         }
@@ -547,6 +555,13 @@ mod tests {
         rejects(|c| c.pf_blocks_per_chiplet = 0, "pf_blocks_per_chiplet");
         rejects(|c| c.max_cycles = Some(0), "max_cycles");
         rejects(|c| c.stall_window = Some(0), "stall_window");
+        rejects(
+            |c| {
+                c.max_cycles = Some(100);
+                c.stall_window = Some(200);
+            },
+            "stall_window",
+        );
         rejects(|c| c.translation.tlb_classes.clear(), "tlb_classes");
         rejects(
             |c| c.translation.tlb_classes.push(PageSize::Size64K),

@@ -33,6 +33,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analytic;
 mod cache;
 pub mod chaos;
 mod config;
@@ -49,6 +50,7 @@ mod tlb;
 pub mod trace;
 mod workload;
 
+pub use analytic::{AnalyticStats, PlacementModel};
 pub use cache::SetAssocCache;
 pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor, Stonewall};
 pub use config::{PtePlacement, SimConfig, TlbEntries, TopologyKind, TranslationConfig};

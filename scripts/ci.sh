@@ -56,6 +56,25 @@ echo "== topology sweep smoke (figures topo vs golden; journal validates)"
 cmp "$smoke/topo/topo.csv" tests/goldens/topo_quick.csv
 ./target/release/figures --out "$smoke/topo" status --check > /dev/null
 
+echo "== analytic engine smoke (quick fig1+topo: < 1s wall, >= 20x the cycle engine)"
+# The cycle-engine reference times come from the default and topo smokes
+# above (same binary, same --jobs 2, same quick grid). The workspace
+# test runs earlier already cross-validated the two engines' metrics
+# (crates/bench/tests/cross_validation.rs) in both default and trace
+# builds; this asserts the speedup that justifies the fast path.
+./target/release/figures --quick --jobs 2 --progress=off --engine analytic \
+    --out "$smoke/analytic" fig1 topo
+grep -q '"engine": "analytic"' "$smoke/analytic/bench_timings.json"
+cyc_fig1=$(awk -F'"seconds": ' '/"id": "fig1"/{split($2,a,","); print a[1]}' "$smoke/default/bench_timings.json")
+cyc_topo=$(awk -F'"seconds": ' '/"id": "topo"/{split($2,a,","); print a[1]}' "$smoke/topo/bench_timings.json")
+ana=$(awk -F'"seconds": ' '/"id": "fig1"|"id": "topo"/{split($2,a,","); s+=a[1]} END{print s}' "$smoke/analytic/bench_timings.json")
+awk -v c1="$cyc_fig1" -v c2="$cyc_topo" -v a="$ana" 'BEGIN {
+  c = c1 + c2
+  printf "   analytic %.3fs vs cycle %.3fs (%.1fx)\n", a, c, c / a
+  if (a >= 1.0) { print "analytic quick grid must finish under 1s wall" > "/dev/stderr"; exit 1 }
+  if (c < 20 * a) { print "analytic engine must be >= 20x the cycle engine" > "/dev/stderr"; exit 1 }
+}'
+
 echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
 ./target/release/figures --quick --jobs 1 --out "$smoke/j1" fig1 > "$smoke/j1.out"
 ./target/release/figures --quick --jobs 4 --out "$smoke/j4" fig1 > "$smoke/j4.out"

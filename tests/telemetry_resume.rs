@@ -7,7 +7,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use clap_repro::bench::experiments::{fig1, Harness};
+use clap_repro::bench::experiments::{fig1, topo, EngineKind, Harness};
 use clap_repro::bench::report::csv_string;
 use clap_repro::bench::telemetry::{read_journal_dir, CellOutcome, CellRecord, Telemetry};
 
@@ -102,6 +102,75 @@ fn resume_after_crash_is_byte_identical_to_fresh_serial_run() {
         let line = r.to_json_line();
         assert_eq!(&CellRecord::parse_line(&line).expect("parse"), r);
     }
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn topo_resume_under_analytic_engine_is_byte_identical() {
+    let dir = temp_dir("telemetry-resume-topo");
+
+    // Reference: serial in-memory topology sweep under the analytic
+    // engine — this also routes the fast-path engine through the full
+    // journal/shard pipeline below.
+    let quick = || Harness::quick().with_engine(EngineKind::Analytic);
+    let fresh = csv_string(&topo(&quick()));
+
+    let tele = Arc::new(Telemetry::new(&dir));
+    let h = quick().with_jobs(4).with_telemetry(Arc::clone(&tele));
+    assert_eq!(
+        csv_string(&topo(&h)),
+        fresh,
+        "telemetry must not perturb analytic results"
+    );
+    let counters = tele.experiment_counters();
+    assert_eq!(counters.len(), 1);
+    assert_eq!(counters[0].exp, "topo");
+    assert_eq!(counters[0].cells, 18, "2 mappings x 3 fabrics x 3 sizes");
+    assert_eq!(counters[0].resumed, 0);
+
+    // Crash simulation: drop every third shard, then resume at a
+    // different worker count.
+    let shard_dir = dir.join("shards/topo");
+    let mut shards: Vec<PathBuf> = fs::read_dir(&shard_dir)
+        .expect("shard dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    shards.sort();
+    assert_eq!(shards.len(), 18);
+    let mut deleted = 0;
+    for (i, p) in shards.iter().enumerate() {
+        if i % 3 == 0 {
+            fs::remove_file(p).expect("delete shard");
+            deleted += 1;
+        }
+    }
+
+    let tele = Arc::new(Telemetry::new(&dir).with_resume(true));
+    let h = quick().with_jobs(2).with_telemetry(Arc::clone(&tele));
+    assert_eq!(
+        csv_string(&topo(&h)),
+        fresh,
+        "resumed topology sweep must reassemble the exact same bytes"
+    );
+    let counters = tele.experiment_counters();
+    assert_eq!(counters[0].cells, 18);
+    assert_eq!(counters[0].resumed, 18 - deleted);
+
+    // Both passes journal every cell, tagged with the analytic engine.
+    let read = read_journal_dir(&dir.join("journal"));
+    assert!(read.errors.is_empty(), "malformed: {:?}", read.errors);
+    assert!(read.salvaged.is_empty(), "torn tails: {:?}", read.salvaged);
+    assert_eq!(read.records.len(), 36);
+    for r in &read.records {
+        assert_eq!(r.engine, "analytic", "journal must tag the engine");
+    }
+    let resumed = read
+        .records
+        .iter()
+        .filter(|r| r.outcome == CellOutcome::Resumed)
+        .count();
+    assert_eq!(resumed, 18 - deleted);
 
     let _ = fs::remove_dir_all(&dir);
 }
