@@ -224,6 +224,68 @@ fn bench_micro(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hotpath(c: &mut Criterion) {
+    // Micro-benches on the cycle engine's hot-path structures (the flat
+    // TLB, the slab page table, the data cache — DESIGN.md §15). The
+    // fig18 wall-clock budget in scripts/ci.sh guards the composed
+    // engine; these isolate the per-structure costs it is built from.
+    use mcm_sim::{PageTable, SetAssocCache, Tlb};
+    use mcm_types::{AllocId, PageSize, PhysAddr, PhysLayout, VirtAddr};
+
+    let mut g = c.benchmark_group("hotpath");
+    // L1-shaped TLB (fully associative) probe on the hit path.
+    g.bench_function("tlb_probe_hit", |b| {
+        let mut t = Tlb::new(PageSize::Size64K, 128, 128, 1);
+        for p in 0..128u64 {
+            t.fill(VirtAddr::new(p << 16), 1);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) & 127;
+            t.lookup(VirtAddr::new(p << 16))
+        })
+    });
+    // Slab page-table translate: one Fx-hashed open-addressing probe.
+    g.bench_function("page_table_translate", |b| {
+        let mut pt = PageTable::new(PhysLayout::new(4));
+        for p in 0..4096u64 {
+            pt.map(
+                VirtAddr::new(p << 16),
+                PhysAddr::new(p << 16),
+                PageSize::Size64K,
+                AllocId::new(0),
+            )
+            .expect("disjoint 64K pages");
+        }
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            pt.translate(VirtAddr::new((x >> 52) << 16))
+        })
+    });
+    // Data-cache access mix (branchless fused hit/victim scan).
+    g.bench_function("cache_access", |b| {
+        let mut cc = SetAssocCache::with_geometry(128 * 1024, 128, 8);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            cc.access(x >> 48)
+        })
+    });
+    g.finish();
+
+    // Batched event-loop dispatch end-to-end: one quick cell through the
+    // cycle engine — the unit the fig18 budget multiplies out of.
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(10);
+    g.bench_function("batched_cell_ste_64k", |b| {
+        let h = Harness::quick();
+        let w = suite::ste();
+        b.iter(|| h.run(&w, ConfigKind::Static(PageSize::Size64K)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cell,
@@ -240,6 +302,7 @@ criterion_group!(
     bench_table2,
     bench_table4,
     bench_ablation,
-    bench_micro
+    bench_micro,
+    bench_hotpath
 );
 criterion_main!(benches);

@@ -44,15 +44,10 @@ pub const SCHEMA_VERSION: u32 = 2;
 /// FNV-1a 64-bit hash — the stable fingerprint behind shard validation
 /// (deliberately not `DefaultHasher`, whose output may change across
 /// toolchains; resumed sweeps must recognize shards written by an earlier
-/// process).
-pub fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// process). The implementation lives in `mcm_types` so the simulator's
+/// hot-path hashing (slab page table, walk MSHRs) and the telemetry
+/// fingerprints share one hand-rolled hasher family.
+pub use mcm_types::fnv1a;
 
 /// Renders a microsecond wall-clock count for humans (`870µs`, `3.4ms`,
 /// `1.25s`). Shared by the journal `status` view and the `whatif`

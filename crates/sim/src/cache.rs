@@ -3,6 +3,22 @@
 //! Used for the L1/L2 data caches, the page-walk cache, and the remote-data
 //! caches of the NUBA/SAC baselines. Only tags are modelled — the simulator
 //! never stores data.
+//!
+//! Storage is two parallel flat arrays of `sets × ways` slots (keys and
+//! LRU ticks) rather than a `Vec` per set — the same layout as the flat
+//! [`Tlb`](crate::Tlb) (DESIGN.md §15). Live entries are packed densely at
+//! the front of each set (`live[set]` counts them), so sparsely filled
+//! sets — the page-walk cache is fully associative with up to 128 ways —
+//! never pay for empty slots, and the probe is one tight scan over the
+//! live prefix.
+
+use mcm_types::FastMap;
+
+/// Associativity at or above which a cache keeps a key→slot hash index:
+/// wide scans (the fully-associative page-walk cache has up to 128 ways)
+/// dominate the probe cost, while narrow data-cache sets are faster to
+/// scan than to hash.
+const INDEX_WAYS: usize = 32;
 
 /// A set-associative cache over abstract `u64` keys (line addresses, PTE
 /// node ids, ...), LRU-replaced.
@@ -18,8 +34,19 @@
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    /// `sets[s]` holds up to `ways` (key, last_use) pairs.
-    sets: Vec<Vec<(u64, u64)>>,
+    /// Keys; slot `set * ways + way`. Live entries of a set are packed at
+    /// `set * ways .. set * ways + live[set]`.
+    keys: Vec<u64>,
+    /// LRU ticks, parallel to `keys`.
+    ticks: Vec<u64>,
+    /// Live entries per set.
+    live: Vec<u32>,
+    /// Key → slot, kept only for wide sets (see [`INDEX_WAYS`]). A key
+    /// hashes to exactly one set, so it occupies at most one slot cache-wide
+    /// and the flat map is unambiguous.
+    index: Option<FastMap<u64, u32>>,
+    /// Number of sets (power of two).
+    set_count: usize,
     ways: usize,
     tick: u64,
     hits: u64,
@@ -39,7 +66,11 @@ impl SetAssocCache {
         );
         assert!(ways > 0, "need at least one way");
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); sets],
+            keys: vec![0; sets * ways],
+            ticks: vec![0; sets * ways],
+            live: vec![0; sets],
+            index: (ways >= INDEX_WAYS).then(FastMap::default),
+            set_count: sets,
             ways,
             tick: 0,
             hits: 0,
@@ -72,40 +103,112 @@ impl SetAssocCache {
 
     /// Total entries.
     pub fn entries(&self) -> usize {
-        self.sets.len() * self.ways
+        self.set_count * self.ways
+    }
+
+    /// Scan over the set's live ways for the slot holding `key`. Keys are
+    /// unique within a set, so scan order cannot matter; the early exit
+    /// halves the average scan length of warm fully-associative sets.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        if let Some(ix) = &self.index {
+            return ix.get(&key).map(|&s| s as usize);
+        }
+        let set = (key as usize) & (self.set_count - 1);
+        let base = set * self.ways;
+        self.keys[base..base + self.live[set] as usize]
+            .iter()
+            .position(|&k| k == key)
+            .map(|w| base + w)
+    }
+
+    /// Single fused pass over `key`'s set: the hit slot if present, else
+    /// the insertion slot (free way or LRU way), with the LRU argmin
+    /// computed during the same scan the probe already makes. `Err` slots
+    /// have had the index and live count updated for an insertion of
+    /// `key`; the caller writes the key and tick.
+    #[inline]
+    fn find_or_victim(&mut self, key: u64) -> Result<usize, usize> {
+        let set = (key as usize) & (self.set_count - 1);
+        let base = set * self.ways;
+        let len = self.live[set] as usize;
+        let mut lru = base;
+        let mut lru_tick = u64::MAX;
+        if self.index.is_some() {
+            if let Some(i) = self.find(key) {
+                return Ok(i);
+            }
+            if len == self.ways {
+                for i in base..base + len {
+                    let tk = self.ticks[i];
+                    if tk < lru_tick {
+                        lru_tick = tk;
+                        lru = i;
+                    }
+                }
+            }
+        } else {
+            // Branchless scan: data-cache sets are narrow (8/16 ways) and
+            // miss-dominated on DRAM-bound workloads, so the whole set is
+            // scanned either way; conditional moves beat an early-exit
+            // branch that mispredicts on every hit position.
+            let mut hit = usize::MAX;
+            for i in base..base + len {
+                if self.keys[i] == key {
+                    hit = i;
+                }
+                let tk = self.ticks[i];
+                if tk < lru_tick {
+                    lru_tick = tk;
+                    lru = i;
+                }
+            }
+            if hit != usize::MAX {
+                return Ok(hit);
+            }
+        }
+        let v = if len < self.ways {
+            self.live[set] += 1;
+            base + len
+        } else {
+            lru
+        };
+        if let Some(ix) = self.index.as_mut() {
+            if len == self.ways {
+                // `v` holds a live key about to be overwritten.
+                ix.remove(&self.keys[v]);
+            }
+            ix.insert(key, v as u32);
+        }
+        Err(v)
     }
 
     /// Looks up `key`; on miss, inserts it (evicting LRU). Returns `true`
     /// on hit.
+    #[inline]
     pub fn access(&mut self, key: u64) -> bool {
         self.tick += 1;
-        let set = (key as usize) & (self.sets.len() - 1);
-        let lines = &mut self.sets[set];
-        if let Some(entry) = lines.iter_mut().find(|(k, _)| *k == key) {
-            entry.1 = self.tick;
-            self.hits += 1;
-            return true;
+        match self.find_or_victim(key) {
+            Ok(i) => {
+                self.ticks[i] = self.tick;
+                self.hits += 1;
+                true
+            }
+            Err(v) => {
+                self.misses += 1;
+                self.keys[v] = key;
+                self.ticks[v] = self.tick;
+                false
+            }
         }
-        self.misses += 1;
-        if lines.len() == self.ways {
-            let lru = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            lines.swap_remove(lru);
-        }
-        lines.push((key, self.tick));
-        false
     }
 
     /// Looks up `key` without inserting on miss. Returns `true` on hit.
+    #[inline]
     pub fn probe(&mut self, key: u64) -> bool {
         self.tick += 1;
-        let set = (key as usize) & (self.sets.len() - 1);
-        if let Some(entry) = self.sets[set].iter_mut().find(|(k, _)| *k == key) {
-            entry.1 = self.tick;
+        if let Some(i) = self.find(key) {
+            self.ticks[i] = self.tick;
             true
         } else {
             false
@@ -115,30 +218,30 @@ impl SetAssocCache {
     /// Inserts `key` (evicting LRU if needed) without counting a miss.
     pub fn insert(&mut self, key: u64) {
         self.tick += 1;
-        let set = (key as usize) & (self.sets.len() - 1);
-        let lines = &mut self.sets[set];
-        if let Some(entry) = lines.iter_mut().find(|(k, _)| *k == key) {
-            entry.1 = self.tick;
-            return;
+        match self.find_or_victim(key) {
+            Ok(i) | Err(i) => {
+                self.keys[i] = key;
+                self.ticks[i] = self.tick;
+            }
         }
-        if lines.len() == self.ways {
-            let lru = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            lines.swap_remove(lru);
-        }
-        lines.push((key, self.tick));
     }
 
     /// Removes `key` if present. Returns `true` if it was cached.
     pub fn invalidate(&mut self, key: u64) -> bool {
-        let set = (key as usize) & (self.sets.len() - 1);
-        let lines = &mut self.sets[set];
-        if let Some(i) = lines.iter().position(|(k, _)| *k == key) {
-            lines.swap_remove(i);
+        if let Some(i) = self.find(key) {
+            // Swap-remove: keep the live prefix dense.
+            let set = (key as usize) & (self.set_count - 1);
+            let last = set * self.ways + self.live[set] as usize - 1;
+            if let Some(ix) = self.index.as_mut() {
+                ix.remove(&key);
+                if last != i {
+                    // The swapped-in tail entry changes slots.
+                    ix.insert(self.keys[last], i as u32);
+                }
+            }
+            self.keys[i] = self.keys[last];
+            self.ticks[i] = self.ticks[last];
+            self.live[set] -= 1;
             true
         } else {
             false
@@ -209,6 +312,46 @@ mod tests {
         assert!(c.invalidate(9));
         assert!(!c.invalidate(9));
         assert!(!c.probe(9));
+    }
+
+    #[test]
+    fn key_zero_is_a_real_key() {
+        // Key 0 must be distinguishable from an empty slot.
+        let mut c = SetAssocCache::new(1, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn invalidated_slot_is_refilled_first() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(1);
+        c.insert(2);
+        assert!(c.invalidate(1));
+        c.insert(3); // must take 1's slot, not evict 2
+        assert!(c.probe(2));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn indexed_wide_cache_matches_scanned_semantics() {
+        // 32+ ways flips on the hash index; LRU/invalidate behavior must
+        // be indistinguishable from the scanned narrow path.
+        let mut wide = SetAssocCache::fully_associative(INDEX_WAYS);
+        for k in 0..INDEX_WAYS as u64 {
+            assert!(!wide.access(k));
+        }
+        for k in 0..INDEX_WAYS as u64 {
+            assert!(wide.access(k));
+        }
+        assert!(!wide.access(1000)); // evicts LRU = key 0
+        assert!(!wide.access(0)); // 0 is gone; evicts key 1
+        assert!(wide.invalidate(1000));
+        assert!(!wide.probe(1000));
+        assert!(wide.probe(0));
+        assert!(!wide.probe(1));
     }
 
     #[test]

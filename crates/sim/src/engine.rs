@@ -31,7 +31,7 @@ use crate::stage::datapath::DataPath;
 use crate::stage::driver::Driver;
 use crate::stage::sched::KernelSchedule;
 use crate::stage::translate::{TranslateStage, Translation};
-use crate::stats::RunStats;
+use crate::stats::{AllocAccessStats, RunStats};
 #[cfg(feature = "trace")]
 use crate::trace::RunTrace;
 use crate::trace::{TraceEventKind, TraceStage, Tracer};
@@ -203,6 +203,36 @@ fn run_machine(
     Ok((outcome, tracer))
 }
 
+/// Translation memo for the engine's same-page repeat fast path
+/// (DESIGN.md §15). Warp access streams are line-granular and mostly
+/// sequential, so consecutive accesses of a batch usually fall in the
+/// page the previous access just resolved — and within a batch nothing
+/// can touch the page table or this SM's TLBs, so the full translate
+/// path is provably a replay: the same class probes, the same L1 hit,
+/// the same PTE. The engine replays only its observable effects
+/// ([`TranslateStage::repeat_l1_hit`]) and reuses the cached PTE.
+///
+/// Scoped to one batch: any fill, fault, directive, or other SM's
+/// activity ends the batch (or cannot occur inside it), so no explicit
+/// invalidation is needed.
+struct RepeatXlate {
+    /// VA page number under the *smallest* TLB class's page size: two VAs
+    /// agreeing here index identically into every class (class pages are
+    /// aligned supersets), which is what makes the skipped probes safe.
+    vpn_min: u64,
+    /// VA page number under the resolved leaf's page size (same leaf →
+    /// same PTE from the unchanged page table).
+    leaf_vpn: u64,
+    /// `log2(page size)` of the resolved leaf.
+    leaf_shift: u32,
+    /// L1 TLB class index holding the covering entry.
+    class: u32,
+    /// Slot of the covering entry within that class.
+    slot: u32,
+    /// The resolved leaf PTE.
+    pte: crate::page_table::Pte,
+}
+
 /// Outcome of simulating one memory instruction.
 enum AccessResult {
     /// Completed at the given cycle.
@@ -228,6 +258,14 @@ struct Machine<'c, 'r> {
     driver: Driver,
     sm_port: Vec<BucketedResource>,
     stats: RunStats,
+    /// Cached `policy.wants_access_samples()` — a per-policy constant,
+    /// hoisted out of the per-access path (virtual call) at run start.
+    wants_samples: bool,
+    /// Per-allocation access tallies, indexed by `AllocId::index()` — a
+    /// dense mirror of [`RunStats::per_alloc`] kept flat so the per-access
+    /// hot path pays an array index, not a hash probe. Flushed into the
+    /// `HashMap` once, at [`Machine::finish`].
+    alloc_stats: Vec<AllocAccessStats>,
     next_epoch: u64,
     /// Stage-boundary trace sink (a zero-sized no-op without the `trace`
     /// feature).
@@ -249,6 +287,8 @@ impl<'c, 'r> Machine<'c, 'r> {
             driver: Driver::new(cfg, workload.allocs()),
             sm_port: vec![BucketedResource::new(1); cfg.total_sms()],
             stats: RunStats::default(),
+            wants_samples: false,
+            alloc_stats: vec![AllocAccessStats::default(); workload.allocs().len()],
             next_epoch: cfg.epoch_cycles,
             tracer: Tracer::new(),
         }
@@ -260,6 +300,7 @@ impl<'c, 'r> Machine<'c, 'r> {
         policy: &mut dyn PagingPolicy,
     ) -> Result<(), SimError> {
         let mut now = 0u64;
+        self.wants_samples = policy.wants_access_samples();
         for k in 0..workload.num_kernels() {
             now = self.run_kernel(workload, k, now, policy)?;
             let dirs = policy.on_kernel_end(k, now);
@@ -304,7 +345,9 @@ impl<'c, 'r> Machine<'c, 'r> {
         let mut last_progress = start;
         let mut idle_pops = 0u64;
 
-        while let Some((t, wid)) = sched.pop() {
+        loop {
+            let popped = sched.pop();
+            let Some((t, wid)) = popped else { break };
             if let Some(max) = self.cfg.max_cycles {
                 if t > max {
                     self.stats.cycles = t;
@@ -353,14 +396,16 @@ impl<'c, 'r> Machine<'c, 'r> {
             // the rest of the batch) retries on resume.
             let (sm, tb, batch) = sched.batch(self.cfg, wid);
             if !batch.is_empty() {
+                let chiplet = ChipletId::new((sm / self.cfg.sms_per_chiplet) as u8);
                 let mut batch_done = t;
                 let mut fault_resume = None;
                 let mut advanced = 0usize;
+                // Same-page translation memo, valid only within this batch.
+                let mut repeat: Option<RepeatXlate> = None;
                 for (i, va) in batch.iter().enumerate() {
-                    match self.memory_access(sm, tb, *va, t + i as u64 * issue_gap, policy)? {
+                    let at = t + i as u64 * issue_gap;
+                    match self.memory_access(sm, chiplet, tb, *va, at, policy, &mut repeat)? {
                         AccessResult::Done(done) => {
-                            self.stats.mem_insts += self.reuse;
-                            self.stats.warp_insts += issue_gap * self.reuse;
                             batch_done = batch_done.max(done);
                             advanced += 1;
                         }
@@ -370,6 +415,10 @@ impl<'c, 'r> Machine<'c, 'r> {
                         }
                     }
                 }
+                // Batch-hoisted instruction tallies: one add per batch
+                // instead of one per retired access.
+                self.stats.mem_insts += advanced as u64 * self.reuse;
+                self.stats.warp_insts += advanced as u64 * issue_gap * self.reuse;
                 sched.advance(wid, advanced);
                 if advanced > 0 {
                     last_progress = last_progress.max(batch_done);
@@ -397,48 +446,79 @@ impl<'c, 'r> Machine<'c, 'r> {
     }
 
     /// Simulates one warp memory instruction: SM port → translation stage →
-    /// data path, with faults routed through the driver stage.
+    /// data path, with faults routed through the driver stage. `chiplet` is
+    /// `sm`'s chiplet, computed once per batch by the caller.
+    #[allow(clippy::too_many_arguments)]
     fn memory_access(
         &mut self,
         sm: usize,
+        chiplet: ChipletId,
         tb: TbId,
         va: VirtAddr,
         t: u64,
         policy: &mut dyn PagingPolicy,
+        repeat: &mut Option<RepeatXlate>,
     ) -> Result<AccessResult, SimError> {
-        let chiplet = ChipletId::new((sm / self.cfg.sms_per_chiplet) as u8);
         let issue = self.sm_port[sm].acquire(t, 1);
 
         // --- Address translation ---
-        let gmmu_free = self.driver.gmmu_ready(chiplet);
-        let (pte, tt, walked) = match self.translate.translate(
-            self.cfg,
-            &self.page_table,
-            &mut self.data,
-            sm,
-            chiplet,
-            va,
-            issue,
-            gmmu_free,
-            &mut self.tracer,
-        )? {
-            Translation::Done { pte, done, walked } => (pte, done, walked),
-            Translation::Fault { at } => {
-                let resume = self.driver.resolve_fault(
-                    self.cfg,
-                    &mut self.page_table,
-                    &mut self.translate,
-                    &mut self.data,
-                    policy,
-                    sm,
-                    chiplet,
-                    tb,
-                    va,
-                    at,
-                    &mut self.tracer,
-                )?;
-                self.tracer.sample(TraceStage::Fault, resume - at);
-                return Ok(AccessResult::Fault(resume));
+        let min_shift = self.translate.min_class_shift();
+        let hot = repeat
+            .as_ref()
+            .filter(|r| {
+                va.raw() >> min_shift == r.vpn_min && va.raw() >> r.leaf_shift == r.leaf_vpn
+            })
+            .map(|r| (r.class, r.slot, r.pte));
+        let (pte, tt, walked) = if let Some((class, slot, pte)) = hot {
+            // Same page as the previous access of this batch: replay the
+            // L1 hit's observable effects and reuse the PTE (see
+            // [`RepeatXlate`]). An L1 hit never consults the GMMU server.
+            self.translate.repeat_l1_hit(sm, class, slot);
+            (pte, issue + self.cfg.l1_tlb_latency, false)
+        } else {
+            let gmmu_free = self.driver.gmmu_ready(chiplet);
+            match self.translate.translate(
+                self.cfg,
+                &self.page_table,
+                &mut self.data,
+                sm,
+                chiplet,
+                va,
+                issue,
+                gmmu_free,
+                &mut self.tracer,
+            )? {
+                Translation::Done { pte, done, walked } => {
+                    // Arm (or disarm) the memo for the next access. `None`
+                    // when the entry could not be cached in the L1 TLB —
+                    // the next same-page access would miss again.
+                    *repeat = self.translate.last_l1().map(|(class, slot)| RepeatXlate {
+                        vpn_min: va.raw() >> self.translate.min_class_shift(),
+                        leaf_vpn: va.raw() >> pte.size.shift(),
+                        leaf_shift: pte.size.shift(),
+                        class,
+                        slot,
+                        pte,
+                    });
+                    (pte, done, walked)
+                }
+                Translation::Fault { at } => {
+                    let resume = self.driver.resolve_fault(
+                        self.cfg,
+                        &mut self.page_table,
+                        &mut self.translate,
+                        &mut self.data,
+                        policy,
+                        sm,
+                        chiplet,
+                        tb,
+                        va,
+                        at,
+                        &mut self.tracer,
+                    )?;
+                    self.tracer.sample(TraceStage::Fault, resume - at);
+                    return Ok(AccessResult::Fault(resume));
+                }
             }
         };
         if walked {
@@ -460,15 +540,19 @@ impl<'c, 'r> Machine<'c, 'r> {
         if remote {
             self.stats.remote_insts += self.reuse;
         }
-        let entry = self.stats.per_alloc.entry(pte.alloc).or_default();
-        entry.accesses += self.reuse;
+        let idx = pte.alloc.index();
+        if idx >= self.alloc_stats.len() {
+            self.alloc_stats
+                .resize(idx + 1, AllocAccessStats::default());
+        }
+        self.alloc_stats[idx].accesses += self.reuse;
         if remote {
-            entry.remote += self.reuse;
+            self.alloc_stats[idx].remote += self.reuse;
         }
         // The (reuse - 1) unsimulated repeats hit the L1 cache and L1 TLB.
         self.data.stats.l1d_hits += self.reuse - 1;
         self.translate.stats.l1tlb_hits += self.reuse - 1;
-        if policy.wants_access_samples() {
+        if self.wants_samples {
             policy.on_access(&WalkEvent {
                 va,
                 alloc: pte.alloc,
@@ -495,6 +579,15 @@ impl<'c, 'r> Machine<'c, 'r> {
     /// Flushes every stage's statistics slice and the policy's allocator
     /// tallies into the run-level statistics, consuming the machine.
     fn finish(mut self, policy: &mut dyn PagingPolicy) -> RunStats {
+        // Flush the dense per-allocation tallies; only touched allocations
+        // get a map entry, exactly as the old per-access `entry()` did.
+        for (i, st) in self.alloc_stats.iter().enumerate() {
+            if st.accesses > 0 {
+                self.stats
+                    .per_alloc
+                    .insert(mcm_types::AllocId::new(i as u16), *st);
+            }
+        }
         self.translate.stats.flush_into(&mut self.stats);
         self.data.flush_into(self.cfg, &mut self.stats);
         self.driver.stats.flush_into(&mut self.stats);

@@ -43,6 +43,7 @@ mod error;
 mod interconnect;
 mod page_table;
 mod policy;
+mod pte_map;
 mod resources;
 pub mod stage;
 mod stats;

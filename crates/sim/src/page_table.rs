@@ -1,7 +1,12 @@
 //! The shared GPU page table (paper §2.4) with multi-size leaves and the
 //! PTE inspection helpers used by TLB coalescing (§4.6).
-
-use std::collections::HashMap;
+//!
+//! Storage is one slab-backed open-addressing map per size class
+//! ([`PteMap`](crate::pte_map::PteMap)), held in a flat vector probed
+//! largest-size-first. Translation is the cycle engine's single hottest
+//! page-table operation (up to three probes per simulated access), so the
+//! layout avoids both SipHash and nested `HashMap` indirection
+//! (DESIGN.md §15).
 
 use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
 
@@ -9,6 +14,7 @@ use mcm_types::{AllocId, ChipletId, PageSize, PhysAddr, PhysLayout, VirtAddr, BA
 use mcm_types::VA_BLOCK_BYTES;
 
 use crate::config::PtePlacement;
+use crate::pte_map::PteMap;
 use crate::SimError;
 
 /// A leaf page-table entry.
@@ -20,6 +26,25 @@ pub struct Pte {
     pub size: PageSize,
     /// Owning data structure (stored in unused PTE bits, §4.3).
     pub alloc: AllocId,
+}
+
+impl Pte {
+    /// Filler value for unoccupied slab slots (never observable through
+    /// the map API).
+    pub(crate) const PLACEHOLDER: Pte = Pte {
+        pa: PhysAddr::new(0),
+        size: PageSize::Size64K,
+        alloc: AllocId::new(0),
+    };
+}
+
+/// One size class of the page table: its leaf size, the precomputed page
+/// shift, and the slab map of VPN → PTE.
+#[derive(Clone, Debug)]
+struct ClassTable {
+    size: PageSize,
+    shift: u32,
+    map: PteMap,
 }
 
 /// PTEs per 128B cache line (sixteen 8-byte PTEs, §4.6).
@@ -48,10 +73,9 @@ pub const PTES_PER_LINE: u64 = 16;
 #[derive(Clone, Debug)]
 pub struct PageTable {
     layout: PhysLayout,
-    /// One map per size class, keyed by the class's VPN.
-    maps: HashMap<PageSize, HashMap<u64, Pte>>,
-    /// Size classes present, largest first (probe order).
-    probe_order: Vec<PageSize>,
+    /// One slab map per size class present, largest size first (probe
+    /// order, mirroring parallel multi-size TLB probing).
+    classes: Vec<ClassTable>,
     mapped_bytes: u64,
 }
 
@@ -60,10 +84,25 @@ impl PageTable {
     pub fn new(layout: PhysLayout) -> Self {
         PageTable {
             layout,
-            maps: HashMap::new(),
-            probe_order: Vec::new(),
+            classes: Vec::new(),
             mapped_bytes: 0,
         }
+    }
+
+    /// The class table for `size`, if any leaf of that size was ever
+    /// mapped.
+    #[inline]
+    fn class(&self, size: PageSize) -> Option<&PteMap> {
+        self.classes.iter().find(|c| c.size == size).map(|c| &c.map)
+    }
+
+    /// Mutable access to the class table for `size`.
+    #[inline]
+    fn class_mut(&mut self, size: PageSize) -> Option<&mut PteMap> {
+        self.classes
+            .iter_mut()
+            .find(|c| c.size == size)
+            .map(|c| &mut c.map)
     }
 
     /// The physical layout (for chiplet-of-PA queries).
@@ -78,7 +117,7 @@ impl PageTable {
 
     /// Number of leaf entries across all size classes.
     pub fn len(&self) -> usize {
-        self.maps.values().map(HashMap::len).sum()
+        self.classes.iter().map(|c| c.map.len()).sum()
     }
 
     /// `true` if nothing is mapped.
@@ -87,10 +126,11 @@ impl PageTable {
     }
 
     /// Translates `va` to its leaf PTE, if mapped.
+    #[inline]
     pub fn translate(&self, va: VirtAddr) -> Option<Pte> {
-        for &size in &self.probe_order {
-            let vpn = va.raw() >> size.shift();
-            if let Some(pte) = self.maps[&size].get(&vpn) {
+        let raw = va.raw();
+        for c in &self.classes {
+            if let Some(pte) = c.map.get(raw >> c.shift) {
                 return Some(*pte);
             }
         }
@@ -135,14 +175,18 @@ impl PageTable {
             return Err(SimError::MapConflict { va, size });
         }
         let vpn = va.raw() >> size.shift();
-        if !self.maps.contains_key(&size) {
-            self.probe_order.push(size);
-            self.probe_order.sort_by(|a, b| b.cmp(a));
+        if self.class(size).is_none() {
+            self.classes.push(ClassTable {
+                size,
+                shift: size.shift(),
+                map: PteMap::new(),
+            });
+            // Largest first: the probe order of multi-size translation.
+            self.classes.sort_by_key(|c| std::cmp::Reverse(c.size));
         }
-        self.maps
-            .entry(size)
-            .or_default()
-            .insert(vpn, Pte { pa, size, alloc });
+        if let Some(map) = self.class_mut(size) {
+            map.insert(vpn, Pte { pa, size, alloc });
+        }
         self.mapped_bytes += size.bytes();
         Ok(())
     }
@@ -153,13 +197,13 @@ impl PageTable {
     ///
     /// [`SimError::NotMapped`] if no leaf of any size starts at `va`.
     pub fn unmap(&mut self, va: VirtAddr) -> Result<Pte, SimError> {
-        for &size in &self.probe_order {
-            if !va.is_aligned(size.bytes()) {
+        for c in &mut self.classes {
+            if !va.is_aligned(c.size.bytes()) {
                 continue;
             }
-            let vpn = va.raw() >> size.shift();
-            if let Some(pte) = self.maps.get_mut(&size).and_then(|m| m.remove(&vpn)) {
-                self.mapped_bytes -= size.bytes();
+            let vpn = va.raw() >> c.shift;
+            if let Some(pte) = c.map.remove(vpn) {
+                self.mapped_bytes -= c.size.bytes();
                 return Ok(pte);
             }
         }
@@ -168,15 +212,14 @@ impl PageTable {
 
     /// `true` if any part of `[va, va+bytes)` is mapped.
     pub fn overlaps(&self, va: VirtAddr, bytes: u64) -> bool {
-        for &size in &self.probe_order {
-            let first = va.raw() >> size.shift();
-            let last = (va.raw() + bytes - 1) >> size.shift();
-            let map = &self.maps[&size];
-            if map.is_empty() {
+        for c in &self.classes {
+            if c.map.is_empty() {
                 continue;
             }
+            let first = va.raw() >> c.shift;
+            let last = (va.raw() + bytes - 1) >> c.shift;
             for vpn in first..=last {
-                if map.contains_key(&vpn) {
+                if c.map.contains_key(vpn) {
                     return true;
                 }
             }
@@ -210,12 +253,11 @@ impl PageTable {
             });
         }
         let map64k = self
-            .maps
-            .get(&PageSize::Size64K)
+            .class(PageSize::Size64K)
             .ok_or(SimError::NotMapped { va: base })?;
         let pages = size.base_pages();
         let base_vpn = base.raw() >> 16;
-        let first = map64k.get(&base_vpn).ok_or(SimError::BadPromotion {
+        let first = map64k.get(base_vpn).ok_or(SimError::BadPromotion {
             va: base,
             reason: "first 64KB page unmapped",
         })?;
@@ -227,7 +269,7 @@ impl PageTable {
             });
         }
         for i in 1..pages {
-            match map64k.get(&(base_vpn + i)) {
+            match map64k.get(base_vpn + i) {
                 Some(p) if p.pa == base_pa + i * BASE_PAGE_BYTES && p.alloc == alloc => {}
                 Some(_) => {
                     return Err(SimError::BadPromotion {
@@ -243,9 +285,9 @@ impl PageTable {
                 }
             }
         }
-        if let Some(map64k) = self.maps.get_mut(&PageSize::Size64K) {
+        if let Some(map64k) = self.class_mut(PageSize::Size64K) {
             for i in 0..pages {
-                map64k.remove(&(base_vpn + i));
+                map64k.remove(base_vpn + i);
             }
         }
         self.mapped_bytes -= size.bytes();
@@ -299,17 +341,17 @@ impl PageTable {
     /// placements, not just contiguity). The stride is inferred from the
     /// anchor's nearest mapped neighbour in the line.
     pub fn stride_mask(&self, va: VirtAddr) -> Option<u32> {
-        let map64k = self.maps.get(&PageSize::Size64K)?;
+        let map64k = self.class(PageSize::Size64K)?;
         let vpn = va.raw() >> 16;
         let line_base = vpn & !(PTES_PER_LINE - 1);
         let anchor_idx = (vpn - line_base) as u32;
-        let anchor = map64k.get(&vpn)?;
+        let anchor = map64k.get(vpn)?;
         // Find the nearest mapped neighbour to infer the stride.
         let mut stride: Option<i128> = None;
         for d in 1..PTES_PER_LINE {
             for idx in [anchor_idx as i64 - d as i64, anchor_idx as i64 + d as i64] {
                 if (0..PTES_PER_LINE as i64).contains(&idx) {
-                    if let Some(p) = map64k.get(&(line_base + idx as u64)) {
+                    if let Some(p) = map64k.get(line_base + idx as u64) {
                         let s = (p.pa.raw() as i128 - anchor.pa.raw() as i128)
                             / (idx as i128 - anchor_idx as i128);
                         stride = Some(s);
@@ -331,13 +373,13 @@ impl PageTable {
     /// mapped as 64KB leaves, regardless of physical contiguity. This is
     /// what the `Ideal` configuration's magic 2MB-reach entries cover.
     pub fn block_mask_64k(&self, va: VirtAddr) -> u32 {
-        let Some(map64k) = self.maps.get(&PageSize::Size64K) else {
+        let Some(map64k) = self.class(PageSize::Size64K) else {
             return 0;
         };
         let block_base = (va.raw() >> 16) & !31;
         let mut mask = 0u32;
         for i in 0..32u64 {
-            if map64k.contains_key(&(block_base + i)) {
+            if map64k.contains_key(block_base + i) {
                 mask |= 1 << i;
             }
         }
@@ -349,14 +391,14 @@ impl PageTable {
         va: VirtAddr,
         fits: impl Fn(PhysAddr, u32, u32, PhysAddr) -> bool,
     ) -> Option<u32> {
-        let map64k = self.maps.get(&PageSize::Size64K)?;
+        let map64k = self.class(PageSize::Size64K)?;
         let vpn = va.raw() >> 16;
         let line_base = vpn & !(PTES_PER_LINE - 1);
         let anchor_idx = (vpn - line_base) as u32;
-        let anchor = map64k.get(&vpn)?;
+        let anchor = map64k.get(vpn)?;
         let mut mask = 0u32;
         for i in 0..PTES_PER_LINE as u32 {
-            if let Some(p) = map64k.get(&(line_base + i as u64)) {
+            if let Some(p) = map64k.get(line_base + i as u64) {
                 if p.alloc == anchor.alloc && fits(anchor.pa, anchor_idx, i, p.pa) {
                     mask |= 1 << i;
                 }
@@ -403,9 +445,10 @@ impl PageTable {
 
     /// Iterates over all leaf PTEs as `(base_va, pte)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (VirtAddr, Pte)> + '_ {
-        self.maps.iter().flat_map(|(size, m)| {
-            let shift = size.shift();
-            m.iter()
+        self.classes.iter().flat_map(|c| {
+            let shift = c.shift;
+            c.map
+                .iter()
                 .map(move |(vpn, pte)| (VirtAddr::new(vpn << shift), *pte))
         })
     }

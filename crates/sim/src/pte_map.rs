@@ -1,0 +1,299 @@
+//! A slab-backed open-addressing map from VPN to [`Pte`] — the storage
+//! behind [`PageTable`](crate::PageTable).
+//!
+//! `std::collections::HashMap` pays a SipHash round per probe; the page
+//! table is probed up to three times per simulated memory access (L1-hit
+//! verification, L2-hit verification, page walk), which made hashing one
+//! of the cycle engine's hottest instructions (DESIGN.md §15). This map
+//! stores key and PTE side by side in one flat entry slab (no per-node
+//! allocation, no pointer chasing) and indexes it with the workspace's
+//! shared Fx-style hasher ([`mcm_types::fx_mix`]) — one multiply per
+//! probe. Keeping each entry self-contained matters as much as the
+//! hashing: a random probe touches exactly one cache line, where parallel
+//! key/control/value arrays cost up to three.
+//!
+//! Slot states ride in the key itself: VPNs are addresses shifted right by
+//! at least 12, so the top of the `u64` key space is unreachable and two
+//! sentinel keys mark empty and tombstoned slots. Deletions use
+//! tombstones; the table keeps its load factor (occupied + tombstones) at
+//! or below 7/8 so probe chains stay short and every probe terminates at
+//! an empty slot.
+
+use mcm_types::fx_mix;
+
+use crate::page_table::Pte;
+
+/// Sentinel key terminating probe chains (never a valid VPN).
+const EMPTY_KEY: u64 = u64::MAX;
+/// Sentinel key for deleted slots: keeps probe chains alive so keys
+/// inserted past a later-deleted slot stay reachable.
+const TOMB_KEY: u64 = u64::MAX - 1;
+
+/// Minimum table capacity (slots). Power of two, as all capacities are.
+const MIN_CAP: usize = 16;
+
+/// One slot: the key and its PTE, co-located so a probe is one line.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: u64,
+    pte: Pte,
+}
+
+const EMPTY_ENTRY: Entry = Entry {
+    key: EMPTY_KEY,
+    pte: Pte::PLACEHOLDER,
+};
+
+/// An open-addressing, linearly probed VPN → PTE map over slab storage.
+#[derive(Clone, Debug)]
+pub(crate) struct PteMap {
+    /// The slab; always a power-of-two length.
+    entries: Vec<Entry>,
+    /// Live entries.
+    len: usize,
+    /// Tombstoned slots (reclaimed on the next rehash).
+    tombs: usize,
+}
+
+impl PteMap {
+    pub(crate) fn new() -> Self {
+        PteMap {
+            entries: vec![EMPTY_ENTRY; MIN_CAP],
+            len: 0,
+            tombs: 0,
+        }
+    }
+
+    /// Live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no entry is live.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.entries.len() - 1
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub(crate) fn get(&self, key: u64) -> Option<&Pte> {
+        let mask = self.mask();
+        let mut i = (fx_mix(key) as usize) & mask;
+        loop {
+            let e = &self.entries[i];
+            if e.key == key {
+                return Some(&e.pte);
+            }
+            if e.key == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// `true` if `key` is present.
+    #[inline]
+    pub(crate) fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → pte`, returning the previous value if the key was
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `key` is below the sentinel range (every VPN is:
+    /// addresses shift right by at least 12 bits to form one).
+    pub(crate) fn insert(&mut self, key: u64, pte: Pte) -> Option<Pte> {
+        debug_assert!(key < TOMB_KEY, "key collides with a slot sentinel");
+        // Grow when occupied + tombstones would pass 7/8 of capacity.
+        if (self.len + self.tombs + 1) * 8 > self.entries.len() * 7 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = (fx_mix(key) as usize) & mask;
+        let mut first_tomb: Option<usize> = None;
+        loop {
+            match self.entries[i].key {
+                EMPTY_KEY => {
+                    let slot = first_tomb.unwrap_or(i);
+                    if self.entries[slot].key == TOMB_KEY {
+                        self.tombs -= 1;
+                    }
+                    self.entries[slot] = Entry { key, pte };
+                    self.len += 1;
+                    return None;
+                }
+                TOMB_KEY => {
+                    first_tomb.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                k if k == key => {
+                    return Some(std::mem::replace(&mut self.entries[i].pte, pte));
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub(crate) fn remove(&mut self, key: u64) -> Option<Pte> {
+        let mask = self.mask();
+        let mut i = (fx_mix(key) as usize) & mask;
+        loop {
+            let e = &mut self.entries[i];
+            if e.key == key {
+                e.key = TOMB_KEY;
+                self.len -= 1;
+                self.tombs += 1;
+                return Some(e.pte);
+            }
+            if e.key == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Iterates over live `(vpn, pte)` pairs in unspecified order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, &Pte)> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.key < TOMB_KEY)
+            .map(|e| (e.key, &e.pte))
+    }
+
+    /// Rehashes into a table of double the live-entry footprint, dropping
+    /// tombstones.
+    fn grow(&mut self) {
+        let new_cap = (self.entries.len() * 2).max(MIN_CAP);
+        let old = std::mem::replace(&mut self.entries, vec![EMPTY_ENTRY; new_cap]);
+        self.tombs = 0;
+        let mask = self.mask();
+        for e in old {
+            if e.key >= TOMB_KEY {
+                continue;
+            }
+            let mut j = (fx_mix(e.key) as usize) & mask;
+            while self.entries[j].key != EMPTY_KEY {
+                j = (j + 1) & mask;
+            }
+            self.entries[j] = e;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcm_types::{AllocId, PageSize, PhysAddr};
+
+    fn pte(n: u64) -> Pte {
+        Pte {
+            pa: PhysAddr::new(n << 16),
+            size: PageSize::Size64K,
+            alloc: AllocId::new(0),
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m = PteMap::new();
+        assert!(m.is_empty());
+        for k in 0..1000u64 {
+            assert_eq!(m.insert(k * 3, pte(k)), None);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k * 3), Some(&pte(k)));
+            assert_eq!(m.get(k * 3 + 1), None);
+        }
+        for k in 0..500u64 {
+            assert_eq!(m.remove(k * 6), Some(pte(k * 2)));
+            assert_eq!(m.remove(k * 6), None);
+        }
+        assert_eq!(m.len(), 500);
+        for k in 0..1000u64 {
+            let want = (k % 2 == 1).then(|| pte(k));
+            assert_eq!(m.get(k * 3), want.as_ref());
+        }
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut m = PteMap::new();
+        assert_eq!(m.insert(7, pte(1)), None);
+        assert_eq!(m.insert(7, pte(2)), Some(pte(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(7), Some(&pte(2)));
+    }
+
+    #[test]
+    fn tombstones_keep_probe_chains_alive() {
+        // Force a collision chain, delete the middle, and check the tail
+        // stays reachable and reinsertion reuses the tombstone.
+        let mut m = PteMap::new();
+        // Many keys into a MIN_CAP table guarantee chains.
+        for k in 0..12u64 {
+            m.insert(k, pte(k));
+        }
+        for k in 0..12u64 {
+            if k % 3 == 0 {
+                m.remove(k);
+            }
+        }
+        for k in 0..12u64 {
+            let want = (k % 3 != 0).then(|| pte(k));
+            assert_eq!(m.get(k), want.as_ref(), "key {k}");
+        }
+        for k in 0..12u64 {
+            m.insert(k + 100, pte(k + 100));
+        }
+        for k in 0..12u64 {
+            assert_eq!(m.get(k + 100), Some(&pte(k + 100)));
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_live_entry_once() {
+        let mut m = PteMap::new();
+        for k in 0..50u64 {
+            m.insert(k * 11, pte(k));
+        }
+        m.remove(0);
+        m.remove(11);
+        let mut keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        let want: Vec<u64> = (2..50u64).map(|k| k * 11).collect();
+        assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        // Interleaved inserts/removes exercise grow with tombstones.
+        let mut m = PteMap::new();
+        let mut live = std::collections::BTreeMap::new();
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 512;
+            if x & 1 == 0 {
+                live.insert(key, pte(key));
+                m.insert(key, pte(key));
+            } else {
+                assert_eq!(m.remove(key), live.remove(&key));
+            }
+        }
+        assert_eq!(m.len(), live.len());
+        for (k, v) in &live {
+            assert_eq!(m.get(*k), Some(v));
+        }
+    }
+}

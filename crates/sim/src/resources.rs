@@ -68,6 +68,21 @@ pub struct BucketedResource {
     /// Service cycles already booked per bucket.
     used: Vec<u32>,
     capacity: u32,
+    /// Skip pointers over known-full buckets, path-compressed on
+    /// traversal (union-find "next maybe-free" chains). Booked capacity
+    /// never drains, so fullness is monotone and pointers only move
+    /// forward. Invariant: `jump[b] == b` iff bucket `b` is not full.
+    /// Under saturation a request would otherwise rescan thousands of
+    /// full buckets between `now` and the service frontier; the skip
+    /// chain makes that amortized O(1) with an identical result (full
+    /// buckets contribute nothing to a booking).
+    jump: Vec<u32>,
+    /// `log2(units)` when the unit count is a power of two (every shipped
+    /// configuration: ports, walkers, DRAM channels, links), else
+    /// `u32::MAX`. The in-bucket start offset is
+    /// `used * BUCKET_CYCLES / capacity = used / units`; the shift form
+    /// drops a 64-bit division from every acquire on the access hot path.
+    unit_shift: u32,
 }
 
 impl BucketedResource {
@@ -81,7 +96,53 @@ impl BucketedResource {
         BucketedResource {
             used: Vec::new(),
             capacity: units as u32 * BUCKET_CYCLES as u32,
+            jump: Vec::new(),
+            unit_shift: if units.is_power_of_two() {
+                units.trailing_zeros()
+            } else {
+                u32::MAX
+            },
         }
+    }
+
+    /// In-bucket start offset for a booking when `used` cycles are already
+    /// booked: position reflects how full the bucket is.
+    #[inline]
+    fn offset(&self, used: u32) -> u64 {
+        let raw = if self.unit_shift != u32::MAX {
+            (used >> self.unit_shift) as u64
+        } else {
+            used as u64 * BUCKET_CYCLES / self.capacity as u64
+        };
+        raw.min(BUCKET_CYCLES - 1)
+    }
+
+    /// Grows the bucket arrays to cover `bucket`.
+    #[inline]
+    fn ensure(&mut self, bucket: usize) {
+        if bucket >= self.used.len() {
+            let new_len = bucket + 256;
+            self.used.resize(new_len, 0);
+            self.jump.extend(self.jump.len() as u32..new_len as u32);
+        }
+    }
+
+    /// Follows the skip chain from `from` to the first maybe-free bucket,
+    /// compressing the traversed path. The result may point one past the
+    /// allocated arrays (caller re-ensures capacity).
+    #[inline]
+    fn skip_full(&mut self, from: usize) -> usize {
+        let mut b = from;
+        while b < self.jump.len() && self.jump[b] as usize != b {
+            b = self.jump[b] as usize;
+        }
+        let mut c = from;
+        while c < b.min(self.jump.len()) && self.jump[c] as usize != c {
+            let next = self.jump[c] as usize;
+            self.jump[c] = b as u32;
+            c = next;
+        }
+        b
     }
 
     /// Books `service` cycles of work starting no earlier than `now`;
@@ -92,27 +153,47 @@ impl BucketedResource {
             return now;
         }
         let mut bucket = (now / BUCKET_CYCLES) as usize;
+        // Fast path: the request's own bucket exists, is not full, and
+        // absorbs the whole booking — the overwhelmingly common case for
+        // short services on an uncongested resource. Identical to one
+        // iteration of the general loop below.
+        if bucket < self.used.len()
+            && self.jump[bucket] as usize == bucket
+            && self.used[bucket] as u64 + service <= self.capacity as u64
+        {
+            let start = (bucket as u64 * BUCKET_CYCLES + self.offset(self.used[bucket])).max(now);
+            self.used[bucket] += service as u32;
+            if self.used[bucket] >= self.capacity {
+                self.jump[bucket] = bucket as u32 + 1;
+            }
+            return start;
+        }
         let mut remaining = service;
         let mut start: Option<u64> = None;
         loop {
-            if bucket >= self.used.len() {
-                self.used.resize(bucket + 256, 0);
+            self.ensure(bucket);
+            let target = self.skip_full(bucket);
+            if target != bucket {
+                // Skipped buckets are full: they contribute nothing to the
+                // booking and cannot host the start time.
+                bucket = target;
+                continue;
             }
-            let free = self.capacity.saturating_sub(self.used[bucket]);
-            if free > 0 {
-                let take = remaining.min(free as u64) as u32;
-                if start.is_none() {
-                    // Position within the bucket reflects how full it is.
-                    let offset = (self.used[bucket] as u64 * BUCKET_CYCLES / self.capacity as u64)
-                        .min(BUCKET_CYCLES - 1);
-                    start = Some((bucket as u64 * BUCKET_CYCLES + offset).max(now));
-                }
-                self.used[bucket] += take;
-                remaining -= take as u64;
-                if remaining == 0 {
-                    // `start` was set when the first units were taken.
-                    return start.unwrap_or(now);
-                }
+            // Invariant: an identity pointer means spare capacity.
+            let free = self.capacity - self.used[bucket];
+            let take = remaining.min(free as u64) as u32;
+            if start.is_none() {
+                start =
+                    Some((bucket as u64 * BUCKET_CYCLES + self.offset(self.used[bucket])).max(now));
+            }
+            self.used[bucket] += take;
+            remaining -= take as u64;
+            if self.used[bucket] >= self.capacity {
+                self.jump[bucket] = bucket as u32 + 1;
+            }
+            if remaining == 0 {
+                // `start` was set when the first units were taken.
+                return start.unwrap_or(now);
             }
             bucket += 1;
         }
@@ -125,7 +206,9 @@ impl BucketedResource {
             if bucket >= self.used.len() || self.used[bucket] < self.capacity {
                 return (bucket as u64 * BUCKET_CYCLES).max(now);
             }
-            bucket += 1;
+            // Full buckets carry a forward pointer (`acquire` set it when
+            // the bucket filled).
+            bucket = (self.jump[bucket] as usize).max(bucket + 1);
         }
     }
 }
@@ -195,6 +278,19 @@ mod tests {
         // Everything through bucket 3 is full-ish.
         let s1 = r.acquire(0, 64);
         assert!(s1 >= 3 * BUCKET_CYCLES, "got {s1}");
+    }
+
+    #[test]
+    fn saturated_prefix_books_after_watermark() {
+        let mut r = BucketedResource::new(1);
+        // Saturate buckets 0..100 in one booking.
+        assert_eq!(r.acquire(0, 100 * BUCKET_CYCLES), 0);
+        // Requests at t = 0 spill past the full prefix, in order.
+        let s = r.acquire(0, 1);
+        assert_eq!(s / BUCKET_CYCLES, 100);
+        let s2 = r.acquire(0, BUCKET_CYCLES);
+        assert!(s2 / BUCKET_CYCLES >= 100, "got {s2}");
+        assert_eq!(r.next_free(0), r.next_free(0)); // probe is stable
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct DataPathStats {
 pub struct DataPath<'r> {
     l1d: Vec<SetAssocCache>,
     l2d: Vec<SetAssocCache>,
+    /// `log2(cfg.line_bytes)` — the config validates the line size is a
+    /// power of two, so the per-access line-index division is a shift.
+    line_shift: u32,
     dram: Dram,
     interconnect: Box<dyn Topology>,
     remote_cache: Option<&'r mut dyn RemoteCacheModel>,
@@ -75,6 +78,7 @@ impl<'r> DataPath<'r> {
                     )
                 })
                 .collect(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
             dram: Dram::new(
                 layout,
                 cfg.dram_channels,
@@ -102,7 +106,7 @@ impl<'r> DataPath<'r> {
         t: u64,
         tracer: &mut Tracer,
     ) -> u64 {
-        let line = pa.raw() / cfg.line_bytes;
+        let line = pa.raw() >> self.line_shift;
         if self.l1d[sm].access(line) {
             self.stats.l1d_hits += 1;
             return t + cfg.l1d_latency;
@@ -116,7 +120,8 @@ impl<'r> DataPath<'r> {
         self.stats.l2d_misses += 1;
         let t_mem = t_l2 + cfg.l2d_latency;
         if data_chiplet == chiplet {
-            return self.dram.access(pa, t_mem);
+            // The caller already resolved `pa`'s owner; skip re-deriving it.
+            return self.dram.access_at(data_chiplet, pa, t_mem);
         }
         let served = match self.remote_cache.as_deref_mut() {
             Some(rc) => rc.access(chiplet, pa),
@@ -133,7 +138,7 @@ impl<'r> DataPath<'r> {
             }
             None => {
                 let arrive = self.interconnect.request(chiplet, data_chiplet, t_mem);
-                let mem_done = self.dram.access(pa, arrive);
+                let mem_done = self.dram.access_at(data_chiplet, pa, arrive);
                 tracer.event(TraceEventKind::Crossing {
                     src: data_chiplet,
                     dst: chiplet,
@@ -156,10 +161,10 @@ impl<'r> DataPath<'r> {
         tracer: &mut Tracer,
     ) -> u64 {
         if owner == requester {
-            self.dram.access(pa, t)
+            self.dram.access_at(owner, pa, t)
         } else {
             let arrive = self.interconnect.request(requester, owner, t);
-            let done = self.dram.access(pa, arrive);
+            let done = self.dram.access_at(owner, pa, arrive);
             tracer.event(TraceEventKind::Crossing {
                 src: owner,
                 dst: requester,

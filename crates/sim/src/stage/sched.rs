@@ -7,14 +7,73 @@
 //! simulates their memory batch through the other stages, and pushes them
 //! back with [`KernelSchedule::reschedule`].
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use mcm_types::{TbId, VirtAddr, WarpId};
 
 use crate::config::SimConfig;
 use crate::trace::{TraceEventKind, Tracer};
 use crate::workload::{tb_chiplet, KernelDesc, Workload};
+
+/// A 4-ary min-heap of `(ready_cycle, warp_id)` wake-up events.
+///
+/// Replaces `BinaryHeap<Reverse<(u64, usize)>>` on the engine's hottest
+/// non-access path (one pop + one push per warp batch). Each live warp is
+/// enqueued at most once, so keys are distinct and *any* correct min-queue
+/// pops the identical ascending `(cycle, warp)` sequence — the simulated
+/// schedule does not depend on which heap shape holds the events. Four
+/// children per node halve the sift-down depth that dominates `pop` on
+/// kernels with thousands of resident warps, and a node's children sit in
+/// a single cache line.
+#[derive(Default)]
+struct EventHeap {
+    /// `(ready_cycle, warp_id)`, heap-ordered (parent ≤ children).
+    slots: Vec<(u64, u32)>,
+}
+
+impl EventHeap {
+    fn push(&mut self, t: u64, wid: u32) {
+        let mut i = self.slots.len();
+        self.slots.push((t, wid));
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.slots[parent] <= self.slots[i] {
+                break;
+            }
+            self.slots.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let top = *self.slots.first()?;
+        let last = self.slots.pop()?;
+        if !self.slots.is_empty() {
+            // Sift the displaced tail element down from the root.
+            let n = self.slots.len();
+            self.slots[0] = last;
+            let mut i = 0usize;
+            loop {
+                let first_child = i * 4 + 1;
+                if first_child >= n {
+                    break;
+                }
+                let mut min = first_child;
+                for c in first_child + 1..(first_child + 4).min(n) {
+                    if self.slots[c] < self.slots[min] {
+                        min = c;
+                    }
+                }
+                if self.slots[i] <= self.slots[min] {
+                    break;
+                }
+                self.slots.swap(i, min);
+                i = min;
+            }
+        }
+        Some((top.0, top.1 as usize))
+    }
+}
 
 /// One warp's progress through its access stream.
 pub struct WarpCtx {
@@ -35,7 +94,7 @@ pub struct KernelSchedule {
     sm_queue: Vec<VecDeque<TbId>>,
     warps: Vec<WarpCtx>,
     /// Min-heap of `(ready_cycle, warp_id)`.
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    heap: EventHeap,
     /// Live warps per started threadblock, indexed by start slot.
     tb_live_warps: Vec<u32>,
     /// Start slot of each warp's threadblock.
@@ -59,7 +118,7 @@ impl KernelSchedule {
             kd,
             sm_queue: vec![VecDeque::new(); sms],
             warps: Vec::new(),
-            heap: BinaryHeap::new(),
+            heap: EventHeap::default(),
             tb_live_warps: Vec::new(),
             warp_tb_slot: Vec::new(),
         };
@@ -121,31 +180,32 @@ impl KernelSchedule {
             // TBs do not start in threadblock order, so first-touch races
             // at equal progress are unbiased.
             let jitter = (tb.index() as u64 * 131 + w as u64 * 17).wrapping_mul(0x9E37_79B9) % 64;
-            self.heap.push(Reverse((at + jitter, id)));
+            self.heap.push(at + jitter, id as u32);
         }
     }
 
     /// Pops the next ready warp: `(ready_cycle, warp_id)`. `None` once
     /// every warp retired.
     pub fn pop(&mut self) -> Option<(u64, usize)> {
-        self.heap.pop().map(|Reverse(e)| e)
+        self.heap.pop()
     }
 
     /// Re-enqueues warp `wid` to continue at `at`.
     pub fn reschedule(&mut self, wid: usize, at: u64) {
-        self.heap.push(Reverse((at, wid)));
+        self.heap.push(at, wid as u32);
     }
 
     /// The next up-to-`warp_mlp` accesses warp `wid` keeps in flight (GPU
-    /// load pipelining): `(sm, tb, batch)`. The batch is empty once the
-    /// warp's stream is exhausted.
-    pub fn batch(&self, cfg: &SimConfig, wid: usize) -> (usize, TbId, Vec<VirtAddr>) {
+    /// load pipelining): `(sm, tb, batch)`. The batch is a slice into the
+    /// warp's access stream — no per-wakeup allocation; it is empty once
+    /// the stream is exhausted.
+    pub fn batch(&self, cfg: &SimConfig, wid: usize) -> (usize, TbId, &[VirtAddr]) {
         let w = &self.warps[wid];
         let n = cfg
             .warp_mlp
             .max(1)
             .min(w.accesses.len() - w.next.min(w.accesses.len()));
-        (w.sm, w.tb, w.accesses[w.next..w.next + n].to_vec())
+        (w.sm, w.tb, &w.accesses[w.next..w.next + n])
     }
 
     /// Marks `advanced` accesses of warp `wid`'s current batch complete.

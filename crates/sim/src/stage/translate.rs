@@ -7,9 +7,10 @@
 //! (PTE node and leaf-line accesses) is charged through the
 //! [data path](crate::stage::datapath), which owns DRAM and the interconnect.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-use mcm_types::{ChipletId, PageSize, VirtAddr};
+use mcm_types::{ChipletId, FastMap, PageSize, VirtAddr};
 
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
@@ -87,6 +88,68 @@ impl TranslateStats {
     }
 }
 
+/// One chiplet's in-flight page-walk table (MSHR-style coalescing plus
+/// the finite walk queue's occupancy accounting).
+///
+/// The queue back-pressure path needs "drop every walk completed by `t`"
+/// and "earliest in-flight completion" on almost every stalled walk; a
+/// plain map makes both O(queue). The map is paired with a lazy min-heap
+/// of `(done, page)` so both are amortized O(log queue): heap entries
+/// outdated by a newer insert for the same page are skipped on pop (a
+/// re-inserted walk always completes strictly later, so stale entries are
+/// unambiguous).
+#[derive(Default)]
+struct WalkMshr {
+    /// Leaf page → completion cycle of the in-flight walk.
+    map: FastMap<u64, u64>,
+    /// Min-heap mirror of `map` inserts, popped lazily.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl WalkMshr {
+    /// Completion cycle of an in-flight walk of `page`, if any.
+    #[inline]
+    fn get(&self, page: u64) -> Option<u64> {
+        self.map.get(&page).copied()
+    }
+
+    /// Records a walk of `page` completing at `done`.
+    fn insert(&mut self, page: u64, done: u64) {
+        self.map.insert(page, done);
+        self.heap.push(Reverse((done, page)));
+    }
+
+    /// In-flight walk count (expired entries linger until [`Self::drop_done`],
+    /// exactly as the map-only representation kept them until `retain`).
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops every walk completed at or before `t`.
+    fn drop_done(&mut self, t: u64) {
+        while let Some(&Reverse((done, page))) = self.heap.peek() {
+            if done > t {
+                break;
+            }
+            self.heap.pop();
+            if self.map.get(&page) == Some(&done) {
+                self.map.remove(&page);
+            }
+        }
+    }
+
+    /// Earliest completion cycle among in-flight walks.
+    fn earliest(&mut self) -> Option<u64> {
+        while let Some(&Reverse((done, page))) = self.heap.peek() {
+            if self.map.get(&page) == Some(&done) {
+                return Some(done);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
 /// The translation stage of one machine.
 pub struct TranslateStage {
     /// TLB size classes, in `cfg.translation.tlb_classes` order.
@@ -99,8 +162,20 @@ pub struct TranslateStage {
     walkers: Vec<BucketedResource>,
     /// In-flight walk coalescing (MSHR-style): an outstanding walk for the
     /// same leaf page absorbs duplicate requests from other warps/SMs of
-    /// the chiplet, as hardware page-walk MSHRs do.
-    walk_mshr: Vec<HashMap<u64, u64>>,
+    /// the chiplet, as hardware page-walk MSHRs do. Fx-hashed — probed on
+    /// every page walk (golden results never depend on iteration order).
+    walk_mshr: Vec<WalkMshr>,
+    /// Where the most recent successful [`translate`](Self::translate)
+    /// left the requesting SM's L1 coverage: `(class index, slot)`. Feeds
+    /// the engine's same-page repeat fast path (DESIGN.md §15); only valid
+    /// until the next operation that touches that SM's L1 TLBs. `None`
+    /// when the leaf size has no TLB class (nothing was cached).
+    last_l1: Option<(u32, u32)>,
+    /// Smallest page shift among the configured TLB classes. Two VAs in
+    /// the same `min_class_shift` page index identically into *every*
+    /// class (all class pages are aligned supersets), which is what makes
+    /// the repeat fast path's skipped probes provably unobservable.
+    min_shift: u32,
     /// This stage's statistics slice.
     pub stats: TranslateStats,
 }
@@ -150,10 +225,44 @@ impl TranslateStage {
             walkers: (0..cfg.num_chiplets)
                 .map(|_| BucketedResource::new(cfg.page_walkers))
                 .collect(),
-            walk_mshr: (0..cfg.num_chiplets).map(|_| HashMap::new()).collect(),
+            walk_mshr: (0..cfg.num_chiplets).map(|_| WalkMshr::default()).collect(),
+            last_l1: None,
+            // No classes → nothing is ever cached, `last_l1` stays `None`
+            // and the shift is never consulted; 0 is a safe placeholder.
+            min_shift: classes.iter().map(|s| s.shift()).min().unwrap_or(0),
             classes,
             stats: TranslateStats::default(),
         }
+    }
+
+    /// `log2(page size)` of the smallest configured TLB class (see
+    /// [`Self::min_shift`]).
+    pub(crate) fn min_class_shift(&self) -> u32 {
+        self.min_shift
+    }
+
+    /// `(class index, slot)` of the L1 entry covering the VA of the most
+    /// recent successful [`translate`](Self::translate), or `None` if it
+    /// could not be cached. See [`Self::last_l1`].
+    pub(crate) fn last_l1(&self) -> Option<(u32, u32)> {
+        self.last_l1
+    }
+
+    /// Replays the observable effects of translating an address in the
+    /// same page as the immediately preceding access of the same warp
+    /// batch (the engine's repeat fast path, DESIGN.md §15). The previous
+    /// access left the entry in `sm`'s L1 (hit or fill), nothing has
+    /// touched the TLBs or page table since, and the two VAs share a page
+    /// of every class — so the full path would probe the same sets, hit
+    /// the same slot, and verify the same PTE. Only the hit entry's LRU
+    /// touch and the hit counter are observable; the skipped miss-probes
+    /// of other classes advance those TLBs' ticks without recording them,
+    /// which cannot change any LRU argmin, and the page-table verify is a
+    /// pure read.
+    #[inline]
+    pub(crate) fn repeat_l1_hit(&mut self, sm: usize, class: u32, slot: u32) {
+        self.l1_tlb[sm][class as usize].touch(slot);
+        self.stats.l1tlb_hits += 1;
     }
 
     /// Translates `va` for `sm` on `chiplet`: L1 TLB → L2 TLB → page walk.
@@ -183,11 +292,20 @@ impl TranslateStage {
         tracer: &mut Tracer,
     ) -> Result<Translation, SimError> {
         let mut tt = issue + cfg.l1_tlb_latency;
+        self.last_l1 = None;
+        let mut l1_slot = None;
+        for (ci, tlb) in self.l1_tlb[sm].iter_mut().enumerate() {
+            if let Some(slot) = tlb.lookup_slot(va) {
+                l1_slot = Some((ci as u32, slot));
+                break;
+            }
+        }
         let mut hit_pte = None;
-        if self.l1_tlb[sm].iter_mut().any(|tlb| tlb.lookup(va)) {
+        if let Some(hit) = l1_slot {
             match pt.translate(va) {
                 Some(p) => {
                     self.stats.l1tlb_hits += 1;
+                    self.last_l1 = Some(hit);
                     hit_pte = Some(p);
                 }
                 None => {
@@ -214,7 +332,7 @@ impl TranslateStage {
             match pt.translate(va) {
                 Some(p) => {
                     self.stats.l2tlb_hits += 1;
-                    self.fill_l1(pt, cfg, sm, va, p);
+                    self.last_l1 = self.fill_l1(pt, cfg, sm, va, p);
                     l2_pte = Some(p);
                 }
                 None => self.note_stale_tlb(va),
@@ -236,7 +354,7 @@ impl TranslateStage {
         match self.page_walk(cfg, pt, data, chiplet, va, tt, gmmu_free, tracer)? {
             Translation::Done { pte, done, .. } => {
                 self.fill_l2(pt, cfg, chiplet, va, pte, done, tracer);
-                self.fill_l1(pt, cfg, sm, va, pte);
+                self.last_l1 = self.fill_l1(pt, cfg, sm, va, pte);
                 Ok(Translation::Done {
                     pte,
                     done,
@@ -269,7 +387,7 @@ impl TranslateStage {
         };
         // MSHR hit: join an in-flight walk for the same leaf page.
         let page_key = va.raw() >> pte.size.shift();
-        if let Some(&done) = self.walk_mshr[chiplet.index()].get(&page_key) {
+        if let Some(done) = self.walk_mshr[chiplet.index()].get(page_key) {
             if done > t {
                 self.stats.walk_mshr_hits += 1;
                 return Ok(Translation::Done {
@@ -334,10 +452,10 @@ impl TranslateStage {
         if self.walk_mshr[idx].len() < cap {
             return Ok(t);
         }
-        self.walk_mshr[idx].retain(|_, &mut done| done > t);
+        self.walk_mshr[idx].drop_done(t);
         let mut stalled = 0u64;
         while self.walk_mshr[idx].len() >= cap {
-            let earliest = self.walk_mshr[idx].values().copied().min().unwrap_or(t);
+            let earliest = self.walk_mshr[idx].earliest().unwrap_or(t);
             if earliest <= t {
                 return Err(SimError::WalkQueueOverflow {
                     chiplet,
@@ -346,7 +464,7 @@ impl TranslateStage {
             }
             stalled += earliest - t;
             t = earliest;
-            self.walk_mshr[idx].retain(|_, &mut done| done > t);
+            self.walk_mshr[idx].drop_done(t);
             self.stats.degradation.walk_queue_stalls += 1;
         }
         if stalled > 0 {
@@ -417,10 +535,26 @@ impl TranslateStage {
         violations
     }
 
-    fn fill_l1(&mut self, pt: &PageTable, cfg: &SimConfig, sm: usize, va: VirtAddr, pte: Pte) {
+    /// Installs `va → pte` coverage in `sm`'s L1 TLB, returning the
+    /// `(class index, slot)` it landed in, or `None` if the leaf size has
+    /// no TLB class.
+    fn fill_l1(
+        &mut self,
+        pt: &PageTable,
+        cfg: &SimConfig,
+        sm: usize,
+        va: VirtAddr,
+        pte: Pte,
+    ) -> Option<(u32, u32)> {
         match self.fill_mask(pt, cfg, va, pte) {
-            Some((class, mask)) => self.l1_tlb[sm][class].fill(va, mask),
-            None => self.note_missing_class(pte.size),
+            Some((class, mask)) => {
+                let slot = self.l1_tlb[sm][class].fill(va, mask);
+                Some((class as u32, slot))
+            }
+            None => {
+                self.note_missing_class(pte.size);
+                None
+            }
         }
     }
 

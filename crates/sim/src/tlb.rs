@@ -5,19 +5,17 @@
 //! lets one 64KB-class entry cover up to 16 contiguous 64KB pages (1MB) via
 //! a valid-bit mask; the `Ideal` configuration extends this to a whole 2MB
 //! VA block. A plain TLB is the degenerate `group = 1` case.
+//!
+//! Storage is three parallel flat arrays of `sets × ways` slots (keys,
+//! valid-bit masks, LRU ticks) rather than a `Vec` per set: the lookup is
+//! on the critical path of every simulated memory access, and the flat
+//! layout keeps the whole probe inside one or two cache lines with one
+//! tight scan over the set's live ways (DESIGN.md §15). Live entries are
+//! packed densely at the front of each set (`live[set]` counts them), so
+//! sparsely filled sets — fully associative TLBs are one set with up to
+//! 128 ways — never pay for empty slots.
 
 use mcm_types::{PageSize, VirtAddr};
-
-/// One TLB entry: a group-aligned base plus a valid-bit mask over the pages
-/// of the group.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct TlbEntry {
-    /// `vpn / group`.
-    key: u64,
-    /// Bit `i` set: page `key*group + i` is covered.
-    mask: u32,
-    last_use: u64,
-}
 
 /// A set-associative TLB for one page-size class.
 ///
@@ -38,9 +36,23 @@ struct TlbEntry {
 pub struct Tlb {
     size: PageSize,
     group: u32,
-    sets: Vec<Vec<TlbEntry>>,
+    /// Entry keys (`vpn / group`); slot `set * ways + way`. Live entries
+    /// of a set are packed at `set * ways .. set * ways + live[set]`.
+    keys: Vec<u64>,
+    /// Valid-bit masks, parallel to `keys`.
+    masks: Vec<u32>,
+    /// LRU ticks, parallel to `keys`.
+    last_use: Vec<u64>,
+    /// Live entries per set.
+    live: Vec<u32>,
+    /// Number of sets (power of two).
+    set_count: usize,
     ways: usize,
     tick: u64,
+    /// `log2(group)` when the group is a power of two (all shipped
+    /// configurations: 1, 16, or 32), else `u32::MAX`. Lets `locate`
+    /// replace the per-lookup 64-bit division with a shift.
+    group_shift: u32,
 }
 
 impl Tlb {
@@ -54,13 +66,23 @@ impl Tlb {
     pub fn new(size: PageSize, entries: usize, ways: usize, group: u32) -> Self {
         assert!(entries > 0 && ways > 0 && ways <= entries);
         assert!((1..=32).contains(&group), "group must be 1..=32");
-        let sets = (entries / ways).max(1).next_power_of_two();
+        let set_count = (entries / ways).max(1).next_power_of_two();
+        let slots = set_count * ways;
         Tlb {
             size,
             group,
-            sets: vec![Vec::with_capacity(ways); sets],
+            keys: vec![0; slots],
+            masks: vec![0; slots],
+            last_use: vec![0; slots],
+            live: vec![0; set_count],
+            set_count,
             ways,
             tick: 0,
+            group_shift: if group.is_power_of_two() {
+                group.trailing_zeros()
+            } else {
+                u32::MAX
+            },
         }
     }
 
@@ -74,29 +96,76 @@ impl Tlb {
         self.group
     }
 
+    #[inline]
     fn vpn(&self, va: VirtAddr) -> u64 {
         va.raw() >> self.size.shift()
     }
 
+    #[inline]
     fn locate(&self, vpn: u64) -> (usize, u64, u32) {
-        let key = vpn / self.group as u64;
-        let set = (key as usize) & (self.sets.len() - 1);
-        let bit = (vpn % self.group as u64) as u32;
+        let (key, bit) = if self.group_shift != u32::MAX {
+            (
+                vpn >> self.group_shift,
+                (vpn & (self.group as u64 - 1)) as u32,
+            )
+        } else {
+            (vpn / self.group as u64, (vpn % self.group as u64) as u32)
+        };
+        let set = (key as usize) & (self.set_count - 1);
         (set, key, bit)
+    }
+
+    /// Scan over `set`'s live ways for the slot holding `key`. Keys are
+    /// unique within a set, so scan order cannot matter; the early exit
+    /// halves the average scan length of warm fully-associative sets.
+    #[inline]
+    fn probe(&self, set: usize, key: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.keys[base..base + self.live[set] as usize]
+            .iter()
+            .position(|&k| k == key)
+            .map(|w| base + w)
     }
 
     /// Returns `true` if a valid entry covers `va` (and touches its LRU
     /// state).
+    #[inline]
     pub fn lookup(&mut self, va: VirtAddr) -> bool {
+        self.lookup_slot(va).is_some()
+    }
+
+    /// [`lookup`](Self::lookup), but reporting the slot that hit so the
+    /// caller can [`touch`](Self::touch) it again without re-probing (the
+    /// engine's same-page repeat fast path, DESIGN.md §15).
+    #[inline]
+    pub fn lookup_slot(&mut self, va: VirtAddr) -> Option<u32> {
         let (set, key, bit) = self.locate(self.vpn(va));
+        if self.live[set] == 0 {
+            // Empty set: a guaranteed miss. Skipping the tick is
+            // unobservable — LRU victims depend only on the relative order
+            // of recorded ticks, and a miss on an empty set records none.
+            // Unused page-size classes (most workloads run a single class)
+            // take this exit on every probe.
+            return None;
+        }
         self.tick += 1;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.key == key) {
-            if e.mask >> bit & 1 == 1 {
-                e.last_use = self.tick;
-                return true;
+        if let Some(i) = self.probe(set, key) {
+            if self.masks[i] >> bit & 1 == 1 {
+                self.last_use[i] = self.tick;
+                return Some(i as u32);
             }
         }
-        false
+        None
+    }
+
+    /// Re-touches `slot` (returned by [`lookup_slot`](Self::lookup_slot) or
+    /// [`fill`](Self::fill)) as if the covering entry were looked up again:
+    /// same tick advance, same LRU update. Only valid while the slot still
+    /// holds the same entry — i.e. before any other operation on this TLB.
+    #[inline]
+    pub fn touch(&mut self, slot: u32) {
+        self.tick += 1;
+        self.last_use[slot as usize] = self.tick;
     }
 
     /// Installs coverage for the group containing `va`. `mask` holds one
@@ -105,11 +174,14 @@ impl Tlb {
     /// entry for the group already exists, the masks are merged — this is
     /// how partially populated CLAP regions grow their coalesced entry.
     ///
+    /// Returns the slot the entry landed in (for the repeat fast path's
+    /// [`touch`](Self::touch)).
+    ///
     /// # Panics
     ///
     /// Panics if `mask` does not cover `va`'s own page (a fill must at
     /// least map the faulting page).
-    pub fn fill(&mut self, va: VirtAddr, mask: u32) {
+    pub fn fill(&mut self, va: VirtAddr, mask: u32) -> u32 {
         let (set, key, bit) = self.locate(self.vpn(va));
         let width_mask = if self.group == 32 {
             u32::MAX
@@ -119,26 +191,32 @@ impl Tlb {
         let mask = mask & width_mask;
         assert!(mask >> bit & 1 == 1, "fill mask must cover the filled page");
         self.tick += 1;
-        let lines = &mut self.sets[set];
-        if let Some(e) = lines.iter_mut().find(|e| e.key == key) {
-            e.mask |= mask;
-            e.last_use = self.tick;
-            return;
+        if let Some(i) = self.probe(set, key) {
+            self.masks[i] |= mask;
+            self.last_use[i] = self.tick;
+            return i as u32;
         }
-        if lines.len() == self.ways {
-            let lru = lines
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            lines.swap_remove(lru);
-        }
-        lines.push(TlbEntry {
-            key,
-            mask,
-            last_use: self.tick,
-        });
+        // Append to the live prefix if the set has room; otherwise
+        // overwrite the LRU way in place. Ticks are unique per touch, so
+        // the LRU minimum is unambiguous.
+        let base = set * self.ways;
+        let len = self.live[set] as usize;
+        let victim = if len < self.ways {
+            self.live[set] += 1;
+            base + len
+        } else {
+            let mut v = base;
+            for i in base + 1..base + len {
+                if self.last_use[i] < self.last_use[v] {
+                    v = i;
+                }
+            }
+            v
+        };
+        self.keys[victim] = key;
+        self.masks[victim] = mask;
+        self.last_use[victim] = self.tick;
+        victim as u32
     }
 
     /// Removes coverage of the single page containing `va` (TLB shootdown
@@ -146,12 +224,16 @@ impl Tlb {
     /// Returns `true` if coverage existed.
     pub fn invalidate_page(&mut self, va: VirtAddr) -> bool {
         let (set, key, bit) = self.locate(self.vpn(va));
-        let lines = &mut self.sets[set];
-        if let Some(i) = lines.iter().position(|e| e.key == key) {
-            let had = lines[i].mask >> bit & 1 == 1;
-            lines[i].mask &= !(1 << bit);
-            if lines[i].mask == 0 {
-                lines.swap_remove(i);
+        if let Some(i) = self.probe(set, key) {
+            let had = self.masks[i] >> bit & 1 == 1;
+            self.masks[i] &= !(1 << bit);
+            if self.masks[i] == 0 {
+                // Swap-remove: keep the live prefix dense.
+                let last = set * self.ways + self.live[set] as usize - 1;
+                self.keys[i] = self.keys[last];
+                self.masks[i] = self.masks[last];
+                self.last_use[i] = self.last_use[last];
+                self.live[set] -= 1;
             }
             had
         } else {
@@ -161,14 +243,12 @@ impl Tlb {
 
     /// Drops every entry (full shootdown).
     pub fn flush(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.live.fill(0);
     }
 
     /// Number of valid entries currently held.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.live.iter().map(|&n| n as usize).sum()
     }
 
     /// Iterates over the base VA of every page this TLB currently covers
@@ -177,12 +257,17 @@ impl Tlb {
     pub fn covered_pages(&self) -> impl Iterator<Item = VirtAddr> + '_ {
         let shift = self.size.shift();
         let group = self.group as u64;
-        self.sets.iter().flatten().flat_map(move |e| {
-            let (key, mask) = (e.key, e.mask);
-            (0..group)
-                .filter(move |bit| mask >> bit & 1 == 1)
-                .map(move |bit| VirtAddr::new((key * group + bit) << shift))
-        })
+        (0..self.set_count)
+            .flat_map(move |set| {
+                let base = set * self.ways;
+                base..base + self.live[set] as usize
+            })
+            .flat_map(move |i| {
+                let (key, mask) = (self.keys[i], self.masks[i]);
+                (0..group)
+                    .filter(move |bit| mask >> bit & 1 == 1)
+                    .map(move |bit| VirtAddr::new((key * group + bit) << shift))
+            })
     }
 }
 
@@ -299,5 +384,20 @@ mod tests {
             assert!(t.lookup(va64k(i)));
         }
         assert!(!t.lookup(va64k(32)));
+    }
+
+    #[test]
+    fn reuse_of_emptied_slot_before_eviction() {
+        // Invalidating an entry frees its way; the next fill must take the
+        // empty way rather than evicting a live one.
+        let mut t = Tlb::new(PageSize::Size2M, 2, 2, 1);
+        let p = |n: u64| VirtAddr::new(n << 21);
+        t.fill(p(0), 1);
+        t.fill(p(1), 1);
+        assert!(t.invalidate_page(p(0)));
+        t.fill(p(2), 1);
+        assert!(t.lookup(p(1)));
+        assert!(t.lookup(p(2)));
+        assert_eq!(t.occupancy(), 2);
     }
 }

@@ -1,0 +1,457 @@
+//! Property-based equivalence tests pinning the flat-array hot-path
+//! structures against naive reference models (DESIGN.md §15).
+//!
+//! The cycle engine's hot structures trade the obvious `Vec`-per-set
+//! representation for flat `sets × ways` slabs, dense live prefixes,
+//! branchless scans, and a repeat-touch fast path. Golden CSVs prove the
+//! *composed* machine unchanged; these properties prove each structure
+//! unchanged in isolation, over operation streams no figure exercises:
+//!
+//! * [`Tlb`] vs. a per-set `Vec<(key, mask, last_use)>` model, including
+//!   the `lookup_slot`/`touch` pair the engine's same-page repeat fast
+//!   path relies on (a `touch` of a just-hit slot must be observationally
+//!   identical to re-running the full lookup);
+//! * [`SetAssocCache`] vs. a per-set `Vec<(key, tick)>` model, on both
+//!   the narrow scanned path and the wide hash-indexed path;
+//! * the slab page table ([`PageTable`] over its open-addressing PTE map)
+//!   vs. a `BTreeMap` of leaves, under map/unmap churn heavy enough to
+//!   exercise tombstones and rehashing.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mcm_sim::{PageTable, SetAssocCache, Tlb};
+use mcm_types::{AllocId, PageSize, PhysAddr, PhysLayout, VirtAddr, BASE_PAGE_BYTES};
+
+// ---------------------------------------------------------------------------
+// TLB vs. naive model
+// ---------------------------------------------------------------------------
+
+/// Straightforward per-set `Vec` TLB with the documented semantics of
+/// [`Tlb`]: grouped keys, valid-bit masks, LRU by unique touch ticks,
+/// no tick advance on empty-set lookups.
+struct TlbModel {
+    shift: u32,
+    group: u64,
+    set_mask: u64,
+    ways: usize,
+    /// `(key, mask, last_use)` per set, in insertion order.
+    sets: Vec<Vec<(u64, u32, u64)>>,
+    tick: u64,
+    width_mask: u32,
+}
+
+impl TlbModel {
+    fn new(size: PageSize, entries: usize, ways: usize, group: u32) -> Self {
+        let set_count = (entries / ways).max(1).next_power_of_two();
+        TlbModel {
+            shift: size.shift(),
+            group: group as u64,
+            set_mask: set_count as u64 - 1,
+            ways,
+            sets: vec![Vec::new(); set_count],
+            tick: 0,
+            width_mask: if group == 32 {
+                u32::MAX
+            } else {
+                (1u32 << group) - 1
+            },
+        }
+    }
+
+    fn locate(&self, va: VirtAddr) -> (usize, u64, u32) {
+        let vpn = va.raw() >> self.shift;
+        let key = vpn / self.group;
+        let bit = (vpn % self.group) as u32;
+        ((key & self.set_mask) as usize, key, bit)
+    }
+
+    fn lookup(&mut self, va: VirtAddr) -> bool {
+        let (set, key, bit) = self.locate(va);
+        if self.sets[set].is_empty() {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == key) {
+            if e.1 >> bit & 1 == 1 {
+                e.2 = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn fill(&mut self, va: VirtAddr, mask: u32) {
+        let (set, key, bit) = self.locate(va);
+        let mask = mask & self.width_mask;
+        assert!(mask >> bit & 1 == 1);
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let s = &mut self.sets[set];
+        if let Some(e) = s.iter_mut().find(|e| e.0 == key) {
+            e.1 |= mask;
+            e.2 = tick;
+            return;
+        }
+        if s.len() < ways {
+            s.push((key, mask, tick));
+        } else {
+            // First-lowest last_use wins (ticks are unique anyway).
+            let v = (0..s.len()).min_by_key(|&i| s[i].2).unwrap();
+            s[v] = (key, mask, tick);
+        }
+    }
+
+    fn invalidate_page(&mut self, va: VirtAddr) -> bool {
+        let (set, key, bit) = self.locate(va);
+        let s = &mut self.sets[set];
+        if let Some(i) = s.iter().position(|e| e.0 == key) {
+            let had = s[i].1 >> bit & 1 == 1;
+            s[i].1 &= !(1 << bit);
+            if s[i].1 == 0 {
+                s.swap_remove(i);
+            }
+            had
+        } else {
+            false
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum TlbOp {
+    Lookup {
+        page: u64,
+    },
+    /// Lookup, and if it hits, re-touch the returned slot `repeats` times
+    /// while the model re-runs the full lookup — the engine's repeat
+    /// fast-path contract.
+    LookupRepeat {
+        page: u64,
+        repeats: usize,
+    },
+    Fill {
+        page: u64,
+        mask: u32,
+    },
+    Invalidate {
+        page: u64,
+    },
+    Flush,
+}
+
+fn tlb_op() -> impl Strategy<Value = TlbOp> {
+    // Pages 0..96 over 8-entry TLBs force collisions and evictions.
+    prop_oneof![
+        (0u64..96).prop_map(|page| TlbOp::Lookup { page }),
+        (0u64..96, 1usize..4).prop_map(|(page, repeats)| TlbOp::LookupRepeat { page, repeats }),
+        (0u64..96, 1u32..u32::MAX).prop_map(|(page, mask)| TlbOp::Fill { page, mask }),
+        (0u64..96).prop_map(|page| TlbOp::Invalidate { page }),
+        Just(TlbOp::Flush),
+    ]
+}
+
+fn check_tlb_equivalence(
+    entries: usize,
+    ways: usize,
+    group: u32,
+    ops: &[TlbOp],
+) -> Result<(), TestCaseError> {
+    let size = PageSize::Size64K;
+    let mut real = Tlb::new(size, entries, ways, group);
+    let mut model = TlbModel::new(size, entries, ways, group);
+    let va = |page: u64| VirtAddr::new(page << size.shift());
+    for op in ops {
+        match *op {
+            TlbOp::Lookup { page } => {
+                prop_assert_eq!(real.lookup(va(page)), model.lookup(va(page)));
+            }
+            TlbOp::LookupRepeat { page, repeats } => {
+                let slot = real.lookup_slot(va(page));
+                prop_assert_eq!(slot.is_some(), model.lookup(va(page)));
+                if let Some(slot) = slot {
+                    for _ in 0..repeats {
+                        real.touch(slot);
+                        prop_assert!(model.lookup(va(page)), "{:?}", op);
+                    }
+                }
+            }
+            TlbOp::Fill { page, mask } => {
+                // A fill must cover the filled page; force that bit on.
+                let bit = (page % group as u64) as u32;
+                real.fill(va(page), mask | 1 << bit);
+                model.fill(va(page), mask | 1 << bit);
+            }
+            TlbOp::Invalidate { page } => {
+                prop_assert_eq!(
+                    real.invalidate_page(va(page)),
+                    model.invalidate_page(va(page))
+                );
+            }
+            TlbOp::Flush => {
+                real.flush();
+                model.sets.iter_mut().for_each(Vec::clear);
+            }
+        }
+        prop_assert_eq!(real.occupancy(), model.occupancy());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Set-associative cache vs. naive model
+// ---------------------------------------------------------------------------
+
+/// Straightforward per-set `Vec` LRU cache with the documented semantics
+/// of [`SetAssocCache`].
+struct CacheModel {
+    set_mask: u64,
+    ways: usize,
+    /// `(key, tick)` per set, in insertion order.
+    sets: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheModel {
+    fn new(sets: usize, ways: usize) -> Self {
+        CacheModel {
+            set_mask: sets as u64 - 1,
+            ways,
+            sets: vec![Vec::new(); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key & self.set_mask) as usize
+    }
+
+    fn access(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let s = &mut self.sets[set];
+        if let Some(e) = s.iter_mut().find(|e| e.0 == key) {
+            e.1 = tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if s.len() < ways {
+            s.push((key, tick));
+        } else {
+            let v = (0..s.len()).min_by_key(|&i| s[i].1).unwrap();
+            s[v] = (key, tick);
+        }
+        false
+    }
+
+    fn probe(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(key);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == key) {
+            e.1 = tick;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = self.set_of(key);
+        let s = &mut self.sets[set];
+        if let Some(e) = s.iter_mut().find(|e| e.0 == key) {
+            e.1 = tick;
+            return;
+        }
+        if s.len() < ways {
+            s.push((key, tick));
+        } else {
+            let v = (0..s.len()).min_by_key(|&i| s[i].1).unwrap();
+            s[v] = (key, tick);
+        }
+    }
+
+    fn invalidate(&mut self, key: u64) -> bool {
+        let set = self.set_of(key);
+        let s = &mut self.sets[set];
+        if let Some(i) = s.iter().position(|e| e.0 == key) {
+            s.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(u64),
+    Probe(u64),
+    Insert(u64),
+    Invalidate(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..192).prop_map(CacheOp::Access),
+        (0u64..192).prop_map(CacheOp::Probe),
+        (0u64..192).prop_map(CacheOp::Insert),
+        (0u64..192).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+fn check_cache_equivalence(sets: usize, ways: usize, ops: &[CacheOp]) -> Result<(), TestCaseError> {
+    let mut real = SetAssocCache::new(sets, ways);
+    let mut model = CacheModel::new(sets, ways);
+    for op in ops {
+        match *op {
+            CacheOp::Access(k) => {
+                prop_assert_eq!(real.access(k), model.access(k));
+            }
+            CacheOp::Probe(k) => {
+                prop_assert_eq!(real.probe(k), model.probe(k));
+            }
+            CacheOp::Insert(k) => {
+                real.insert(k);
+                model.insert(k);
+            }
+            CacheOp::Invalidate(k) => {
+                prop_assert_eq!(real.invalidate(k), model.invalidate(k));
+            }
+        }
+    }
+    prop_assert_eq!(real.hits(), model.hits);
+    prop_assert_eq!(real.misses(), model.misses);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Slab page table vs. BTreeMap model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum SlabOp {
+    Map { vpn: u64, pfn: u64, size_idx: usize },
+    Unmap { vpn: u64 },
+    Translate { vpn: u64 },
+}
+
+fn slab_op() -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        (0u64..512, 0u64..512, 0usize..PageSize::ALL.len())
+            .prop_map(|(vpn, pfn, size_idx)| SlabOp::Map { vpn, pfn, size_idx }),
+        (0u64..512).prop_map(|vpn| SlabOp::Unmap { vpn }),
+        (0u64..512).prop_map(|vpn| SlabOp::Translate { vpn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plain (ungrouped) TLB: flat storage, dense live prefixes, and the
+    /// repeat-touch fast path are indistinguishable from the per-set Vec
+    /// model.
+    #[test]
+    fn tlb_plain_matches_model(ops in proptest::collection::vec(tlb_op(), 1..250)) {
+        check_tlb_equivalence(8, 4, 1, &ops)?;
+    }
+
+    /// Coalescing TLB (16-page groups, CLAP's shape).
+    #[test]
+    fn tlb_coalesced_matches_model(ops in proptest::collection::vec(tlb_op(), 1..250)) {
+        check_tlb_equivalence(8, 4, 16, &ops)?;
+    }
+
+    /// Fully-associative TLB — the L1 shape the engine's repeat fast path
+    /// touches hardest.
+    #[test]
+    fn tlb_fully_assoc_matches_model(ops in proptest::collection::vec(tlb_op(), 1..250)) {
+        check_tlb_equivalence(8, 8, 32, &ops)?;
+    }
+
+    /// Narrow cache sets take the branchless fused hit/victim scan; the
+    /// model is the obvious early-exit loop. Equal observables proves the
+    /// scan strategy cannot matter.
+    #[test]
+    fn cache_narrow_matches_model(ops in proptest::collection::vec(cache_op(), 1..300)) {
+        check_cache_equivalence(4, 4, &ops)?;
+    }
+
+    /// Wide (fully-associative) caches flip on the hash index; same
+    /// observables as the scanned model.
+    #[test]
+    fn cache_wide_matches_model(ops in proptest::collection::vec(cache_op(), 1..300)) {
+        check_cache_equivalence(1, 64, &ops)?;
+    }
+
+    /// The slab-backed page table under map/unmap churn (tombstones,
+    /// rehash) translates exactly like a BTreeMap of leaves.
+    #[test]
+    fn slab_page_table_matches_btreemap(ops in proptest::collection::vec(slab_op(), 1..400)) {
+        let mut pt = PageTable::new(PhysLayout::new(4));
+        // Reference: base VA → (base PA, size), kept conflict-free by the
+        // same overlap rule the page table enforces.
+        let mut model: BTreeMap<u64, (u64, PageSize)> = BTreeMap::new();
+        let overlaps = |model: &BTreeMap<u64, (u64, PageSize)>, va: u64, bytes: u64| {
+            model
+                .iter()
+                .any(|(&b, &(_, s))| va < b + s.bytes() && b < va + bytes)
+        };
+        for op in ops {
+            match op {
+                SlabOp::Map { vpn, pfn, size_idx } => {
+                    let size = PageSize::ALL[size_idx];
+                    let va = VirtAddr::new(vpn * BASE_PAGE_BYTES).align_down(size.bytes());
+                    let pa = PhysAddr::new(pfn * BASE_PAGE_BYTES).align_down(size.bytes());
+                    let ok = pt.map(va, pa, size, AllocId::new(0)).is_ok();
+                    prop_assert_eq!(ok, !overlaps(&model, va.raw(), size.bytes()));
+                    if ok {
+                        model.insert(va.raw(), (pa.raw(), size));
+                    }
+                }
+                SlabOp::Unmap { vpn } => {
+                    let va = VirtAddr::new(vpn * BASE_PAGE_BYTES);
+                    let hit = model
+                        .iter()
+                        .find(|(&b, &(_, s))| b <= va.raw() && va.raw() < b + s.bytes())
+                        .map(|(&b, _)| b);
+                    match hit {
+                        Some(base) => {
+                            prop_assert!(pt.unmap(VirtAddr::new(base)).is_ok());
+                            model.remove(&base);
+                        }
+                        None => prop_assert!(pt.unmap(va).is_err()),
+                    }
+                }
+                SlabOp::Translate { vpn } => {
+                    let va = VirtAddr::new(vpn * BASE_PAGE_BYTES);
+                    let want = model
+                        .iter()
+                        .find(|(&b, &(_, s))| b <= va.raw() && va.raw() < b + s.bytes())
+                        .map(|(&b, &(pa, s))| (pa + (va.raw() - b), s));
+                    let got = pt
+                        .translate(va)
+                        .map(|p| (p.pa.raw() + (va.raw() & (p.size.bytes() - 1)), p.size));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+    }
+}

@@ -51,12 +51,14 @@ impl PhysLayout {
     /// The chiplet owning a physical address.
     pub fn chiplet_of(self, pa: PhysAddr) -> ChipletId {
         let block = pa.raw() / VA_BLOCK_BYTES;
-        ChipletId::new((block % self.num_chiplets as u64) as u8)
+        self.chiplet_of_block(block)
     }
 
     /// The chiplet owning PF block `block_index`.
     pub fn chiplet_of_block(self, block_index: u64) -> ChipletId {
-        ChipletId::new((block_index % self.num_chiplets as u64) as u8)
+        // The chiplet count is a power of two (asserted in `new`), so the
+        // modulo is a mask — this runs on every simulated memory access.
+        ChipletId::new((block_index & (self.num_chiplets as u64 - 1)) as u8)
     }
 
     /// The `n`-th PF block owned by `chiplet` (n = 0, 1, ...).
@@ -85,7 +87,16 @@ impl PhysLayout {
     /// Panics if `channels_per_chiplet` is zero.
     pub fn channel_of(self, pa: PhysAddr, channels_per_chiplet: usize) -> usize {
         assert!(channels_per_chiplet > 0, "channel count must be nonzero");
-        ((pa.raw() / CHANNEL_INTERLEAVE_BYTES) % channels_per_chiplet as u64) as usize
+        let lane = pa.raw() / CHANNEL_INTERLEAVE_BYTES;
+        let n = channels_per_chiplet as u64;
+        // Channel counts are powers of two in every shipped configuration;
+        // keep the general modulo as the fallback.
+        let ch = if n.is_power_of_two() {
+            lane & (n - 1)
+        } else {
+            lane % n
+        };
+        ch as usize
     }
 }
 

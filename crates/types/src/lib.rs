@@ -27,11 +27,13 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod address;
+mod hash;
 mod ids;
 mod layout;
 mod page;
 
 pub use address::{PhysAddr, VirtAddr};
+pub use hash::{fnv1a, fx_mix, BuildFxHasher, FastMap, FxHasher64};
 pub use ids::{AllocId, ChipletId, SmId, TbId, WarpId};
 pub use layout::{PhysLayout, CHANNEL_INTERLEAVE_BYTES};
 pub use page::{PageSize, PageSizeIter, BASE_PAGE_BYTES, VA_BLOCK_BYTES};

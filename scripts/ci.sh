@@ -21,6 +21,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release --features trace"
 cargo build --release --workspace --features trace
+# Workspace-root builds can leave target/release/figures stale when only
+# feature flags changed; force the binary current before running it.
+cargo build --release -p mcm-bench --bin figures --features trace
 
 echo "== cargo test --features trace (incl. trace conformance)"
 cargo test --workspace -q --features trace
@@ -45,23 +48,43 @@ test -s "$smoke/trace-out/trace/fig1.json"
 test -s "$smoke/trace-out/trace/fig1.folded"
 
 # Rebuild default features so the binary left in target/ is the stock one.
+# The explicit -p build is what guarantees target/release/figures is fresh
+# before any wall-clock number below is trusted (a workspace-root rebuild
+# alone can skip relinking the bin).
 echo "== default-feature golden smoke (figures fig1/fig18 vs tests/goldens)"
 cargo build --release --workspace
+cargo build --release -p mcm-bench --bin figures
 ./target/release/figures --quick --jobs 2 --out "$smoke/default" fig1 fig18
 cmp "$smoke/default/fig1.csv" tests/goldens/fig1_quick.csv
 cmp "$smoke/default/fig18.csv" tests/goldens/fig18_quick.csv
+
+echo "== fig18 wall-clock budget (vs committed results/bench_timings.json, 2x headroom)"
+# Guards the hot-path optimization pass (DESIGN.md §15) against silent
+# regression: the quick-grid fig18 sweep just produced must stay within
+# 2x the committed post-pass baseline. The headroom absorbs shared-runner
+# noise (interleaved A/B runs on the baseline machine vary by ~±15%); a
+# real regression of the batched event loop blows well past it.
+committed=$(awk -F'"seconds": ' '/"id": "fig18"/{split($2,a,","); print a[1]}' results/bench_timings.json)
+measured=$(awk -F'"seconds": ' '/"id": "fig18"/{split($2,a,","); print a[1]}' "$smoke/default/bench_timings.json")
+awk -v m="$measured" -v c="$committed" 'BEGIN {
+  printf "   fig18 %.3fs vs committed %.3fs (budget %.3fs)\n", m, c, 2 * c
+  if (m > 2 * c) { print "fig18 exceeded its wall-clock budget" > "/dev/stderr"; exit 1 }
+}'
 
 echo "== topology sweep smoke (figures topo vs golden; journal validates)"
 ./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/topo" topo
 cmp "$smoke/topo/topo.csv" tests/goldens/topo_quick.csv
 ./target/release/figures --out "$smoke/topo" status --check > /dev/null
 
-echo "== analytic engine smoke (quick fig1+topo: < 1s wall, >= 20x the cycle engine)"
+echo "== analytic engine smoke (quick fig1+topo: < 1s wall, >= 10x the cycle engine)"
 # The cycle-engine reference times come from the default and topo smokes
 # above (same binary, same --jobs 2, same quick grid). The workspace
 # test runs earlier already cross-validated the two engines' metrics
 # (crates/bench/tests/cross_validation.rs) in both default and trace
-# builds; this asserts the speedup that justifies the fast path.
+# builds; this asserts the speedup that justifies the fast path. The
+# bar was re-based 20x -> 10x when the DESIGN.md §15 hot-path pass made
+# the cycle engine itself ~1.7x faster on this grid (measured ratio
+# ~13-18x depending on runner noise).
 ./target/release/figures --quick --jobs 2 --progress=off --engine analytic \
     --out "$smoke/analytic" fig1 topo
 grep -q '"engine": "analytic"' "$smoke/analytic/bench_timings.json"
@@ -72,7 +95,7 @@ awk -v c1="$cyc_fig1" -v c2="$cyc_topo" -v a="$ana" 'BEGIN {
   c = c1 + c2
   printf "   analytic %.3fs vs cycle %.3fs (%.1fx)\n", a, c, c / a
   if (a >= 1.0) { print "analytic quick grid must finish under 1s wall" > "/dev/stderr"; exit 1 }
-  if (c < 20 * a) { print "analytic engine must be >= 20x the cycle engine" > "/dev/stderr"; exit 1 }
+  if (c < 10 * a) { print "analytic engine must be >= 10x the cycle engine" > "/dev/stderr"; exit 1 }
 }'
 
 echo "== parallel-sweep determinism smoke (figures fig1, jobs 1 vs 4)"
