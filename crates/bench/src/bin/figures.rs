@@ -6,6 +6,7 @@
 //! figures [--quick] probe <WORKLOAD>
 //! figures [--quick] probe --chaos[=SEED] <WORKLOAD>
 //! figures [--quick] trace [fig1|fig18]      (needs --features trace)
+//! figures [--quick] timeline [fig1|fig18|topo]  (needs --features metrics)
 //! figures [--out DIR] status [--check]
 //! ```
 //!
@@ -34,6 +35,14 @@
 //! folded-stack breakdown to `results/trace/`. It is only available when
 //! the binary was built with `--features trace`; the default build keeps
 //! the engine's hot path trace-free.
+//!
+//! `timeline` re-runs a figure's sweep with the chiplet-resolved metric
+//! registry attached and writes per-chiplet interval time-series plus
+//! the cross-chiplet traffic matrix to `results/timeline/<fig>.{json,csv}`,
+//! journaling one record per cell (with its warmup-knee estimate) under
+//! the `<fig>-timeline` experiment id so `figures status` reports
+//! worst-imbalance and warmup fractions. It needs `--features metrics`;
+//! the default build keeps the engine's hot path metric-free.
 //!
 //! Every experiment sweep is journaled as it runs: one JSONL record per
 //! cell under `<out>/journal/<exp>.jsonl` and the cell's full statistics
@@ -109,7 +118,8 @@ fn usage() -> ! {
          [--engine cycle|analytic|hybrid] \
          [--inject exp:cell=panic|budget] [TARGET ...]\n\
          targets: all fig1 fig2 fig6 fig8 fig10 fig18 fig19 fig20 fig21 fig22 \
-         table1 table2 table4 ablation topo | probe <WORKLOAD> | trace [FIG] | status [--check]"
+         table1 table2 table4 ablation topo | probe <WORKLOAD> | trace [FIG] | \
+         timeline [FIG] | status [--check]"
     );
     std::process::exit(2);
 }
@@ -273,6 +283,16 @@ fn main() {
             .map(String::as_str)
             .unwrap_or("fig1");
         run_trace(&h, fig, &opts.out_dir);
+        return;
+    }
+
+    if let Some(pos) = opts.targets.iter().position(|t| t == "timeline") {
+        let fig = opts
+            .targets
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("fig18");
+        run_timeline(&h, fig, &opts.out_dir);
         return;
     }
 
@@ -488,6 +508,79 @@ fn run_trace(_h: &Harness, _fig: &str, _out_dir: &std::path::Path) {
     eprintln!(
         "the `trace` subcommand needs the trace feature;\n\
          rebuild with: cargo run --release -p mcm-bench --features trace --bin figures -- trace"
+    );
+    std::process::exit(2);
+}
+
+/// Metered sweep: re-runs `fig` with the chiplet-resolved metric registry,
+/// prints the per-configuration summary, writes `timeline/<fig>.json` +
+/// `.csv` under the output directory, and journals one record per cell
+/// (warmup-knee estimate attached) under the `<fig>-timeline` experiment.
+#[cfg(feature = "metrics")]
+fn run_timeline(h: &Harness, fig: &str, out_dir: &Path) {
+    use mcm_bench::telemetry::{append_journal_records, CellRecord, CellSpec};
+    use mcm_sim::WARMUP_EPSILON;
+    if !experiments::TIMELINE_FIGURES.contains(&fig) {
+        eprintln!(
+            "unknown timeline figure {fig:?}; have {:?}",
+            experiments::TIMELINE_FIGURES
+        );
+        std::process::exit(2);
+    }
+    let t0 = Instant::now();
+    let mr = experiments::timeline_figure(h, fig);
+    println!("{}", mcm_bench::report::render_timeline(&mr));
+    let exp = format!("{fig}-timeline");
+    let total = mr.rows.len() * mr.cols.len();
+    let records: Vec<CellRecord> = (0..total)
+        .map(|i| {
+            let (row, col) = (i / mr.cols.len(), i % mr.cols.len());
+            let spec = CellSpec {
+                row,
+                col,
+                workload: mr.rows[row].clone(),
+                config: mr.cols[col].clone(),
+                seed: 0,
+            };
+            let stats = &mr.stats[i];
+            let outcome = if stats.degradation.is_degraded() {
+                CellOutcome::Degraded
+            } else {
+                CellOutcome::Completed
+            };
+            CellRecord::from_stats(&exp, &spec, i, total, mr.cell_wall_us[i], outcome, stats)
+                .with_warmup_frac(mr.cells[i].warmup_frac(WARMUP_EPSILON))
+        })
+        .collect();
+    if let Err(e) = append_journal_records(out_dir, &exp, &records) {
+        eprintln!("warning: failed to journal {exp}: {e}");
+    }
+    match mcm_bench::report::write_timeline(&mr, out_dir) {
+        Ok(()) => eprintln!(
+            "[figures] wrote {} and {} in {:.1?}",
+            out_dir
+                .join("timeline")
+                .join(format!("{fig}.json"))
+                .display(),
+            out_dir
+                .join("timeline")
+                .join(format!("{fig}.csv"))
+                .display(),
+            t0.elapsed()
+        ),
+        Err(e) => {
+            eprintln!("failed to write timeline output: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Feature-off stub: `timeline` needs a metered build.
+#[cfg(not(feature = "metrics"))]
+fn run_timeline(_h: &Harness, _fig: &str, _out_dir: &Path) {
+    eprintln!(
+        "the `timeline` subcommand needs the metrics feature;\n\
+         rebuild with: cargo run --release -p mcm-bench --features metrics --bin figures -- timeline"
     );
     std::process::exit(2);
 }

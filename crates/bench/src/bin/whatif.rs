@@ -4,9 +4,11 @@
 //! Exit codes follow the sweep convention: 0 when every variant ran
 //! clean, 1 when any run degraded, aborted (run budget / livelock), or
 //! failed, 2 on usage errors.
+use std::path::Path;
 use std::time::Instant;
 
 use mcm_bench::configs::ConfigKind;
+use mcm_bench::report::{upsert_timing, ExperimentTiming};
 use mcm_bench::telemetry::fmt_duration_us;
 use mcm_sim::{run_outcome, RunOutcome, RunStats, SimConfig, SimError};
 use mcm_types::PageSize;
@@ -134,6 +136,8 @@ fn main() {
     );
     let only = std::env::var("CLAP_ONLY").ok();
     let mut unclean = false;
+    let mut timing = ExperimentTiming::new("whatif", 0.0);
+    let sweep_t0 = Instant::now();
     for (name, f) in variants {
         if let Some(o) = &only {
             if o != name {
@@ -143,21 +147,31 @@ fn main() {
         let mut cfg = base.clone();
         f(&mut cfg);
         let t0 = Instant::now();
+        let mut u1 = false;
         let (mut p1, c1) = ConfigKind::Static(PageSize::Size2M).build(&cfg);
         let s1 = classify(
             name,
             "S-2MB",
             run_outcome(&c1, &w, p1.as_mut(), None),
-            &mut unclean,
+            &mut u1,
         );
+        let wall1_us = t0.elapsed().as_micros() as u64;
+        let t1 = Instant::now();
+        let mut u2 = false;
         let (mut p2, c2) = ConfigKind::Ideal.build(&cfg);
         let s2 = classify(
             name,
             "Ideal",
             run_outcome(&c2, &w, p2.as_mut(), None),
-            &mut unclean,
+            &mut u2,
         );
-        let wall_us = t0.elapsed().as_micros() as u64;
+        let wall2_us = t1.elapsed().as_micros() as u64;
+        unclean |= u1 | u2;
+        timing.cells += 2;
+        timing.degraded += usize::from(u1) + usize::from(u2);
+        timing.cell_wall_us.push(wall1_us);
+        timing.cell_wall_us.push(wall2_us);
+        let wall_us = wall1_us + wall2_us;
         println!(
             "{:<12} {:>12} {:>12} {:>8.2} {:>10} {:>10} {:>9.0} {:>9.0} {:>9}",
             name,
@@ -182,6 +196,12 @@ fn main() {
             s2.dram_queue_cycles / s2.dram_accesses.max(1),
             s2.interconnect_queue_cycles / s2.interconnect_transfers.max(1)
         );
+    }
+    // Ride along in results/bench_timings.json without clobbering a
+    // `figures` run's entries (or its jobs/quick/engine header).
+    timing.seconds = sweep_t0.elapsed().as_secs_f64();
+    if let Err(e) = upsert_timing(timing, 1, true, "cycle", Path::new("results")) {
+        eprintln!("[whatif] warning: failed to update bench_timings.json: {e}");
     }
     if unclean {
         eprintln!("[whatif] one or more variants degraded, aborted, or failed");

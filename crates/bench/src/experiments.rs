@@ -9,8 +9,8 @@ use clap_core::{survey_mean, survey_workload, Clap};
 use mcm_policies::{Nuba, Sac};
 use mcm_sim::RunTrace;
 use mcm_sim::{
-    analytic, run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunOutcome,
-    RunStats, SimConfig, SimError, TileMapping, TiledGemm, TopologyKind, Workload,
+    analytic, run, run_outcome, ChaosConfig, ChaosPolicy, ChaosStats, RemoteCacheModel, RunMetrics,
+    RunOutcome, RunStats, SimConfig, SimError, TileMapping, TiledGemm, TopologyKind, Workload,
 };
 use mcm_types::{PageSize, TbId, WarpId};
 use mcm_workloads::{suite, SyntheticWorkload, FOOTPRINT_SCALE};
@@ -428,6 +428,37 @@ impl Harness {
         let (outcome, trace) = mcm_sim::run_traced(&cfg, &w, policy.as_mut(), None)
             .unwrap_or_else(|e| panic!("{} traced run failed: {e}", kind.name()));
         (outcome.into_stats(), trace)
+    }
+
+    /// Runs `w` under `kind` with the chiplet-resolved metric registry
+    /// attached, returning the statistics plus the run's [`RunMetrics`]
+    /// (cumulative counters, interval time-series, and the cross-chiplet
+    /// traffic matrix). The simulated machine is identical to
+    /// [`Harness::run`] — metering only observes.
+    #[cfg(feature = "metrics")]
+    pub fn run_metered(&self, w: &SyntheticWorkload, kind: ConfigKind) -> (RunStats, RunMetrics) {
+        let w = self.prep(w);
+        self.run_metered_workload(&self.base, &w, kind)
+    }
+
+    /// [`Harness::run_metered`] over an explicit base configuration and
+    /// any [`Workload`] — the metered analogue of `try_run_workload`,
+    /// for sweeps (like `topo`) that rebuild the machine per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fatal simulation error.
+    #[cfg(feature = "metrics")]
+    pub fn run_metered_workload<W: Workload>(
+        &self,
+        base: &SimConfig,
+        w: &W,
+        kind: ConfigKind,
+    ) -> (RunStats, RunMetrics) {
+        let (mut policy, cfg) = kind.build(base);
+        let (outcome, metrics) = mcm_sim::run_metered(&cfg, w, policy.as_mut(), None)
+            .unwrap_or_else(|e| panic!("{} metered run failed: {e}", kind.name()));
+        (outcome.into_stats(), metrics)
     }
 
     /// Runs `w` under `kind` with a remote-cache scheme attached,
@@ -863,6 +894,15 @@ pub fn ablation(h: &Harness) -> Grid {
     )
 }
 
+// Shared by `topo` and `timeline_topo`, which must build identical cells.
+fn fabric_kind(fabric: &str, n: usize) -> TopologyKind {
+    match fabric {
+        "ring" => TopologyKind::Ring,
+        "mesh" => TopologyKind::square_mesh(n),
+        _ => TopologyKind::FullyConnected,
+    }
+}
+
 /// Topology scaling study (DESIGN.md §13): {ring, 2-D mesh,
 /// fully-connected} × {4, 8, 16} chiplets on the tiled-GEMM workload,
 /// contrasting a row-major tile→TB order (`GEMM-row`) with a
@@ -893,13 +933,6 @@ pub fn topo(h: &Harness) -> Grid {
     ];
     let chiplets = [4usize, 8, 16];
     let fabrics = ["ring", "mesh", "fc"];
-    fn fabric_kind(fabric: &str, n: usize) -> TopologyKind {
-        match fabric {
-            "ring" => TopologyKind::Ring,
-            "mesh" => TopologyKind::square_mesh(n),
-            _ => TopologyKind::FullyConnected,
-        }
-    }
     let row_names: Vec<String> = gemms.iter().map(|w| w.name().to_string()).collect();
     let col_names: Vec<String> = fabrics
         .iter()
@@ -984,6 +1017,158 @@ pub fn trace_figure(h: &Harness, fig: &str) -> FigureTrace {
         cols: configs.iter().map(|c| c.name()).collect(),
         rows: ws.iter().map(|w| w.name().to_string()).collect(),
         traces,
+    }
+}
+
+/// Chiplet-resolved, time-resolved metrics of one figure's sweep (what
+/// `figures timeline` renders and writes under `results/timeline/`).
+///
+/// The type is always compiled so report code and tests need no feature
+/// gates; only the producing sweep ([`timeline_figure`]) needs the
+/// `metrics` cargo feature.
+#[derive(Clone, Debug)]
+pub struct MetricsReport {
+    /// Figure identifier ("fig1", "fig18", "topo").
+    pub id: String,
+    /// Workload row labels, in sweep order.
+    pub rows: Vec<String>,
+    /// Column (configuration) labels, in sweep order.
+    pub cols: Vec<String>,
+    /// Per-cell run statistics, row-major (`rows.len() × cols.len()`).
+    pub stats: Vec<RunStats>,
+    /// Per-cell metrics in the same order, interval series intact.
+    pub cells: Vec<RunMetrics>,
+    /// Per-cell wall time in µs, same order (journaled with the cell).
+    pub cell_wall_us: Vec<u64>,
+    /// `merged[col]`: all of column `col`'s cells folded with
+    /// [`RunMetrics::merge_aggregates`] (counters and traffic add;
+    /// per-cell series are dropped and tallied in `dropped_frames`).
+    pub merged: Vec<RunMetrics>,
+}
+
+impl MetricsReport {
+    /// The metrics of cell (`row`, `col`).
+    pub fn cell(&self, row: usize, col: usize) -> &RunMetrics {
+        &self.cells[row * self.cols.len() + col]
+    }
+
+    /// The run statistics of cell (`row`, `col`).
+    pub fn cell_stats(&self, row: usize, col: usize) -> &RunStats {
+        &self.stats[row * self.cols.len() + col]
+    }
+}
+
+/// The figures `timeline_figure` knows how to run.
+pub const TIMELINE_FIGURES: [&str; 3] = ["fig1", "fig18", "topo"];
+
+/// Re-runs figure `fig`'s sweep with the metric registry attached and
+/// folds per-cell aggregates by configuration column. Cells fan out over
+/// the harness's workers like any other sweep and land back in
+/// submission order, so per-cell series and folded aggregates are
+/// identical at every worker count.
+///
+/// # Panics
+///
+/// Panics if `fig` is not one of [`TIMELINE_FIGURES`].
+#[cfg(feature = "metrics")]
+pub fn timeline_figure(h: &Harness, fig: &str) -> MetricsReport {
+    if fig == "topo" {
+        return timeline_topo(h);
+    }
+    let (ws, configs) = match fig {
+        "fig1" => fig1_sweep(),
+        "fig18" => (suite::all(), ConfigKind::main_eval()),
+        other => panic!("no timeline figure {other:?} (have {TIMELINE_FIGURES:?})"),
+    };
+    let cells: Vec<(usize, usize)> = (0..ws.len())
+        .flat_map(|r| (0..configs.len()).map(move |c| (r, c)))
+        .collect();
+    let all = h.runner().map(&cells, |_, &(r, c)| {
+        let t0 = Instant::now();
+        let out = h.run_metered(&ws[r], configs[c]);
+        (out, t0.elapsed().as_micros() as u64)
+    });
+    assemble_timeline(
+        fig,
+        ws.iter().map(|w| w.name().to_string()).collect(),
+        configs.iter().map(|c| c.name()).collect(),
+        all,
+    )
+}
+
+/// The metered twin of [`topo`]: identical per-cell machines (fabric ×
+/// chiplet count, quick-scaled GEMM geometry), every cell under CLAP.
+#[cfg(feature = "metrics")]
+fn timeline_topo(h: &Harness) -> MetricsReport {
+    let (mt, nt, kt, blk) = if h.tb_div > 1 {
+        (8, 8, 4, 2)
+    } else {
+        (16, 16, 8, 4)
+    };
+    let gemms = [
+        TiledGemm::new(mt, nt, kt, TileMapping::RowMajor),
+        TiledGemm::new(
+            mt,
+            nt,
+            kt,
+            TileMapping::Blocked {
+                rows: blk,
+                cols: blk,
+            },
+        ),
+    ];
+    let chiplets = [4usize, 8, 16];
+    let fabrics = ["ring", "mesh", "fc"];
+    let rows: Vec<String> = gemms.iter().map(|w| w.name().to_string()).collect();
+    let cols: Vec<String> = fabrics
+        .iter()
+        .flat_map(|&f| chiplets.iter().map(move |n| format!("{f}/{n}")))
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..gemms.len())
+        .flat_map(|r| (0..cols.len()).map(move |c| (r, c)))
+        .collect();
+    let all = h.runner().map(&cells, |_, &(r, c)| {
+        let n = chiplets[c % chiplets.len()];
+        let mut base = h.base.clone();
+        base.num_chiplets = n;
+        base.topology = fabric_kind(fabrics[c / chiplets.len()], n);
+        let t0 = Instant::now();
+        let out = h.run_metered_workload(&base, &gemms[r], ConfigKind::Clap);
+        (out, t0.elapsed().as_micros() as u64)
+    });
+    assemble_timeline("topo", rows, cols, all)
+}
+
+#[cfg(feature = "metrics")]
+fn assemble_timeline(
+    id: &str,
+    rows: Vec<String>,
+    cols: Vec<String>,
+    all: Vec<((RunStats, RunMetrics), u64)>,
+) -> MetricsReport {
+    let mut stats = Vec::with_capacity(all.len());
+    let mut cells = Vec::with_capacity(all.len());
+    let mut cell_wall_us = Vec::with_capacity(all.len());
+    for ((s, m), wall) in all {
+        stats.push(s);
+        cells.push(m);
+        cell_wall_us.push(wall);
+    }
+    // Column folds adopt the first cell's shape and add the rest; the
+    // fold is associative and commutative, so any worker order lands on
+    // the same aggregates.
+    let mut merged = vec![RunMetrics::default(); cols.len()];
+    for (i, m) in cells.iter().enumerate() {
+        merged[i % cols.len()].merge_aggregates(m);
+    }
+    MetricsReport {
+        id: id.into(),
+        rows,
+        cols,
+        stats,
+        cells,
+        cell_wall_us,
+        merged,
     }
 }
 

@@ -6,9 +6,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use mcm_sim::{TraceEventClass, TraceStage};
+use mcm_sim::{MetricSlot, TraceEventClass, TraceStage, WARMUP_EPSILON};
 
-use crate::experiments::{FigureTrace, Grid, Table4Row};
+use crate::experiments::{FigureTrace, Grid, MetricsReport, Table4Row};
+use crate::telemetry::Json;
 
 /// Renders a grid as an aligned text table: one block for normalized
 /// performance, one for remote ratios.
@@ -159,6 +160,86 @@ pub fn write_timings(
     fs::write(dir.join("bench_timings.json"), s)
 }
 
+/// The decoded contents of a `bench_timings.json` file.
+#[derive(Clone, Debug)]
+pub struct TimingsFile {
+    /// Worker count the run used.
+    pub jobs: usize,
+    /// Whether the run was `--quick`.
+    pub quick: bool,
+    /// Engine tag of the run.
+    pub engine: String,
+    /// Per-experiment timings, in file order.
+    pub timings: Vec<ExperimentTiming>,
+}
+
+/// Decodes `dir/bench_timings.json` (`None` when the file is absent or
+/// does not parse — callers start a fresh one).
+pub fn read_timings(dir: &Path) -> Option<TimingsFile> {
+    let s = fs::read_to_string(dir.join("bench_timings.json")).ok()?;
+    let j = Json::parse(&s).ok()?;
+    let f64_of = |v: &Json| -> Option<f64> {
+        match v {
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    };
+    let mut timings = Vec::new();
+    for e in j.get("experiments")?.as_arr()? {
+        timings.push(ExperimentTiming {
+            id: e.get("id")?.as_str()?.to_string(),
+            seconds: f64_of(e.get("seconds")?)?,
+            cells: e.get("cells")?.as_usize()?,
+            degraded: e.get("degraded")?.as_usize()?,
+            resumed: e.get("resumed")?.as_usize()?,
+            cell_wall_us: e
+                .get("cell_wall_us")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<u64>>>()?,
+        });
+    }
+    Some(TimingsFile {
+        jobs: j.get("jobs")?.as_usize()?,
+        quick: matches!(j.get("quick")?, Json::Bool(b) if *b),
+        engine: j.get("engine")?.as_str()?.to_string(),
+        timings,
+    })
+}
+
+/// Merges one experiment's timing into `dir/bench_timings.json`,
+/// replacing any previous entry with the same id and preserving every
+/// other entry and the file's header fields. When the file is absent or
+/// unreadable, a fresh one is started with the given defaults. `whatif`
+/// rides along this way without clobbering a `figures` run's entries.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the rewrite.
+pub fn upsert_timing(
+    t: ExperimentTiming,
+    default_jobs: usize,
+    default_quick: bool,
+    default_engine: &str,
+    dir: &Path,
+) -> io::Result<()> {
+    let (mut timings, jobs, quick, engine) = match read_timings(dir) {
+        Some(tf) => (tf.timings, tf.jobs, tf.quick, tf.engine),
+        None => (
+            Vec::new(),
+            default_jobs,
+            default_quick,
+            default_engine.to_string(),
+        ),
+    };
+    match timings.iter_mut().find(|e| e.id == t.id) {
+        Some(slot) => *slot = t,
+        None => timings.push(t),
+    }
+    write_timings(&timings, jobs, quick, &engine, dir)
+}
+
 /// Renders the `figures status` view of a run journal: per-experiment
 /// completion, slowest cells, and degraded cells.
 pub fn render_status(summaries: &[crate::telemetry::ExpSummary]) -> String {
@@ -179,9 +260,16 @@ pub fn render_status(summaries: &[crate::telemetry::ExpSummary]) -> String {
         if s.panicked > 0 {
             let _ = write!(classes, ", {} panicked", s.panicked);
         }
+        let mut extras = String::new();
+        if let Some(v) = s.worst_imbalance {
+            let _ = write!(extras, ", worst imbalance {v:.2}x");
+        }
+        if let Some(v) = s.warmup_frac {
+            let _ = write!(extras, ", mean warmup {:.1}%", 100.0 * v);
+        }
         let _ = writeln!(
             out,
-            "== {} — {}/{} cells journaled ({classes}), wall {}",
+            "== {} — {}/{} cells journaled ({classes}), wall {}{extras}",
             s.exp,
             s.cells,
             s.total,
@@ -409,6 +497,236 @@ pub fn write_trace(ft: &FigureTrace, dir: &Path) -> io::Result<()> {
     fs::create_dir_all(&tdir)?;
     fs::write(tdir.join(format!("{}.json", ft.id)), trace_json(ft))?;
     fs::write(tdir.join(format!("{}.folded", ft.id)), trace_folded(ft))
+}
+
+/// `None` renders as JSON `null`; values get the six decimals the rest
+/// of the telemetry layer uses.
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
+}
+
+/// Renders a metrics report as an aligned text summary: per
+/// configuration column, the folded interconnect traffic, DRAM
+/// imbalance, and the warmup picture across that column's cells.
+pub fn render_timeline(mr: &MetricsReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== timeline:{} — {} workload(s) x {} config(s)",
+        mr.id,
+        mr.rows.len(),
+        mr.cols.len()
+    );
+    let col_w = mr.cols.iter().map(String::len).max().unwrap_or(6).max(8);
+    for (c, label) in mr.cols.iter().enumerate() {
+        let m = &mr.merged[c];
+        let transfers = m.transfers();
+        let (mut hops, mut queue) = (0u64, 0u64);
+        for src in 0..m.num_chiplets() {
+            let row = m.traffic_row(src);
+            hops += row.hops;
+            queue += row.queue_cycles;
+        }
+        let per = |n: u64| n as f64 / transfers.max(1) as f64;
+        let warmed: Vec<f64> = (0..mr.rows.len())
+            .filter_map(|r| mr.cell(r, c).warmup_frac(WARMUP_EPSILON))
+            .collect();
+        let warmup = match warmed.len() {
+            0 => "warmup n/a".to_string(),
+            n => format!(
+                "warmup {:.1}% ({n}/{} cells)",
+                100.0 * warmed.iter().sum::<f64>() / n as f64,
+                mr.rows.len()
+            ),
+        };
+        let imbalance = m
+            .dram_imbalance()
+            .map_or_else(|| "n/a".to_string(), |v| format!("{v:.2}x"));
+        let _ = writeln!(
+            out,
+            "{label:col_w$}  {} chiplets, {} frames kept, {transfers} transfers \
+             ({:.2} hops, {:.2} queue-cyc each), dram imbalance {imbalance}, {warmup}",
+            m.num_chiplets(),
+            (0..mr.rows.len())
+                .map(|r| mr.cell(r, c).series().len())
+                .sum::<usize>(),
+            per(hops),
+            per(queue),
+        );
+    }
+    out
+}
+
+/// The JSON representation of a metrics report (hand-rolled — the
+/// workspace deliberately has no serde dependency): per configuration
+/// column, the merged per-chiplet counters and cross-chiplet traffic
+/// matrix, then each cell's warmup summary and full interval series.
+/// Frame deltas list only slots that moved during the interval; absent
+/// slot keys read as zero.
+pub fn timeline_json(mr: &MetricsReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"figure\": \"{}\",", mr.id.replace('"', "\\\""));
+    let _ = writeln!(
+        s,
+        "  \"workloads\": [{}],",
+        mr.rows
+            .iter()
+            .map(|r| format!("\"{}\"", r.replace('"', "\\\"")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"columns\": [");
+    for (c, label) in mr.cols.iter().enumerate() {
+        let m = &mr.merged[c];
+        let n = m.num_chiplets();
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"config\": \"{}\",", label.replace('"', "\\\""));
+        let _ = writeln!(s, "      \"num_chiplets\": {n},");
+        let _ = writeln!(s, "      \"sample_interval\": {},", m.sample_interval());
+        let _ = writeln!(s, "      \"merged_cells\": {},", m.merged_cells);
+        let _ = writeln!(s, "      \"dropped_frames\": {},", m.dropped_frames);
+        let _ = writeln!(
+            s,
+            "      \"dram_imbalance\": {},",
+            json_opt_f64(m.dram_imbalance())
+        );
+        let _ = writeln!(s, "      \"counters\": {{");
+        for (i, slot) in MetricSlot::ALL.iter().enumerate() {
+            let comma = if i + 1 < MetricSlot::ALL.len() {
+                ","
+            } else {
+                ""
+            };
+            let per_chiplet: Vec<String> =
+                (0..n).map(|ch| m.count(ch, *slot).to_string()).collect();
+            let _ = writeln!(
+                s,
+                "        \"{}\": [{}]{comma}",
+                slot.name(),
+                per_chiplet.join(",")
+            );
+        }
+        let _ = writeln!(s, "      }},");
+        let mut links = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let t = m.traffic(src, dst);
+                if t.transfers > 0 {
+                    links.push(format!(
+                        "{{\"src\": {src}, \"dst\": {dst}, \"transfers\": {}, \
+                         \"hops\": {}, \"queue_cycles\": {}}}",
+                        t.transfers, t.hops, t.queue_cycles
+                    ));
+                }
+            }
+        }
+        let _ = writeln!(s, "      \"traffic\": [{}],", links.join(", "));
+        let _ = writeln!(s, "      \"cells\": [");
+        for r in 0..mr.rows.len() {
+            let cell = mr.cell(r, c);
+            let stats = mr.cell_stats(r, c);
+            let ratios = cell.remote_ratio_series();
+            let _ = writeln!(s, "        {{");
+            let _ = writeln!(
+                s,
+                "          \"workload\": \"{}\",",
+                mr.rows[r].replace('"', "\\\"")
+            );
+            let _ = writeln!(s, "          \"cycles\": {},", stats.cycles);
+            let _ = writeln!(
+                s,
+                "          \"warmup_knee\": {},",
+                cell.warmup_knee(WARMUP_EPSILON)
+                    .map_or_else(|| "null".to_string(), |k| k.to_string())
+            );
+            let _ = writeln!(
+                s,
+                "          \"warmup_frac\": {},",
+                json_opt_f64(cell.warmup_frac(WARMUP_EPSILON))
+            );
+            let _ = writeln!(
+                s,
+                "          \"dram_imbalance\": {},",
+                json_opt_f64(cell.dram_imbalance())
+            );
+            let _ = writeln!(s, "          \"series\": [");
+            for (fi, frame) in cell.series().iter().enumerate() {
+                let mut deltas = Vec::new();
+                for slot in MetricSlot::ALL {
+                    if frame.total(slot) == 0 {
+                        continue;
+                    }
+                    let per_chiplet: Vec<String> = (0..cell.num_chiplets())
+                        .map(|ch| frame.delta(ch, slot).to_string())
+                        .collect();
+                    deltas.push(format!("\"{}\": [{}]", slot.name(), per_chiplet.join(",")));
+                }
+                let comma = if fi + 1 < cell.series().len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    s,
+                    "            {{\"cycle\": {}, \"remote_ratio\": {}, \
+                     \"deltas\": {{{}}}}}{comma}",
+                    frame.cycle,
+                    json_opt_f64(ratios[fi]),
+                    deltas.join(", ")
+                );
+            }
+            let _ = writeln!(s, "          ]");
+            let comma = if r + 1 < mr.rows.len() { "," } else { "" };
+            let _ = writeln!(s, "        }}{comma}");
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if c + 1 < mr.cols.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// The CSV representation of a metrics report, long format: one row per
+/// (configuration, workload, frame, chiplet) with every slot's interval
+/// delta — directly plottable as per-chiplet time series.
+pub fn timeline_csv(mr: &MetricsReport) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "config,workload,frame,cycle,chiplet");
+    for slot in MetricSlot::ALL {
+        let _ = write!(s, ",{}", slot.name());
+    }
+    let _ = writeln!(s);
+    for r in 0..mr.rows.len() {
+        for (c, label) in mr.cols.iter().enumerate() {
+            let cell = mr.cell(r, c);
+            for (fi, frame) in cell.series().iter().enumerate() {
+                for ch in 0..cell.num_chiplets() {
+                    let _ = write!(s, "{label},{},{fi},{},{ch}", mr.rows[r], frame.cycle);
+                    for slot in MetricSlot::ALL {
+                        let _ = write!(s, ",{}", frame.delta(ch, slot));
+                    }
+                    let _ = writeln!(s);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Writes a metrics report to `dir/timeline/<id>.json` and
+/// `dir/timeline/<id>.csv`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or file write.
+pub fn write_timeline(mr: &MetricsReport, dir: &Path) -> io::Result<()> {
+    let tdir = dir.join("timeline");
+    fs::create_dir_all(&tdir)?;
+    fs::write(tdir.join(format!("{}.json", mr.id)), timeline_json(mr))?;
+    fs::write(tdir.join(format!("{}.csv", mr.id)), timeline_csv(mr))
 }
 
 #[cfg(test)]

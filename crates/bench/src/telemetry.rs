@@ -356,6 +356,15 @@ fn str_field(obj: &Json, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing or non-string field {key:?}"))
 }
 
+/// Optional float field: absent keys (older journal lines) and
+/// non-numeric values both read as `None`.
+fn f64_opt_field(obj: &Json, key: &str) -> Option<f64> {
+    match obj.get(key) {
+        Some(Json::Num(n)) => n.parse().ok(),
+        _ => None,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // RunStats <-> JSON (the shard payload)
 // ---------------------------------------------------------------------------
@@ -678,6 +687,15 @@ pub struct CellRecord {
     pub audit_violations: u64,
     /// Translations whose leaf size had no TLB class.
     pub tlb_class_missing: u64,
+    /// Per-chiplet DRAM imbalance, max/mean over
+    /// [`RunStats::dram_per_chiplet`] (`None` when the run touched no
+    /// DRAM). Computed in every build — the counter it reads is part of
+    /// the base statistics, not the `metrics` feature.
+    pub imbalance: Option<f64>,
+    /// Fraction of the run's simulated time spent before the remote-ratio
+    /// warmup knee; stamped only by `figures timeline` cells (`None`, and
+    /// omitted from the journal line, everywhere else).
+    pub warmup_frac: Option<f64>,
     /// Why a quarantined cell failed (abort reason or panic message);
     /// empty for healthy cells and omitted from their journal lines.
     pub reason: String,
@@ -722,6 +740,8 @@ impl CellRecord {
             stale_tlb_hits: d.stale_tlb_hits,
             audit_violations: d.audit_violations,
             tlb_class_missing: d.tlb_class_missing,
+            imbalance: mcm_sim::imbalance(&stats.dram_per_chiplet),
+            warmup_frac: None,
             reason: String::new(),
             engine: "cycle".to_string(),
         }
@@ -738,6 +758,13 @@ impl CellRecord {
     #[must_use]
     pub fn with_engine(mut self, engine: &str) -> CellRecord {
         self.engine = engine.to_string();
+        self
+    }
+
+    /// Attaches the warmup-knee summary of a timeline cell.
+    #[must_use]
+    pub fn with_warmup_frac(mut self, frac: Option<f64>) -> CellRecord {
+        self.warmup_frac = frac;
         self
     }
 
@@ -775,6 +802,15 @@ impl CellRecord {
         let _ = write!(o, ",\"stale_tlb_hits\":{}", self.stale_tlb_hits);
         let _ = write!(o, ",\"audit_violations\":{}", self.audit_violations);
         let _ = write!(o, ",\"tlb_class_missing\":{}", self.tlb_class_missing);
+        // Both summary ratios are omitted when absent so journal lines
+        // written before this schema addition and new ones interleave.
+        // Six decimals round-trip the values status actually prints.
+        if let Some(v) = self.imbalance {
+            let _ = write!(o, ",\"imbalance\":{v:.6}");
+        }
+        if let Some(v) = self.warmup_frac {
+            let _ = write!(o, ",\"warmup_frac\":{v:.6}");
+        }
         // Healthy records omit the reason so pre-supervision journal
         // lines and new ones stay byte-identical.
         if !self.reason.is_empty() {
@@ -820,6 +856,8 @@ fn parse_record_json(j: &Json) -> Result<CellRecord, String> {
         stale_tlb_hits: u64_field(j, "stale_tlb_hits")?,
         audit_violations: u64_field(j, "audit_violations")?,
         tlb_class_missing: u64_field(j, "tlb_class_missing")?,
+        imbalance: f64_opt_field(j, "imbalance"),
+        warmup_frac: f64_opt_field(j, "warmup_frac"),
         reason: j
             .get("reason")
             .and_then(Json::as_str)
@@ -1439,6 +1477,36 @@ pub fn repair_torn_tail(path: &Path) -> std::io::Result<u64> {
     Ok((body.len() - keep) as u64)
 }
 
+/// Appends pre-built records to `<root>/journal/<exp>.jsonl`, creating
+/// the directory and repairing a torn tail first. Used by runs (like
+/// `figures timeline`) that journal outside a [`Telemetry`] sweep scope;
+/// re-runs append, and [`summarize`] keeps the latest record per cell.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the journal directory or file.
+pub fn append_journal_records(
+    root: &Path,
+    exp: &str,
+    records: &[CellRecord],
+) -> std::io::Result<()> {
+    let dir = root.join("journal");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{exp}.jsonl"));
+    let dropped = repair_torn_tail(&path)?;
+    if dropped > 0 {
+        eprintln!("warning: {exp} journal had a torn final record; dropped {dropped} bytes");
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    for r in records {
+        writeln!(f, "{}", r.to_json_line())?;
+    }
+    Ok(())
+}
+
 /// What [`read_journal_dir`] recovered from a journal directory.
 #[derive(Clone, Debug, Default)]
 pub struct JournalRead {
@@ -1579,6 +1647,12 @@ pub struct ExpSummary {
     /// crash or kill before the cell finished) — what `status --check`
     /// flags as incomplete coverage.
     pub missing: Vec<usize>,
+    /// Worst per-chiplet DRAM imbalance (max/mean) over the latest
+    /// record of every cell; `None` when no cell journaled one.
+    pub worst_imbalance: Option<f64>,
+    /// Mean warmup fraction over the cells that journaled one (timeline
+    /// runs); `None` otherwise.
+    pub warmup_frac: Option<f64>,
 }
 
 /// Groups journal records by experiment (first-seen order) and reduces
@@ -1637,6 +1711,15 @@ pub fn summarize(records: &[CellRecord]) -> Vec<ExpSummary> {
                 .collect();
             slowest.sort_by_key(|r| std::cmp::Reverse(r.wall_us));
             slowest.truncate(3);
+            let worst_imbalance = latest
+                .iter()
+                .filter_map(|(_, r)| r.imbalance)
+                .fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                });
+            let warmed: Vec<f64> = latest.iter().filter_map(|(_, r)| r.warmup_frac).collect();
+            let warmup_frac =
+                (!warmed.is_empty()).then(|| warmed.iter().sum::<f64>() / warmed.len() as f64);
             ExpSummary {
                 exp,
                 total,
@@ -1651,6 +1734,8 @@ pub fn summarize(records: &[CellRecord]) -> Vec<ExpSummary> {
                 degraded_cells,
                 quarantined_cells,
                 missing,
+                worst_imbalance,
+                warmup_frac,
             }
         })
         .collect()

@@ -1,0 +1,279 @@
+//! Metrics-conformance suite: with the `metrics` feature on, every
+//! per-chiplet counter, traffic-matrix tally, and interval-series delta
+//! must reconcile **exactly** with the [`RunStats`] counters of the same
+//! run — the metric registry observes the simulation, it must never
+//! disagree with it.
+//!
+//! One configuration (S-64KB static paging) crossed with three workloads
+//! of different character (STE: sliced stencil, BFS: irregular graph,
+//! 3DC: 3D stencil) keeps the suite fast while covering faulting,
+//! walking, and interconnect-heavy behavior; a CLAP cell covers
+//! promotions and a CLAP+migration cell covers migrations/shootdowns.
+
+#![cfg(feature = "metrics")]
+
+use mcm_bench::configs::ConfigKind;
+use mcm_bench::experiments::{timeline_figure, Harness};
+use mcm_bench::telemetry::Json;
+use mcm_sim::{MetricSlot, RunMetrics, RunStats};
+use mcm_types::PageSize;
+use mcm_workloads::suite;
+
+fn metered_cell(name: &str, kind: ConfigKind) -> (RunStats, RunMetrics) {
+    let h = Harness::quick();
+    let w = suite::by_name(name).unwrap_or_else(|| panic!("no workload {name}"));
+    h.run_metered(&w, kind)
+}
+
+/// Sum of `slot` over every chiplet.
+fn total(m: &RunMetrics, slot: MetricSlot) -> u64 {
+    m.total(slot)
+}
+
+/// The per-workload reconciliation: every slot of the registry has an
+/// engine-side counter it must match to the event.
+fn assert_conformance(name: &str, stats: &RunStats, m: &RunMetrics) {
+    // Every slot's cross-chiplet total equals the matching RunStats
+    // counter.
+    let expect = [
+        (MetricSlot::L1TlbHit, stats.l1tlb_hits),
+        (MetricSlot::L1TlbMiss, stats.l1tlb_misses),
+        (MetricSlot::L2TlbHit, stats.l2tlb_hits),
+        (MetricSlot::L2TlbMiss, stats.l2tlb_misses),
+        (MetricSlot::Walk, stats.walks),
+        (MetricSlot::WalkCycle, stats.walk_cycles),
+        (MetricSlot::WalkMshrHit, stats.walk_mshr_hits),
+        (MetricSlot::Fault, stats.faults),
+        (
+            MetricSlot::LocalAccess,
+            stats.mem_insts - stats.remote_insts,
+        ),
+        (MetricSlot::RemoteAccess, stats.remote_insts),
+        (MetricSlot::DramAccess, stats.dram_accesses),
+        (MetricSlot::Migration, stats.migrations),
+        (MetricSlot::Shootdown, stats.shootdowns),
+        (MetricSlot::Promotion, stats.promotions),
+    ];
+    for (slot, want) in expect {
+        assert_eq!(
+            total(m, slot),
+            want,
+            "{name}: slot {} total vs RunStats",
+            slot.name()
+        );
+    }
+
+    // The DRAM slot is chiplet-resolved against the engine's own
+    // per-chiplet occupancy counters.
+    assert_eq!(m.num_chiplets(), stats.dram_per_chiplet.len(), "{name}");
+    for (c, &want) in stats.dram_per_chiplet.iter().enumerate() {
+        assert_eq!(
+            m.count(c, MetricSlot::DramAccess),
+            want,
+            "{name}: chiplet {c} DRAM accesses"
+        );
+    }
+
+    // Traffic matrix: grand total equals interconnect_transfers, row and
+    // column marginals re-sum to it, queueing reconciles, the diagonal
+    // stays empty, and each transfer routed at least one hop.
+    assert_eq!(
+        m.transfers(),
+        stats.interconnect_transfers,
+        "{name}: matrix total vs interconnect_transfers"
+    );
+    let n = m.num_chiplets();
+    let (mut row_sum, mut col_sum, mut hops, mut queue) = (0u64, 0u64, 0u64, 0u64);
+    for c in 0..n {
+        row_sum += m.traffic_row(c).transfers;
+        col_sum += m.traffic_col(c).transfers;
+        hops += m.traffic_row(c).hops;
+        queue += m.traffic_row(c).queue_cycles;
+        assert_eq!(
+            m.traffic(c, c),
+            mcm_sim::LinkTraffic::default(),
+            "{name}: diagonal cell {c} must stay empty"
+        );
+    }
+    assert_eq!(row_sum, m.transfers(), "{name}: row marginals");
+    assert_eq!(col_sum, m.transfers(), "{name}: column marginals");
+    assert_eq!(
+        queue, stats.interconnect_queue_cycles,
+        "{name}: matrix queue cycles vs interconnect_queue_cycles"
+    );
+    assert!(
+        hops >= m.transfers(),
+        "{name}: every transfer routes at least one hop"
+    );
+
+    // The interval series partitions the cumulative counters: per slot
+    // and chiplet, frame deltas sum exactly to the final count, and
+    // frame cycles are non-decreasing within the run.
+    for slot in MetricSlot::ALL {
+        for c in 0..n {
+            let from_series: u64 = m.series().iter().map(|f| f.delta(c, slot)).sum();
+            assert_eq!(
+                from_series,
+                m.count(c, slot),
+                "{name}: series deltas of {} on chiplet {c} vs cumulative",
+                slot.name()
+            );
+        }
+    }
+    let mut prev = 0u64;
+    for f in m.series() {
+        assert!(f.cycle >= prev, "{name}: frame cycles must not go back");
+        assert!(
+            f.cycle <= stats.cycles,
+            "{name}: frame at cycle {} past end of run {}",
+            f.cycle,
+            stats.cycles
+        );
+        prev = f.cycle;
+    }
+
+    // A real run exercised the probes at all.
+    assert!(stats.mem_insts > 0, "{name}: workload ran");
+    assert!(!m.series().is_empty(), "{name}: series is non-empty");
+}
+
+#[test]
+fn ste_reconciles_exactly() {
+    let (stats, m) = metered_cell("STE", ConfigKind::Static(PageSize::Size64K));
+    assert_conformance("STE", &stats, &m);
+}
+
+#[test]
+fn bfs_reconciles_exactly() {
+    let (stats, m) = metered_cell("BFS", ConfigKind::Static(PageSize::Size64K));
+    assert_conformance("BFS", &stats, &m);
+}
+
+#[test]
+fn threedc_reconciles_exactly() {
+    let (stats, m) = metered_cell("3DC", ConfigKind::Static(PageSize::Size64K));
+    assert_conformance("3DC", &stats, &m);
+}
+
+#[test]
+fn clap_cell_reconciles_including_promotions() {
+    let (stats, m) = metered_cell("STE", ConfigKind::Clap);
+    assert_conformance("STE/CLAP", &stats, &m);
+}
+
+#[test]
+fn migration_cell_reconciles() {
+    let (stats, m) = metered_cell("BFS", ConfigKind::ClapMigration);
+    assert_conformance("BFS/CLAP+migration", &stats, &m);
+}
+
+/// Metering must not perturb the simulation: the stats of a metered run
+/// are identical to a plain run of the same cell, and two metered runs
+/// produce identical metrics (determinism).
+#[test]
+fn metering_is_an_observer() {
+    let h = Harness::quick();
+    let w = suite::by_name("STE").unwrap();
+    let kind = ConfigKind::Static(PageSize::Size64K);
+    let plain = h.run(&w, kind);
+    let (metered, m1) = h.run_metered(&w, kind);
+    // `RunStats` is not `PartialEq`; compare the counters that summarize
+    // the whole run.
+    let key = |s: &RunStats| {
+        (
+            s.cycles,
+            s.mem_insts,
+            s.remote_insts,
+            s.l2tlb_misses,
+            s.walks,
+            s.walk_cycles,
+            s.faults,
+            s.interconnect_transfers,
+            s.interconnect_queue_cycles,
+            s.dram_accesses,
+            s.dram_per_chiplet.clone(),
+        )
+    };
+    assert_eq!(
+        key(&plain),
+        key(&metered),
+        "metering changed the simulation"
+    );
+    let (_, m2) = h.run_metered(&w, kind);
+    assert_eq!(m1, m2, "metered runs are not deterministic");
+}
+
+/// A timeline sweep is deterministic across worker counts: per-cell
+/// series and folded per-column aggregates are identical serial and
+/// fanned out, and each column fold re-derives from its cells.
+#[test]
+fn timeline_is_identical_serial_and_parallel() {
+    let serial = timeline_figure(&Harness::quick(), "topo");
+    let parallel = timeline_figure(&Harness::quick().with_jobs(4), "topo");
+    assert_eq!(serial.cells, parallel.cells, "per-cell metrics diverge");
+    assert_eq!(serial.merged, parallel.merged, "column folds diverge");
+
+    // The fold is re-derivable from the cells it folded.
+    for (c, merged) in serial.merged.iter().enumerate() {
+        let mut again = RunMetrics::default();
+        for r in 0..serial.rows.len() {
+            again.merge_aggregates(serial.cell(r, c));
+        }
+        assert_eq!(&again, merged, "column {c} fold is not a plain re-fold");
+        assert_eq!(
+            merged.merged_cells,
+            serial.rows.len() as u64,
+            "column {c} folded one metrics object per row"
+        );
+        let kept_frames: u64 = (0..serial.rows.len())
+            .map(|r| serial.cell(r, c).series().len() as u64)
+            .sum();
+        assert_eq!(
+            merged.dropped_frames, kept_frames,
+            "column {c} fold accounts for every dropped frame"
+        );
+    }
+}
+
+/// The timeline JSON a `figures timeline` run writes is valid JSON and
+/// its traffic matrix re-sums to the engine's transfer counters.
+#[test]
+fn timeline_json_parses_and_matrix_matches_stats() {
+    let mr = timeline_figure(&Harness::quick(), "topo");
+    let doc = mcm_bench::report::timeline_json(&mr);
+    let j = Json::parse(&doc).expect("timeline JSON must parse");
+    let cols = j
+        .get("columns")
+        .and_then(Json::as_arr)
+        .expect("columns array");
+    assert_eq!(cols.len(), mr.cols.len());
+    for (c, col) in cols.iter().enumerate() {
+        let want: u64 = (0..mr.rows.len())
+            .map(|r| mr.cell_stats(r, c).interconnect_transfers)
+            .sum();
+        let got: u64 = col
+            .get("traffic")
+            .and_then(Json::as_arr)
+            .expect("traffic array")
+            .iter()
+            .map(|l| {
+                l.get("transfers")
+                    .and_then(Json::as_u64)
+                    .expect("transfer count")
+            })
+            .sum();
+        assert_eq!(got, want, "column {c} traffic matrix vs summed stats");
+    }
+    // The CSV is rectangular: every row has the header's column count.
+    let csv = mcm_bench::report::timeline_csv(&mr);
+    let mut lines = csv.lines();
+    let header = lines.next().expect("csv header");
+    let want_cols = header.split(',').count();
+    for (i, line) in lines.enumerate() {
+        assert_eq!(
+            line.split(',').count(),
+            want_cols,
+            "csv row {i} column count"
+        );
+    }
+}

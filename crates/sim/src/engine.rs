@@ -24,6 +24,9 @@
 use mcm_types::{ChipletId, TbId, VirtAddr};
 
 use crate::config::SimConfig;
+#[cfg(feature = "metrics")]
+use crate::metrics::RunMetrics;
+use crate::metrics::{MetricSlot, Metrics};
 use crate::page_table::PageTable;
 use crate::policy::{PagingPolicy, RemoteCacheModel, WalkEvent};
 use crate::resources::BucketedResource;
@@ -149,7 +152,7 @@ pub fn run_outcome(
     policy: &mut dyn PagingPolicy,
     remote_cache: Option<&mut dyn RemoteCacheModel>,
 ) -> Result<RunOutcome, SimError> {
-    run_machine(cfg, workload, policy, remote_cache).map(|(outcome, _)| outcome)
+    run_machine(cfg, workload, policy, remote_cache).map(|(outcome, _, _)| outcome)
 }
 
 /// Like [`run_outcome`], but also returns the run's stage-boundary trace:
@@ -169,17 +172,41 @@ pub fn run_traced(
     remote_cache: Option<&mut dyn RemoteCacheModel>,
 ) -> Result<(RunOutcome, RunTrace), SimError> {
     run_machine(cfg, workload, policy, remote_cache)
-        .map(|(outcome, tracer)| (outcome, tracer.into_trace()))
+        .map(|(outcome, tracer, _)| (outcome, tracer.into_trace()))
 }
 
-/// Shared body of [`run_outcome`] / `run_traced`: runs the machine and
-/// hands back the outcome plus the (possibly no-op) tracer.
+/// Like [`run_outcome`], but also returns the run's chiplet-resolved,
+/// time-resolved metrics: the per-chiplet counter registry, the sampled
+/// time series, and the cross-chiplet traffic matrix (see
+/// [`metrics`](crate::metrics)). Only available with the `metrics` cargo
+/// feature; metering does not perturb results — the simulated machine is
+/// byte-identical to an unmetered run.
+///
+/// # Errors
+///
+/// Same as [`run`].
+#[cfg(feature = "metrics")]
+pub fn run_metered(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    policy: &mut dyn PagingPolicy,
+    remote_cache: Option<&mut dyn RemoteCacheModel>,
+) -> Result<(RunOutcome, RunMetrics), SimError> {
+    run_machine(cfg, workload, policy, remote_cache).map(|(outcome, _, metrics)| {
+        let end = outcome.stats().cycles;
+        (outcome, metrics.into_metrics(end))
+    })
+}
+
+/// Shared body of [`run_outcome`] / `run_traced` / `run_metered`: runs
+/// the machine and hands back the outcome plus the (possibly no-op)
+/// tracer and metrics sinks.
 fn run_machine(
     cfg: &SimConfig,
     workload: &dyn Workload,
     policy: &mut dyn PagingPolicy,
     remote_cache: Option<&mut dyn RemoteCacheModel>,
-) -> Result<(RunOutcome, Tracer), SimError> {
+) -> Result<(RunOutcome, Tracer, Metrics), SimError> {
     cfg.validate()?;
     let mut m = Machine::new(cfg, workload, remote_cache);
     policy.begin(workload.allocs(), cfg);
@@ -191,6 +218,7 @@ fn run_machine(
         Err(e) => return Err(e),
     };
     let tracer = std::mem::take(&mut m.tracer);
+    let metrics = std::mem::take(&mut m.metrics);
     let stats = m.finish(policy);
     let outcome = match abort {
         Some(reason) => RunOutcome::Aborted { reason, stats },
@@ -200,7 +228,7 @@ fn run_machine(
         }
         None => RunOutcome::Completed(stats),
     };
-    Ok((outcome, tracer))
+    Ok((outcome, tracer, metrics))
 }
 
 /// Translation memo for the engine's same-page repeat fast path
@@ -270,6 +298,13 @@ struct Machine<'c, 'r> {
     /// Stage-boundary trace sink (a zero-sized no-op without the `trace`
     /// feature).
     tracer: Tracer,
+    /// Chiplet-resolved metrics sink (a zero-sized no-op without the
+    /// `metrics` feature).
+    metrics: Metrics,
+    /// Recycled per-warp access-stream buffers (DESIGN.md §15): retiring
+    /// warps return their `Vec<VirtAddr>` here and starting warps refill
+    /// one in place, so the steady state allocates nothing per warp.
+    stream_pool: Vec<Vec<VirtAddr>>,
 }
 
 impl<'c, 'r> Machine<'c, 'r> {
@@ -291,6 +326,8 @@ impl<'c, 'r> Machine<'c, 'r> {
             alloc_stats: vec![AllocAccessStats::default(); workload.allocs().len()],
             next_epoch: cfg.epoch_cycles,
             tracer: Tracer::new(),
+            metrics: Metrics::new(cfg),
+            stream_pool: Vec::new(),
         }
     }
 
@@ -317,6 +354,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                 policy.ideal_migration(),
                 now,
                 &mut self.tracer,
+                &mut self.metrics,
             );
             if self.cfg.audit_epochs {
                 self.driver
@@ -334,7 +372,14 @@ impl<'c, 'r> Machine<'c, 'r> {
         start: u64,
         policy: &mut dyn PagingPolicy,
     ) -> Result<u64, SimError> {
-        let mut sched = KernelSchedule::new(self.cfg, workload, k, start, &mut self.tracer);
+        let mut sched = KernelSchedule::new(
+            self.cfg,
+            workload,
+            k,
+            start,
+            &mut self.stream_pool,
+            &mut self.tracer,
+        );
         let kd = *sched.kernel();
         self.reuse = kd.line_reuse.max(1) as u64;
         let issue_gap = kd.insts_per_mem as u64;
@@ -364,6 +409,10 @@ impl<'c, 'r> Machine<'c, 'r> {
                 }
             }
             idle_pops += 1;
+            // Sampling clock: close metric intervals passed by this pop.
+            // A batch's increments land in the interval containing its pop
+            // time (DESIGN.md §16).
+            self.metrics.tick(t);
             // Epoch callbacks for reactive policies.
             while t >= self.next_epoch {
                 let epoch = self.next_epoch;
@@ -381,6 +430,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                     policy.ideal_migration(),
                     epoch,
                     &mut self.tracer,
+                    &mut self.metrics,
                 );
                 if self.cfg.audit_epochs {
                     self.driver
@@ -440,8 +490,9 @@ impl<'c, 'r> Machine<'c, 'r> {
                     continue;
                 }
             }
-            sched.retire_warp(workload, k, wid, t, &mut self.tracer);
+            sched.retire_warp(workload, k, wid, t, &mut self.stream_pool, &mut self.tracer);
         }
+        sched.recycle(&mut self.stream_pool);
         Ok(end)
     }
 
@@ -473,7 +524,8 @@ impl<'c, 'r> Machine<'c, 'r> {
             // Same page as the previous access of this batch: replay the
             // L1 hit's observable effects and reuse the PTE (see
             // [`RepeatXlate`]). An L1 hit never consults the GMMU server.
-            self.translate.repeat_l1_hit(sm, class, slot);
+            self.translate
+                .repeat_l1_hit(sm, chiplet, class, slot, &mut self.metrics);
             (pte, issue + self.cfg.l1_tlb_latency, false)
         } else {
             let gmmu_free = self.driver.gmmu_ready(chiplet);
@@ -487,6 +539,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                 issue,
                 gmmu_free,
                 &mut self.tracer,
+                &mut self.metrics,
             )? {
                 Translation::Done { pte, done, walked } => {
                     // Arm (or disarm) the memo for the next access. `None`
@@ -515,6 +568,7 @@ impl<'c, 'r> Machine<'c, 'r> {
                         va,
                         at,
                         &mut self.tracer,
+                        &mut self.metrics,
                     )?;
                     self.tracer.sample(TraceStage::Fault, resume - at);
                     return Ok(AccessResult::Fault(resume));
@@ -539,6 +593,11 @@ impl<'c, 'r> Machine<'c, 'r> {
         let remote = data_chiplet != chiplet;
         if remote {
             self.stats.remote_insts += self.reuse;
+            self.metrics
+                .add(chiplet, MetricSlot::RemoteAccess, self.reuse);
+        } else {
+            self.metrics
+                .add(chiplet, MetricSlot::LocalAccess, self.reuse);
         }
         let idx = pte.alloc.index();
         if idx >= self.alloc_stats.len() {
@@ -552,6 +611,8 @@ impl<'c, 'r> Machine<'c, 'r> {
         // The (reuse - 1) unsimulated repeats hit the L1 cache and L1 TLB.
         self.data.stats.l1d_hits += self.reuse - 1;
         self.translate.stats.l1tlb_hits += self.reuse - 1;
+        self.metrics
+            .add(chiplet, MetricSlot::L1TlbHit, self.reuse - 1);
         if self.wants_samples {
             policy.on_access(&WalkEvent {
                 va,
@@ -570,6 +631,7 @@ impl<'c, 'r> Machine<'c, 'r> {
             pa,
             tt,
             &mut self.tracer,
+            &mut self.metrics,
         );
         self.stats.data_cycles += done - tt;
         self.tracer.sample(TraceStage::Data, done - tt);

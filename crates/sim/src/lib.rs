@@ -41,6 +41,7 @@ mod dram;
 mod engine;
 mod error;
 mod interconnect;
+pub mod metrics;
 mod page_table;
 mod policy;
 mod pte_map;
@@ -56,11 +57,16 @@ pub use cache::SetAssocCache;
 pub use chaos::{ChaosConfig, ChaosPolicy, ChaosStats, StateAuditor, Stonewall};
 pub use config::{PtePlacement, SimConfig, TlbEntries, TopologyKind, TranslationConfig};
 pub use dram::Dram;
+#[cfg(feature = "metrics")]
+pub use engine::run_metered;
 #[cfg(feature = "trace")]
 pub use engine::run_traced;
 pub use engine::{run, run_outcome, RunOutcome};
 pub use error::SimError;
 pub use interconnect::{build_topology, FullyConnected, Mesh2d, Ring, Topology};
+pub use metrics::{
+    imbalance, LinkTraffic, MetricSlot, RunMetrics, SampleFrame, NUM_SLOTS, WARMUP_EPSILON,
+};
 pub use page_table::{PageTable, Pte, PTES_PER_LINE};
 pub use policy::{
     AllocInfo, Directive, FaultCtx, PagingPolicy, RemoteCacheModel, RemoteServe, StaticHint,

@@ -12,6 +12,7 @@ use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
 use crate::dram::Dram;
 use crate::interconnect::{build_topology, Topology};
+use crate::metrics::{MetricSlot, Metrics};
 use crate::page_table::{PageTable, Pte};
 use crate::policy::{RemoteCacheModel, RemoteServe};
 use crate::stats::RunStats;
@@ -105,6 +106,7 @@ impl<'r> DataPath<'r> {
         pa: PhysAddr,
         t: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> u64 {
         let line = pa.raw() >> self.line_shift;
         if self.l1d[sm].access(line) {
@@ -121,6 +123,7 @@ impl<'r> DataPath<'r> {
         let t_mem = t_l2 + cfg.l2d_latency;
         if data_chiplet == chiplet {
             // The caller already resolved `pa`'s owner; skip re-deriving it.
+            metrics.bump(data_chiplet, MetricSlot::DramAccess);
             return self.dram.access_at(data_chiplet, pa, t_mem);
         }
         let served = match self.remote_cache.as_deref_mut() {
@@ -134,24 +137,30 @@ impl<'r> DataPath<'r> {
             }
             Some(RemoteServe::LocalDram) => {
                 self.stats.remote_cache_hits += 1;
+                metrics.bump(chiplet, MetricSlot::DramAccess);
                 self.dram.access_at(chiplet, pa, t_mem)
             }
             None => {
                 let arrive = self.interconnect.request(chiplet, data_chiplet, t_mem);
                 let mem_done = self.dram.access_at(data_chiplet, pa, arrive);
+                metrics.bump(data_chiplet, MetricSlot::DramAccess);
                 tracer.event(TraceEventKind::Crossing {
                     src: data_chiplet,
                     dst: chiplet,
                     hops: self.interconnect.hops(data_chiplet, chiplet),
                     cycle: mem_done,
                 });
-                self.interconnect.transfer(data_chiplet, chiplet, mem_done)
+                let q0 = metrics.queue_probe(self.interconnect.as_ref());
+                let done = self.interconnect.transfer(data_chiplet, chiplet, mem_done);
+                metrics.crossing(self.interconnect.as_ref(), data_chiplet, chiplet, q0);
+                done
             }
         }
     }
 
     /// A DRAM line read by `requester` from `owner`'s memory: direct when
     /// local, request/transfer over the interconnect when remote.
+    #[allow(clippy::too_many_arguments)]
     fn mem_read(
         &mut self,
         requester: ChipletId,
@@ -159,7 +168,9 @@ impl<'r> DataPath<'r> {
         pa: PhysAddr,
         t: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> u64 {
+        metrics.bump(owner, MetricSlot::DramAccess);
         if owner == requester {
             self.dram.access_at(owner, pa, t)
         } else {
@@ -171,7 +182,10 @@ impl<'r> DataPath<'r> {
                 hops: self.interconnect.hops(owner, requester),
                 cycle: done,
             });
-            self.interconnect.transfer(owner, requester, done)
+            let q0 = metrics.queue_probe(self.interconnect.as_ref());
+            let xfer_done = self.interconnect.transfer(owner, requester, done);
+            metrics.crossing(self.interconnect.as_ref(), owner, requester, q0);
+            xfer_done
         }
     }
 
@@ -188,12 +202,13 @@ impl<'r> DataPath<'r> {
         levels: u32,
         t: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> u64 {
         let node_chiplet =
             pt.walk_node_chiplet(va, level, leaf, requester, cfg.pte_placement, levels);
         let key = PageTable::walk_node_key(va, level, leaf, levels);
         let pa = self.synth_pte_pa(cfg, pt, node_chiplet, key);
-        self.mem_read(requester, node_chiplet, pa, t, tracer)
+        self.mem_read(requester, node_chiplet, pa, t, tracer, metrics)
     }
 
     /// The leaf PTE access: PTE lines are cached in the requester's L2
@@ -209,6 +224,7 @@ impl<'r> DataPath<'r> {
         levels: u32,
         t: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> u64 {
         let leaf = pte.size;
         let vpn = va.raw() >> leaf.shift();
@@ -222,7 +238,7 @@ impl<'r> DataPath<'r> {
             p => pt.walk_node_chiplet(va, levels, leaf, requester, p, levels),
         };
         let pa = self.synth_pte_pa(cfg, pt, leaf_chiplet, line_key);
-        self.mem_read(requester, leaf_chiplet, pa, t, tracer)
+        self.mem_read(requester, leaf_chiplet, pa, t, tracer, metrics)
     }
 
     /// Synthesises a physical address on `chiplet` for a page-table node,
@@ -257,6 +273,7 @@ impl<'r> DataPath<'r> {
         dst: ChipletId,
         now: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) {
         if src != dst {
             // Mirrors `Topology::transfer`: same-chiplet transfers are free
@@ -267,8 +284,12 @@ impl<'r> DataPath<'r> {
                 hops: self.interconnect.hops(src, dst),
                 cycle: now,
             });
+            let q0 = metrics.queue_probe(self.interconnect.as_ref());
+            self.interconnect.transfer(src, dst, now);
+            metrics.crossing(self.interconnect.as_ref(), src, dst, q0);
+        } else {
+            self.interconnect.transfer(src, dst, now);
         }
-        self.interconnect.transfer(src, dst, now);
     }
 
     /// Flushes this stage's slice — cache counters plus the
@@ -304,10 +325,28 @@ mod tests {
         let mut d = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
         let pa = PhysAddr::new(0);
-        let cold = d.access(&c, 0, ch, ch, pa, 0, &mut Tracer::new());
+        let cold = d.access(
+            &c,
+            0,
+            ch,
+            ch,
+            pa,
+            0,
+            &mut Tracer::new(),
+            &mut Metrics::new(&c),
+        );
         assert!(cold >= c.l1d_latency + c.l2d_latency + c.dram_latency);
         assert_eq!(d.stats.l1d_misses, 1);
-        let warm = d.access(&c, 0, ch, ch, pa, 1_000, &mut Tracer::new());
+        let warm = d.access(
+            &c,
+            0,
+            ch,
+            ch,
+            pa,
+            1_000,
+            &mut Tracer::new(),
+            &mut Metrics::new(&c),
+        );
         assert_eq!(warm, 1_000 + c.l1d_latency);
         assert_eq!(d.stats.l1d_hits, 1);
     }
@@ -328,6 +367,7 @@ mod tests {
             pa,
             0,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         let mut d2 = DataPath::new(&c, None);
         let local_pa = layout.block_base(layout.block_of_chiplet(requester, 0));
@@ -339,6 +379,7 @@ mod tests {
             local_pa,
             0,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         assert!(
             remote_done > local_done,
@@ -371,6 +412,7 @@ mod tests {
             pa,
             0,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         assert_eq!(done, c.l1d_latency + c.l2d_latency + c.l2d_latency);
         assert_eq!(d.stats.remote_cache_hits, 1);
@@ -391,6 +433,7 @@ mod tests {
             pa,
             0,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         let mut out = RunStats::default();
         d.flush_into(&c, &mut out);

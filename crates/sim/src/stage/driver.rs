@@ -10,6 +10,7 @@
 use mcm_types::{AllocId, ChipletId, PageSize, SmId, TbId, VirtAddr, BASE_PAGE_BYTES};
 
 use crate::config::SimConfig;
+use crate::metrics::{MetricSlot, Metrics};
 use crate::page_table::PageTable;
 use crate::policy::{AllocInfo, Directive, FaultCtx, PagingPolicy};
 use crate::resources::Server;
@@ -119,6 +120,7 @@ impl Driver {
         va: VirtAddr,
         at: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> Result<u64, SimError> {
         let page = va.align_down(BASE_PAGE_BYTES);
         let alloc = self.alloc_of(va).ok_or_else(|| SimError::PolicyViolation {
@@ -142,6 +144,7 @@ impl Driver {
             policy.ideal_migration(),
             at,
             tracer,
+            metrics,
         );
         if pt.translate(va).is_none() {
             return Err(SimError::PolicyViolation {
@@ -175,9 +178,12 @@ impl Driver {
         ideal: bool,
         now: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) {
         for (i, d) in dirs.iter().enumerate() {
-            if let Err(e) = self.apply_directive(cfg, pt, translate, data, *d, ideal, now, tracer) {
+            if let Err(e) =
+                self.apply_directive(cfg, pt, translate, data, *d, ideal, now, tracer, metrics)
+            {
                 self.stats.degradation.rejected_directives += 1;
                 self.stats.degradation.record(SimError::DirectiveRejected {
                     index: i,
@@ -201,6 +207,7 @@ impl Driver {
         ideal: bool,
         now: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> Result<(), SimError> {
         match d {
             Directive::Map {
@@ -220,13 +227,17 @@ impl Driver {
                 }
                 pt.promote(base, size)?;
                 self.stats.promotions += 1;
+                if let Some(pte) = pt.translate(base) {
+                    metrics.bump(pt.layout().chiplet_of(pte.pa), MetricSlot::Promotion);
+                }
                 // Promotion rewrites PTEs: stale 64KB entries must go.
                 translate.invalidate_block_64k(base, size.base_pages());
                 Ok(())
             }
             Directive::Unmap { va } => {
                 let pte = pt.unmap(va)?;
-                self.shootdown(cfg, translate, va, pte.size, ideal, now);
+                let owner = pt.layout().chiplet_of(pte.pa);
+                self.shootdown(cfg, translate, va, pte.size, owner, ideal, now, metrics);
                 Ok(())
             }
             Directive::Migrate { va, to_pa } => {
@@ -249,7 +260,8 @@ impl Driver {
                     });
                 }
                 let pte = pt.unmap(va)?;
-                self.shootdown(cfg, translate, va, pte.size, ideal, now);
+                let src = pt.layout().chiplet_of(pte.pa);
+                self.shootdown(cfg, translate, va, pte.size, src, ideal, now, metrics);
                 if let Err(e) = pt.map(va, to_pa, pte.size, pte.alloc) {
                     // Keep the migration atomic: restore the original
                     // mapping before reporting the rejection.
@@ -257,13 +269,13 @@ impl Driver {
                     return Err(e);
                 }
                 self.stats.migrations += 1;
+                metrics.bump(src, MetricSlot::Migration);
                 data.invalidate_page_lines(cfg, pte.pa);
                 if !ideal {
-                    let src = pt.layout().chiplet_of(pte.pa);
                     let dst = pt.layout().chiplet_of(to_pa);
                     self.gmmu_ovh[src.index()].acquire(now, cfg.migration_latency);
                     self.gmmu_ovh[dst.index()].acquire(now, cfg.migration_latency);
-                    data.interconnect_transfer(src, dst, now, tracer);
+                    data.interconnect_transfer(src, dst, now, tracer, metrics);
                 }
                 Ok(())
             }
@@ -271,19 +283,24 @@ impl Driver {
     }
 
     /// Invalidates TLB coverage for one page and charges the shootdown.
+    /// `owner` is the chiplet owning the page's frame, for attribution.
+    #[allow(clippy::too_many_arguments)]
     fn shootdown(
         &mut self,
         cfg: &SimConfig,
         translate: &mut TranslateStage,
         va: VirtAddr,
         size: PageSize,
+        owner: ChipletId,
         ideal: bool,
         now: u64,
+        metrics: &mut Metrics,
     ) {
         translate.invalidate_page(va);
         let _ = size;
         if !ideal {
             self.stats.shootdowns += 1;
+            metrics.bump(owner, MetricSlot::Shootdown);
             for s in &mut self.gmmu_ovh {
                 s.acquire(now, cfg.tlb_shootdown_latency);
             }
@@ -378,6 +395,7 @@ mod tests {
             false,
             0,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         assert_eq!(drv.stats.degradation.rejected_directives, 2);
         assert!(!drv.stats.degradation.errors.is_empty());
@@ -407,6 +425,7 @@ mod tests {
             false,
             100,
             &mut Tracer::new(),
+            &mut Metrics::new(&c),
         );
         assert_eq!(drv.stats.migrations, 1);
         assert_eq!(drv.stats.shootdowns, 1);
@@ -454,6 +473,7 @@ mod tests {
                 VirtAddr::new(0x1_0040),
                 500,
                 &mut Tracer::new(),
+                &mut Metrics::new(&c),
             )
             .expect("fault must resolve");
         assert_eq!(resume, 500 + c.fault_latency);
@@ -490,6 +510,7 @@ mod tests {
                 VirtAddr::new(64),
                 0,
                 &mut Tracer::new(),
+                &mut Metrics::new(&c),
             )
             .expect_err("unmapped fault must abort");
         assert!(matches!(err, SimError::PolicyViolation { .. }));

@@ -105,11 +105,15 @@ impl KernelSchedule {
     /// Distributes kernel `k`'s threadblocks — contiguous across chiplets
     /// (FT scheduling), then round-robin over each chiplet's SMs — and
     /// launches the initial resident threadblocks at cycle `start`.
+    /// `pool` recycles per-warp access-stream buffers across warps and
+    /// kernels (DESIGN.md §15): starting warps pop a cleared buffer
+    /// instead of allocating, retiring warps push theirs back.
     pub fn new(
         cfg: &SimConfig,
         workload: &dyn Workload,
         k: usize,
         start: u64,
+        pool: &mut Vec<Vec<VirtAddr>>,
         tracer: &mut Tracer,
     ) -> Self {
         let kd = workload.kernel(k);
@@ -137,7 +141,7 @@ impl KernelSchedule {
         for sm in 0..sms {
             for _ in 0..concurrent_tbs {
                 if let Some(tb) = sched.sm_queue[sm].pop_front() {
-                    sched.start_tb(workload, k, sm, tb, start, tracer);
+                    sched.start_tb(workload, k, sm, tb, start, pool, tracer);
                 }
             }
         }
@@ -150,6 +154,7 @@ impl KernelSchedule {
     }
 
     /// Launches `tb`'s warps on `sm` at cycle `at`.
+    #[allow(clippy::too_many_arguments)]
     fn start_tb(
         &mut self,
         workload: &dyn Workload,
@@ -157,6 +162,7 @@ impl KernelSchedule {
         sm: usize,
         tb: TbId,
         at: u64,
+        pool: &mut Vec<Vec<VirtAddr>>,
         tracer: &mut Tracer,
     ) {
         tracer.event(TraceEventKind::TbStart {
@@ -167,7 +173,8 @@ impl KernelSchedule {
         let slot = self.tb_live_warps.len();
         self.tb_live_warps.push(self.kd.warps_per_tb);
         for w in 0..self.kd.warps_per_tb {
-            let accesses = workload.warp_accesses(k, tb, WarpId::new(w));
+            let mut accesses = pool.pop().unwrap_or_default();
+            workload.warp_accesses_into(k, tb, WarpId::new(w), &mut accesses);
             let id = self.warps.len();
             self.warps.push(WarpCtx {
                 sm,
@@ -227,15 +234,30 @@ impl KernelSchedule {
         k: usize,
         wid: usize,
         t: u64,
+        pool: &mut Vec<Vec<VirtAddr>>,
         tracer: &mut Tracer,
     ) {
+        // A retired warp never batches again: recycle its stream buffer.
+        let mut stream = std::mem::take(&mut self.warps[wid].accesses);
+        stream.clear();
+        pool.push(stream);
         let slot = self.warp_tb_slot[wid];
         self.tb_live_warps[slot] -= 1;
         if self.tb_live_warps[slot] == 0 {
             let sm = self.warps[wid].sm;
-            self.warps[wid].accesses = Vec::new();
             if let Some(next_tb) = self.sm_queue[sm].pop_front() {
-                self.start_tb(workload, k, sm, next_tb, t, tracer);
+                self.start_tb(workload, k, sm, next_tb, t, pool, tracer);
+            }
+        }
+    }
+
+    /// Returns every remaining warp buffer to `pool` at kernel end, so the
+    /// next kernel's warps start from recycled capacity.
+    pub fn recycle(self, pool: &mut Vec<Vec<VirtAddr>>) {
+        for mut w in self.warps {
+            if w.accesses.capacity() > 0 {
+                w.accesses.clear();
+                pool.push(w.accesses);
             }
         }
     }
@@ -287,7 +309,7 @@ mod tests {
     fn tbs_spread_over_chiplets_and_warps_drain() {
         let c = cfg();
         let w = TinyWorkload;
-        let mut s = KernelSchedule::new(&c, &w, 0, 0, &mut Tracer::new());
+        let mut s = KernelSchedule::new(&c, &w, 0, 0, &mut Vec::new(), &mut Tracer::new());
         assert_eq!(s.kernel().num_tbs, 2);
         let mut sms_seen = std::collections::HashSet::new();
         let mut popped = 0usize;
@@ -300,7 +322,7 @@ mod tests {
             if !s.warp_finished(wid) {
                 s.reschedule(wid, t + 1);
             } else {
-                s.retire_warp(&w, 0, wid, t, &mut Tracer::new());
+                s.retire_warp(&w, 0, wid, t, &mut Vec::new(), &mut Tracer::new());
             }
         }
         assert_eq!(sms_seen.len(), 2, "both chiplets' SMs must host TBs");
@@ -311,8 +333,8 @@ mod tests {
     fn start_jitter_is_deterministic_and_bounded() {
         let c = cfg();
         let w = TinyWorkload;
-        let mut a = KernelSchedule::new(&c, &w, 0, 1_000, &mut Tracer::new());
-        let mut b = KernelSchedule::new(&c, &w, 0, 1_000, &mut Tracer::new());
+        let mut a = KernelSchedule::new(&c, &w, 0, 1_000, &mut Vec::new(), &mut Tracer::new());
+        let mut b = KernelSchedule::new(&c, &w, 0, 1_000, &mut Vec::new(), &mut Tracer::new());
         loop {
             let (ea, eb) = (a.pop(), b.pop());
             assert_eq!(ea, eb, "schedule must be deterministic");
@@ -361,7 +383,14 @@ mod tests {
             }
         }
         let c = cfg();
-        let mut s = KernelSchedule::new(&c, &EmptyWorkload, 0, 0, &mut Tracer::new());
+        let mut s = KernelSchedule::new(
+            &c,
+            &EmptyWorkload,
+            0,
+            0,
+            &mut Vec::new(),
+            &mut Tracer::new(),
+        );
         assert!(s.pop().is_none());
     }
 }

@@ -14,6 +14,7 @@ use mcm_types::{ChipletId, FastMap, PageSize, VirtAddr};
 
 use crate::cache::SetAssocCache;
 use crate::config::SimConfig;
+use crate::metrics::{MetricSlot, Metrics};
 use crate::page_table::{PageTable, Pte};
 use crate::resources::BucketedResource;
 use crate::stage::datapath::DataPath;
@@ -260,9 +261,17 @@ impl TranslateStage {
     /// which cannot change any LRU argmin, and the page-table verify is a
     /// pure read.
     #[inline]
-    pub(crate) fn repeat_l1_hit(&mut self, sm: usize, class: u32, slot: u32) {
+    pub(crate) fn repeat_l1_hit(
+        &mut self,
+        sm: usize,
+        chiplet: ChipletId,
+        class: u32,
+        slot: u32,
+        metrics: &mut Metrics,
+    ) {
         self.l1_tlb[sm][class as usize].touch(slot);
         self.stats.l1tlb_hits += 1;
+        metrics.bump(chiplet, MetricSlot::L1TlbHit);
     }
 
     /// Translates `va` for `sm` on `chiplet`: L1 TLB → L2 TLB → page walk.
@@ -290,6 +299,7 @@ impl TranslateStage {
         issue: u64,
         gmmu_free: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> Result<Translation, SimError> {
         let mut tt = issue + cfg.l1_tlb_latency;
         self.last_l1 = None;
@@ -305,16 +315,19 @@ impl TranslateStage {
             match pt.translate(va) {
                 Some(p) => {
                     self.stats.l1tlb_hits += 1;
+                    metrics.bump(chiplet, MetricSlot::L1TlbHit);
                     self.last_l1 = Some(hit);
                     hit_pte = Some(p);
                 }
                 None => {
                     self.note_stale_tlb(va);
                     self.stats.l1tlb_misses += 1;
+                    metrics.bump(chiplet, MetricSlot::L1TlbMiss);
                 }
             }
         } else {
             self.stats.l1tlb_misses += 1;
+            metrics.bump(chiplet, MetricSlot::L1TlbMiss);
         }
         if let Some(pte) = hit_pte {
             return Ok(Translation::Done {
@@ -332,6 +345,7 @@ impl TranslateStage {
             match pt.translate(va) {
                 Some(p) => {
                     self.stats.l2tlb_hits += 1;
+                    metrics.bump(chiplet, MetricSlot::L2TlbHit);
                     self.last_l1 = self.fill_l1(pt, cfg, sm, va, p);
                     l2_pte = Some(p);
                 }
@@ -346,12 +360,13 @@ impl TranslateStage {
             });
         }
         self.stats.l2tlb_misses += 1;
+        metrics.bump(chiplet, MetricSlot::L2TlbMiss);
         tracer.event(TraceEventKind::L2TlbMiss {
             va,
             chiplet,
             cycle: tt,
         });
-        match self.page_walk(cfg, pt, data, chiplet, va, tt, gmmu_free, tracer)? {
+        match self.page_walk(cfg, pt, data, chiplet, va, tt, gmmu_free, tracer, metrics)? {
             Translation::Done { pte, done, .. } => {
                 self.fill_l2(pt, cfg, chiplet, va, pte, done, tracer);
                 self.last_l1 = self.fill_l1(pt, cfg, sm, va, pte);
@@ -379,10 +394,12 @@ impl TranslateStage {
         t: u64,
         gmmu_free: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
     ) -> Result<Translation, SimError> {
         let t = t.max(gmmu_free);
         let Some(pte) = pt.translate(va) else {
             self.stats.faults += 1;
+            metrics.bump(chiplet, MetricSlot::Fault);
             return Ok(Translation::Fault { at: t });
         };
         // MSHR hit: join an in-flight walk for the same leaf page.
@@ -390,6 +407,7 @@ impl TranslateStage {
         if let Some(done) = self.walk_mshr[chiplet.index()].get(page_key) {
             if done > t {
                 self.stats.walk_mshr_hits += 1;
+                metrics.bump(chiplet, MetricSlot::WalkMshrHit);
                 return Ok(Translation::Done {
                     pte,
                     done,
@@ -410,14 +428,17 @@ impl TranslateStage {
             if self.pwc[chiplet.index()].access(key) {
                 tw += cfg.pwc_latency;
             } else {
-                tw =
-                    data.pte_node_access(cfg, pt, chiplet, va, level, pte.size, levels, tw, tracer);
+                tw = data.pte_node_access(
+                    cfg, pt, chiplet, va, level, pte.size, levels, tw, tracer, metrics,
+                );
             }
         }
-        tw = data.leaf_pte_access(cfg, pt, chiplet, va, pte, levels, tw, tracer);
+        tw = data.leaf_pte_access(cfg, pt, chiplet, va, pte, levels, tw, tracer, metrics);
         self.walk_mshr[chiplet.index()].insert(page_key, tw);
         self.stats.walks += 1;
         self.stats.walk_cycles += tw - t;
+        metrics.bump(chiplet, MetricSlot::Walk);
+        metrics.add(chiplet, MetricSlot::WalkCycle, tw - t);
         tracer.sample(TraceStage::Walk, tw - t);
         tracer.event(TraceEventKind::WalkComplete {
             va,
@@ -664,7 +685,18 @@ mod tests {
         let ch = ChipletId::new(0);
 
         let first = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 100, 0, &mut Tracer::new())
+            .translate(
+                &c,
+                &pt,
+                &mut data,
+                0,
+                ch,
+                va,
+                100,
+                0,
+                &mut Tracer::new(),
+                &mut Metrics::new(&c),
+            )
             .expect("translate");
         match first {
             Translation::Done { done, walked, .. } => {
@@ -678,7 +710,18 @@ mod tests {
         assert_eq!(tr.stats.l2tlb_misses, 1);
 
         let second = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 10_000, 0, &mut Tracer::new())
+            .translate(
+                &c,
+                &pt,
+                &mut data,
+                0,
+                ch,
+                va,
+                10_000,
+                0,
+                &mut Tracer::new(),
+                &mut Metrics::new(&c),
+            )
             .expect("translate");
         match second {
             Translation::Done { done, walked, .. } => {
@@ -708,6 +751,7 @@ mod tests {
                 50,
                 5_000,
                 &mut Tracer::new(),
+                &mut Metrics::new(&c),
             )
             .expect("translate");
         match out {
@@ -725,14 +769,36 @@ mod tests {
         let mut tr = TranslateStage::new(&c);
         let mut data = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0, &mut Tracer::new())
-            .expect("warm up");
+        tr.translate(
+            &c,
+            &pt,
+            &mut data,
+            0,
+            ch,
+            va,
+            0,
+            0,
+            &mut Tracer::new(),
+            &mut Metrics::new(&c),
+        )
+        .expect("warm up");
         // Unmap behind the TLB's back (no shootdown): next lookup hits
         // stale coverage, which is dropped and re-walked.
         pt.unmap(va).expect("unmap");
         assert!(!tr.stale_coverage(&pt).is_empty());
         let out = tr
-            .translate(&c, &pt, &mut data, 0, ch, va, 20_000, 0, &mut Tracer::new())
+            .translate(
+                &c,
+                &pt,
+                &mut data,
+                0,
+                ch,
+                va,
+                20_000,
+                0,
+                &mut Tracer::new(),
+                &mut Metrics::new(&c),
+            )
             .expect("translate");
         assert!(matches!(out, Translation::Fault { .. }));
         assert!(tr.stats.degradation.stale_tlb_hits >= 1);
@@ -747,11 +813,33 @@ mod tests {
         let mut tr = TranslateStage::new(&c);
         let mut data = DataPath::new(&c, None);
         let ch = ChipletId::new(0);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 0, 0, &mut Tracer::new())
-            .expect("warm up");
+        tr.translate(
+            &c,
+            &pt,
+            &mut data,
+            0,
+            ch,
+            va,
+            0,
+            0,
+            &mut Tracer::new(),
+            &mut Metrics::new(&c),
+        )
+        .expect("warm up");
         tr.invalidate_page(va);
-        tr.translate(&c, &pt, &mut data, 0, ch, va, 50_000, 0, &mut Tracer::new())
-            .expect("translate");
+        tr.translate(
+            &c,
+            &pt,
+            &mut data,
+            0,
+            ch,
+            va,
+            50_000,
+            0,
+            &mut Tracer::new(),
+            &mut Metrics::new(&c),
+        )
+        .expect("translate");
         assert_eq!(tr.stats.walks, 2, "invalidation must force a re-walk");
     }
 
@@ -785,6 +873,7 @@ mod tests {
                 10,
                 0,
                 &mut Tracer::new(),
+                &mut Metrics::new(&c),
             )
             .expect("translate");
         }

@@ -53,6 +53,16 @@ pub trait Workload: Send + Sync {
     /// The line-granular virtual addresses accessed by `warp` of `tb` in
     /// kernel `k`, in program order. Must be deterministic.
     fn warp_accesses(&self, k: usize, tb: TbId, warp: WarpId) -> Vec<VirtAddr>;
+
+    /// Fills `out` with [`Self::warp_accesses`]'s stream, reusing `out`'s
+    /// capacity. The engine recycles warp buffers through this method
+    /// (DESIGN.md §15); the default delegates to [`Self::warp_accesses`],
+    /// so implementations only override it to skip the intermediate
+    /// allocation. Must produce exactly the same stream.
+    fn warp_accesses_into(&self, k: usize, tb: TbId, warp: WarpId, out: &mut Vec<VirtAddr>) {
+        out.clear();
+        out.extend(self.warp_accesses(k, tb, warp));
+    }
 }
 
 /// Contiguous (first-touch-friendly) threadblock scheduling: TB `t` of `n`
@@ -211,13 +221,20 @@ impl Workload for TiledGemm {
     }
 
     fn warp_accesses(&self, k: usize, tb: TbId, warp: WarpId) -> Vec<VirtAddr> {
+        let mut out = Vec::new();
+        self.warp_accesses_into(k, tb, warp, &mut out);
+        out
+    }
+
+    fn warp_accesses_into(&self, k: usize, tb: TbId, warp: WarpId, out: &mut Vec<VirtAddr>) {
         assert_eq!(k, 0, "TiledGemm launches a single kernel");
         let (i, j) = self.tile_of(tb);
         // Each warp owns a contiguous slice of every tile's lines.
         let lines = TILE_BYTES / LINE_BYTES;
         let per_warp = lines / GEMM_WARPS_PER_TB as u64;
         let first = warp.index() as u64 * per_warp;
-        let mut out = Vec::with_capacity((self.kt as u64 * 2 * per_warp + per_warp) as usize);
+        out.clear();
+        out.reserve((self.kt as u64 * 2 * per_warp + per_warp) as usize);
         for kk in 0..self.kt {
             for l in first..first + per_warp {
                 out.push(self.tile_line(0, i, kk, self.kt, l));
@@ -227,7 +244,6 @@ impl Workload for TiledGemm {
         for l in first..first + per_warp {
             out.push(self.tile_line(2, i, j, self.nt, l));
         }
-        out
     }
 }
 

@@ -230,6 +230,12 @@ impl Workload for SyntheticWorkload {
     }
 
     fn warp_accesses(&self, k: usize, tb: TbId, warp: WarpId) -> Vec<VirtAddr> {
+        let mut out = Vec::new();
+        self.warp_accesses_into(k, tb, warp, &mut out);
+        out
+    }
+
+    fn warp_accesses_into(&self, k: usize, tb: TbId, warp: WarpId, out: &mut Vec<VirtAddr>) {
         let spec = &self.kernels[k];
         let mut rng = StdRng::seed_from_u64(
             self.seed
@@ -282,7 +288,8 @@ impl Workload for SyntheticWorkload {
                 }
             }
         }
-        let mut out = Vec::with_capacity(one_pass.len() * spec.passes);
+        out.clear();
+        out.reserve(one_pass.len() * spec.passes);
         for pass in 0..spec.passes {
             if pass % 2 == 1 {
                 // Alternate direction to vary reuse distance slightly.
@@ -300,7 +307,6 @@ impl Workload for SyntheticWorkload {
                 out.swap(i, j);
             }
         }
-        out
     }
 }
 

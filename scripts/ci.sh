@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, lint — with and without the `trace`
-# feature. Run from anywhere; no network needed (the workspace vendors
-# its dev-dependency stubs in crates/).
+# Offline CI gate: build, test, lint — default features plus the
+# `trace` and `metrics` builds. Run from anywhere; no network needed
+# (the workspace vendors its dev-dependency stubs in crates/).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,6 +46,35 @@ echo "== trace subcommand smoke (JSON + folded stacks land in the out dir)"
 ./target/release/figures --quick --jobs 2 --out "$smoke/trace-out" trace fig1
 test -s "$smoke/trace-out/trace/fig1.json"
 test -s "$smoke/trace-out/trace/fig1.folded"
+
+echo "== cargo build --release --features metrics"
+cargo build --release --workspace --features metrics
+cargo build --release -p mcm-bench --bin figures --features metrics
+
+echo "== cargo test --features metrics (incl. metrics conformance)"
+cargo test --workspace -q --features metrics
+
+echo "== cargo clippy --features metrics (deny warnings)"
+cargo clippy --workspace --all-targets --features metrics -- -D warnings
+
+echo "== metered-build golden smoke (figure CSVs byte-identical with metrics compiled in)"
+# Same bar as the traced build: the metric registry observes the
+# simulation, it must never perturb it.
+./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/metered" fig1 fig18 topo
+cmp "$smoke/metered/fig1.csv" tests/goldens/fig1_quick.csv
+cmp "$smoke/metered/fig18.csv" tests/goldens/fig18_quick.csv
+cmp "$smoke/metered/topo.csv" tests/goldens/topo_quick.csv
+
+echo "== timeline smoke (figures timeline topo: outputs land, journal carries imbalance, status sees it)"
+# JSON validity and matrix-vs-stats reconciliation are pinned by the
+# Rust conformance suite run above; this checks the end-to-end surface.
+./target/release/figures --quick --jobs 2 --progress=off --out "$smoke/timeline" timeline topo
+test -s "$smoke/timeline/timeline/topo.json"
+test -s "$smoke/timeline/timeline/topo.csv"
+test -s "$smoke/timeline/journal/topo-timeline.jsonl"
+grep -q '"imbalance"' "$smoke/timeline/journal/topo-timeline.jsonl"
+./target/release/figures --out "$smoke/timeline" status | grep -q "topo-timeline"
+./target/release/figures --out "$smoke/timeline" status --check > /dev/null
 
 # Rebuild default features so the binary left in target/ is the stock one.
 # The explicit -p build is what guarantees target/release/figures is fresh
